@@ -1,0 +1,53 @@
+// Ablation A1 (DESIGN.md): the hierarchical group-of-4 all-reduce vs a
+// flat all-to-one reduce and other group sizes — the design choice
+// behind the paper's Fig. 1 ("an all-to-one reduce operation lacks the
+// required scalability").
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace distmcu;
+
+int main() {
+  const auto cfg = model::TransformerConfig::tiny_llama_scaled(64);
+
+  std::cout << "Ablation A1 — all-reduce topology, scaled TinyLlama, prompt mode\n";
+  util::Table table({"chips", "topology", "block_cycles", "c2c_cycles", "speedup_vs_flat"});
+  for (const int n : {8, 16, 32, 64}) {
+    const auto plan = partition::PartitionPlan::create(cfg, n);
+
+    runtime::SystemConfig flat = runtime::SystemConfig::siracusa_system();
+    flat.flat_topology = true;
+    const auto r_flat = runtime::TimedBlockSimulation(flat).run(plan, model::Mode::prompt);
+
+    for (const int g : {2, 4, 8}) {
+      runtime::SystemConfig sys = runtime::SystemConfig::siracusa_system();
+      sys.group_size = g;
+      const auto r = runtime::TimedBlockSimulation(sys).run(plan, model::Mode::prompt);
+      table.row()
+          .add(n)
+          .add("hier-g" + std::to_string(g))
+          .add(r.block_cycles)
+          .add(r.breakdown.c2c)
+          .add(static_cast<double>(r_flat.block_cycles) /
+                   static_cast<double>(r.block_cycles),
+               3);
+    }
+    table.row()
+        .add(n)
+        .add("flat all-to-one")
+        .add(r_flat.block_cycles)
+        .add(r_flat.breakdown.c2c)
+        .add(1.0, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the flat reduce serializes N-1 ingress transfers on the "
+               "root and falls behind every hierarchy as N grows — the paper's "
+               "motivation for grouping. Within the hierarchies, SMALLER groups win "
+               "at large N (g2 beats the paper's g4 by ~19% at 64 chips in prompt "
+               "mode): each level serializes group_size-1 transfers on its leader's "
+               "ingress, so a deeper, narrower tree trades hops for less "
+               "serialization — a refinement opportunity the paper leaves on the "
+               "table.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A2 (DESIGN.md): latency accounting — the paper's single-block
+// measurement (weights pre-staged, prefetch charged to energy only) vs
+// the sustained steady state of a full forward pass, where a
+// double-buffered block cannot outrun its successor's L3 prefetch.
+// Event-driven multi-block simulation on sim::Engine.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "runtime/steady_state.hpp"
+
+using namespace distmcu;
+
+int main() {
+  const auto sys = runtime::SystemConfig::siracusa_system();
+  const runtime::SteadyStateSimulation ss(sys);
+
+  std::cout << "Ablation A2 — single-block vs steady-state latency accounting\n";
+  util::Table table({"model", "mode", "chips", "residency", "isolated_cycles",
+                     "sustained_cycles", "stall_per_block", "ratio"});
+  struct Case {
+    model::TransformerConfig cfg;
+    model::Mode mode;
+    int chips;
+  };
+  const std::vector<Case> cases{
+      {model::TransformerConfig::tiny_llama_42m(), model::Mode::autoregressive, 4},
+      {model::TransformerConfig::tiny_llama_42m(), model::Mode::autoregressive, 8},
+      {model::TransformerConfig::tiny_llama_42m(), model::Mode::prompt, 8},
+      {model::TransformerConfig::mobile_bert(), model::Mode::prompt, 4},
+      {model::TransformerConfig::tiny_llama_scaled(64), model::Mode::autoregressive, 16},
+      {model::TransformerConfig::tiny_llama_scaled(64), model::Mode::autoregressive, 32},
+  };
+  for (const auto& c : cases) {
+    const auto plan = partition::PartitionPlan::create(c.cfg, c.chips);
+    const auto rep = ss.run(plan, c.mode);
+    table.row()
+        .add(c.cfg.name)
+        .add(model::mode_name(c.mode))
+        .add(c.chips)
+        .add(partition::residency_name(rep.residency))
+        .add(rep.per_block_isolated)
+        .add(rep.per_block_sustained)
+        .add(rep.prefetch_stall_cycles / static_cast<Cycles>(rep.blocks))
+        .add(static_cast<double>(rep.per_block_sustained) /
+                 static_cast<double>(rep.per_block_isolated),
+             2);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: in the double-buffered regime the paper's reported per-block "
+         "latency is the lower bound; sustained autoregressive decoding at 8 chips "
+         "is L3-prefetch-bound (786 KiB @ 0.5 GB/s ~ 1.6 ms per block). Only the "
+         "fully-resident regime (32+ chips on the scaled model) sustains the "
+         "single-block latency — a deployment consideration the paper's energy "
+         "numbers capture but its latency plots do not.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation A3 (DESIGN.md): sensitivity of the super-linear crossover to
+// the off-chip (L3) bandwidth — the one platform constant the paper
+// does not publish. The crossover *position* (8 chips) is set by memory
+// capacity, but its *magnitude* scales with how painful streaming is.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace distmcu;
+
+int main() {
+  const auto cfg = model::TransformerConfig::tiny_llama_42m();
+
+  std::cout << "Ablation A3 — L3 bandwidth sweep, TinyLlama autoregressive\n";
+  util::Table table({"l3_B_per_cycle", "GBps_at_500MHz", "1chip_cycles", "8chip_cycles",
+                     "speedup_at_8"});
+  for (const double bw : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    runtime::SystemConfig sys = runtime::SystemConfig::siracusa_system();
+    sys.chip.bw_l3_l2 = bw;
+    const auto pts = bench::sweep_chips(cfg, model::Mode::autoregressive, {1, 8}, sys);
+    table.row()
+        .add(bw, 2)
+        .add(bw * 0.5, 2)
+        .add(pts[0].report.block_cycles)
+        .add(pts[1].report.block_cycles)
+        .add(pts[1].speedup, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the 8-chip configuration is L3-free, so its latency is "
+               "bandwidth-independent while the single-chip baseline scales with "
+               "1/BW — the super-linear factor is inversely proportional to the "
+               "off-chip bandwidth. The paper's 26.1x is consistent with the "
+               "0.5 GB/s HyperRAM-class interface we model (1 B/cycle).\n";
+  return 0;
+}

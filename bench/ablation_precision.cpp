@@ -1,0 +1,41 @@
+// Ablation A4 (DESIGN.md): weight storage width moves the residency
+// crossover — the deduction that pins the paper's deployment to 2-byte
+// weights (int8 would already fit at 4 chips, contradicting Fig. 4a;
+// fp32 would not fit even at 8).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "partition/memory_planner.hpp"
+
+using namespace distmcu;
+
+int main() {
+  const auto cfg = model::TransformerConfig::tiny_llama_42m();
+
+  std::cout << "Ablation A4 — weight precision vs residency regime (TinyLlama AR)\n";
+  util::Table table({"weight_bytes", "chips", "residency", "block_cycles", "speedup"});
+  for (const Bytes wb : {Bytes{1}, Bytes{2}, Bytes{4}}) {
+    runtime::SystemConfig sys = runtime::SystemConfig::siracusa_system();
+    sys.precision.weight_bytes = wb;
+    sys.precision.mac_precision =
+        wb == 1 ? chip::Precision::int8
+                : (wb == 2 ? chip::Precision::int16 : chip::Precision::fp32);
+    const auto pts =
+        bench::sweep_chips(cfg, model::Mode::autoregressive, {1, 2, 4, 8}, sys);
+    for (const auto& p : pts) {
+      table.row()
+          .add(wb)
+          .add(p.chips)
+          .add(partition::residency_name(p.report.residency))
+          .add(p.report.block_cycles)
+          .add(p.speedup, 2);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: at 1 B/weight the double-buffered regime (and with it the "
+               "super-linear jump) already appears at 4 chips; at 2 B it appears at "
+               "8 chips exactly as the paper reports; at 4 B even 8 chips stream "
+               "from L3. The paper's crossover pattern is only consistent with "
+               "2-byte weights.\n";
+  return 0;
+}

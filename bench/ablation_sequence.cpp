@@ -1,0 +1,55 @@
+// Ablation A5b (extension): sequence-length sensitivity. The paper
+// evaluates two fixed points (S=16 prompt, S=1 autoregressive with a
+// 128-token context); this sweep shows the continuum — where the
+// workload flips from memory-bound GEMV to compute-bound GEMM, how the
+// 8-chip speedup decays with S, and how the autoregressive context
+// length stresses the KV path.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace distmcu;
+
+int main() {
+  std::cout << "Ablation A5b — prompt length sweep, TinyLlama, 1 vs 8 chips\n";
+  util::Table t1({"prompt_len", "1chip_cycles", "8chip_cycles", "speedup",
+                  "8chip_compute_share_%"});
+  for (const int s : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    auto cfg = model::TransformerConfig::tiny_llama_42m();
+    cfg.prompt_len = s;
+    const auto pts = bench::sweep_chips(cfg, model::Mode::prompt, {1, 8});
+    const auto& r8 = pts[1].report;
+    t1.row()
+        .add(s)
+        .add(pts[0].report.block_cycles)
+        .add(r8.block_cycles)
+        .add(pts[1].speedup, 2)
+        .add(100.0 * static_cast<double>(r8.breakdown.compute) /
+                 static_cast<double>(r8.block_cycles),
+             1);
+  }
+  t1.print(std::cout);
+
+  std::cout << "\nAblation A5c — autoregressive KV-context sweep, 8 chips\n";
+  util::Table t2({"kv_context", "8chip_cycles", "kv_bytes_per_chip_KiB", "residency"});
+  for (const int ctx : {32, 64, 128, 256, 512, 1024}) {
+    auto cfg = model::TransformerConfig::tiny_llama_42m();
+    cfg.ar_context = ctx;
+    const auto pts = bench::sweep_chips(cfg, model::Mode::autoregressive, {8});
+    const auto plan = partition::PartitionPlan::create(cfg, 8);
+    const Bytes kv = static_cast<Bytes>(cfg.num_layers) * 2 *
+                     static_cast<Bytes>(ctx) *
+                     static_cast<Bytes>(plan.proj_width(0));
+    t2.row()
+        .add(ctx)
+        .add(pts[0].report.block_cycles)
+        .add(static_cast<double>(kv) / 1024.0, 1)
+        .add(partition::residency_name(pts[0].report.residency));
+  }
+  t2.print(std::cout);
+  std::cout << "\nreading: the prompt sweep shows the GEMV->GEMM transition (compute "
+               "share grows with S, speedup decays toward the compute-bound limit); "
+               "the context sweep shows the KV cache eroding the L2 budget until "
+               "the 8-chip deployment falls back to the streamed regime.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Internal calibration probe (not a paper figure): prints raw runtime /
+// breakdown / energy numbers for the three workloads so the timing
+// constants can be tuned against the paper's reported shapes. Kept in the
+// bench set because it doubles as a compact "everything at once" smoke
+// run.
+#include <iostream>
+
+#include "energy/energy_model.hpp"
+#include "model/config.hpp"
+#include "partition/plan.hpp"
+#include "runtime/timed_simulation.hpp"
+#include "util/table.hpp"
+
+using namespace distmcu;
+
+namespace {
+
+void sweep(const model::TransformerConfig& cfg, model::Mode mode,
+           const std::vector<int>& chip_counts) {
+  const runtime::SystemConfig sys = runtime::SystemConfig::siracusa_system();
+  const runtime::TimedBlockSimulation sim(sys);
+  const energy::EnergyModel em(sys.chip, sys.link);
+
+  util::Table table({"chips", "residency", "cycles", "speedup", "compute", "l3", "l2l1",
+                     "c2c", "E_mJ", "E_core", "E_l3", "E_l2", "E_c2c", "t_comp_tot"});
+  double base = 0.0;
+  for (const int n : chip_counts) {
+    const auto plan = partition::PartitionPlan::create(cfg, n);
+    const auto rep = sim.run(plan, mode);
+    const auto e = em.compute(rep);
+    if (n == 1) base = static_cast<double>(rep.block_cycles);
+    table.row()
+        .add(n)
+        .add(partition::residency_name(rep.residency))
+        .add(rep.block_cycles)
+        .add(base / static_cast<double>(rep.block_cycles), 2)
+        .add(rep.breakdown.compute)
+        .add(rep.breakdown.dma_l3_l2)
+        .add(rep.breakdown.dma_l2_l1)
+        .add(rep.breakdown.c2c)
+        .add(e.total_mj(), 4)
+        .add(util::pj_to_mj(e.core), 4)
+        .add(util::pj_to_mj(e.l3), 4)
+        .add(util::pj_to_mj(e.l2), 4)
+        .add(util::pj_to_mj(e.c2c), 4)
+        .add(rep.t_comp_total());
+  }
+  std::cout << cfg.name << " / " << model::mode_name(mode) << "\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  sweep(model::TransformerConfig::tiny_llama_42m(), model::Mode::autoregressive,
+        {1, 2, 4, 8});
+  sweep(model::TransformerConfig::tiny_llama_42m(), model::Mode::prompt, {1, 2, 4, 8});
+  sweep(model::TransformerConfig::mobile_bert(), model::Mode::prompt, {1, 2, 4});
+  sweep(model::TransformerConfig::tiny_llama_scaled(64), model::Mode::autoregressive,
+        {1, 2, 4, 8, 16, 32, 64});
+  sweep(model::TransformerConfig::tiny_llama_scaled(64), model::Mode::prompt,
+        {1, 2, 4, 8, 16, 32, 64});
+  return 0;
+}

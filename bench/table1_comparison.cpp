@@ -1,0 +1,73 @@
+// Reproduces paper Table I — comparison of model-partitioning schemes —
+// and extends it quantitatively: the paper's table is qualitative
+// (pipelining? weight duplication?), so in addition to those columns we
+// MEASURE the implemented baselines on the same simulated platform:
+// weight-replicated sequence parallelism ([21]-style) and pipeline
+// parallelism (PipeEdge [31] / Hermes [22]-style) against this work's
+// tensor-parallel scheme.
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "model/config.hpp"
+#include "util/table.hpp"
+
+using namespace distmcu;
+
+int main() {
+  // --- the paper's qualitative table ------------------------------------
+  std::cout << "Table I — SotA model-partitioning comparison (paper, qualitative)\n";
+  util::Table t1({"work", "model", "scale", "platform", "pipelining",
+                  "weight_duplication"});
+  t1.row().add("DeepThings [20]").add("CNN").add("Low-Power").add("Raspberry Pi")
+      .add("No").add("Yes");
+  t1.row().add("Efficiently Scaling Transformer Inference [13]").add("Transformer")
+      .add("Datacenter").add("TPU").add("No").add("No");
+  t1.row().add("DeepSpeed Inference [12]").add("Transformer").add("Datacenter")
+      .add("GPU").add("Yes").add("No");
+  t1.row().add("When the Edge Meets Transformers [21]").add("Transformer")
+      .add("Low-Power").add("CPU").add("No").add("Yes");
+  t1.row().add("Hermes [22]").add("Transformer").add("Low-Power").add("CPU")
+      .add("Yes").add("No");
+  t1.row().add("Ours").add("Transformer").add("Extreme Edge").add("Siracusa (MCU)")
+      .add("No").add("No");
+  t1.print(std::cout);
+
+  // --- quantitative extension on the simulated platform -----------------
+  const auto sys = runtime::SystemConfig::siracusa_system();
+  const auto cfg = model::TransformerConfig::tiny_llama_42m();
+  const baselines::ReplicatedSeqParallel replicated(sys);
+  const baselines::PipelineParallel pipeline(sys);
+
+  for (const auto mode : {model::Mode::autoregressive, model::Mode::prompt}) {
+    std::cout << "\nMeasured on TinyLlama-42M, 8 Siracusa chips, "
+              << model::mode_name(mode) << " mode (one block):\n";
+    util::Table t2({"scheme", "duplication", "needs_pipelining", "residency",
+                    "block_cycles", "energy_mJ", "speedup_vs_1chip"});
+    const auto single = baselines::run_tensor_parallel(cfg, 1, mode, sys);
+    auto add = [&](const baselines::BaselineReport& r) {
+      t2.row()
+          .add(r.name)
+          .add(r.weight_duplication, 0)
+          .add(r.needs_pipelining ? "yes" : "no")
+          .add(partition::residency_name(r.residency))
+          .add(r.block_cycles)
+          .add(r.energy_mj, 3)
+          .add(static_cast<double>(single.block_cycles) /
+                   static_cast<double>(r.block_cycles),
+               2);
+    };
+    add(baselines::run_tensor_parallel(cfg, 8, mode, sys));
+    add(replicated.run(cfg, 8, mode));
+    add(pipeline.run(cfg, 8, mode));
+    t2.print(std::cout);
+    std::cout << "  (pipeline throughput with deep batches: "
+              << pipeline.pipelined_period_cycles(cfg, 8, mode)
+              << " cycles/block period — unusable for single-user real-time "
+                 "inference, paper Sec. III-B)\n";
+  }
+
+  std::cout << "\nshape check: only the tensor-parallel scheme reaches an on-chip "
+               "residency regime at 8 chips with zero duplication: PASS criteria "
+               "asserted in tests/test_baselines.cpp\n";
+  return 0;
+}

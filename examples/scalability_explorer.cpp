@@ -1,0 +1,67 @@
+// Design-space exploration: sweep chip count (and optionally head count)
+// for any of the paper's workloads and emit a CSV of latency, speedup,
+// energy, EDP and residency — the tool a platform architect would use to
+// size a multi-chip deployment before committing to silicon.
+//
+//   ./examples/scalability_explorer [model] [mode] [max_chips]
+//     model: tinyllama | mobilebert | scaled64     mode: ar | prompt
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "model/config.hpp"
+#include "partition/plan.hpp"
+#include "runtime/timed_simulation.hpp"
+#include "util/table.hpp"
+
+using namespace distmcu;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "scaled64";
+  const std::string mode_s = argc > 2 ? argv[2] : "ar";
+  const int max_chips = argc > 3 ? std::atoi(argv[3]) : 64;
+
+  model::TransformerConfig cfg;
+  if (which == "mobilebert") {
+    cfg = model::TransformerConfig::mobile_bert();
+  } else if (which == "tinyllama") {
+    cfg = model::TransformerConfig::tiny_llama_42m();
+  } else {
+    cfg = model::TransformerConfig::tiny_llama_scaled(64);
+  }
+  const model::Mode mode =
+      mode_s == "prompt" ? model::Mode::prompt : model::Mode::autoregressive;
+
+  const runtime::SystemConfig sys = runtime::SystemConfig::siracusa_system();
+  const runtime::TimedBlockSimulation sim(sys);
+  const energy::EnergyModel em(sys.chip, sys.link);
+
+  util::Table table({"chips", "residency", "cycles", "latency_ms", "speedup",
+                     "efficiency", "energy_mJ", "EDP_mJms"});
+  double base_cycles = 0.0;
+  for (int n = 1; n <= max_chips && n <= cfg.num_heads; n *= 2) {
+    const auto plan = partition::PartitionPlan::create(cfg, n);
+    const auto rep = sim.run(plan, mode);
+    const auto e = em.compute(rep);
+    if (n == 1) base_cycles = static_cast<double>(rep.block_cycles);
+    const double speedup = base_cycles / static_cast<double>(rep.block_cycles);
+    table.row()
+        .add(n)
+        .add(partition::residency_name(rep.residency))
+        .add(rep.block_cycles)
+        .add(rep.ms(sys.chip.freq_hz), 4)
+        .add(speedup, 2)
+        .add(speedup / n, 2)
+        .add(e.total_mj(), 4)
+        .add(em.edp_mj_ms(e, rep.block_cycles), 5);
+  }
+
+  std::cout << cfg.name << " / " << model::mode_name(mode)
+            << " — one Transformer block\n\n";
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.write_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// End-to-end autoregressive generation on the distributed system: embeds
+// a prompt, prefills the partitioned KV caches, and greedily decodes new
+// tokens while accounting simulated latency and energy per token. The
+// distributed numerics are real — the same tokens come out of a
+// single-chip reference (asserted here as a self-check).
+//
+//   ./examples/tinyllama_generate [num_chips] [new_tokens]
+#include <cstdlib>
+#include <iostream>
+
+#include "model/config.hpp"
+#include "model/embedding.hpp"
+#include "model/reference_model.hpp"
+#include "runtime/inference_session.hpp"
+
+using namespace distmcu;
+
+int main(int argc, char** argv) {
+  const int n_chips = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int new_tokens = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  // A reduced-vocabulary TinyLlama keeps this demo fast on the host while
+  // exercising the identical distributed code path.
+  auto cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.vocab_size = 512;
+
+  const std::uint64_t seed = 2025;
+  const runtime::InferenceSession session(cfg, n_chips,
+                                          runtime::SystemConfig::siracusa_system(), seed);
+
+  const std::vector<int> prompt{11, 42, 7, 99};
+  std::cout << "generating " << new_tokens << " tokens on " << n_chips
+            << " chips...\n";
+  const auto gen = session.generate(prompt, new_tokens);
+
+  std::cout << "tokens:";
+  for (const int t : gen.tokens) std::cout << ' ' << t;
+  std::cout << '\n';
+
+  const double freq = session.system().chip.freq_hz;
+  std::cout << "simulated decode latency: "
+            << util::cycles_to_ms(gen.total_cycles, freq) << " ms total, "
+            << gen.tokens_per_s(freq) << " tok/s\n"
+            << "simulated energy: " << gen.total_energy_mj << " mJ total, "
+            << gen.mj_per_token() << " mJ/token\n";
+
+  // Self-check: the distributed pipeline must reproduce the single-chip
+  // reference tokens exactly (greedy decoding, identical seeds).
+  const model::Weights w(cfg, seed);
+  const model::Embedding emb(cfg, seed);
+  const model::ReferenceModel ref(cfg, w);
+  auto caches = ref.make_caches(cfg.ar_context);
+  model::Tensor h = ref.forward_prompt(emb.lookup(prompt), &caches, 0);
+  int next = emb.greedy_next(h);
+  std::vector<int> ref_tokens = prompt;
+  int pos = static_cast<int>(prompt.size());
+  for (int t = 0; t < new_tokens; ++t) {
+    ref_tokens.push_back(next);
+    if (t + 1 == new_tokens) break;
+    model::Tensor x = ref.forward_ar(emb.lookup({next}), caches, pos++);
+    next = emb.greedy_next(x);
+  }
+  std::cout << (gen.tokens == ref_tokens
+                    ? "self-check PASS: distributed tokens == single-chip reference\n"
+                    : "self-check FAIL: token mismatch vs reference!\n");
+  return gen.tokens == ref_tokens ? 0 : 1;
+}

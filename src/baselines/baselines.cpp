@@ -1,0 +1,147 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "energy/energy_model.hpp"
+#include "partition/memory_planner.hpp"
+#include "partition/plan.hpp"
+#include "util/check.hpp"
+
+namespace distmcu::baselines {
+
+namespace {
+
+/// Single-chip block report for a (possibly sequence-reduced) config.
+runtime::RunReport single_chip_block(const model::TransformerConfig& cfg,
+                                     model::Mode mode,
+                                     const runtime::SystemConfig& sys) {
+  const auto plan = partition::PartitionPlan::create(cfg, 1);
+  return runtime::TimedBlockSimulation(sys).run(plan, mode);
+}
+
+}  // namespace
+
+BaselineReport run_tensor_parallel(const model::TransformerConfig& cfg, int n_chips,
+                                   model::Mode mode, const runtime::SystemConfig& sys) {
+  const auto plan = partition::PartitionPlan::create(cfg, n_chips);
+  const auto rep = runtime::TimedBlockSimulation(sys).run(plan, mode);
+  const energy::EnergyModel em(sys.chip, sys.link);
+  BaselineReport out;
+  out.name = "tensor-parallel (ours)";
+  out.num_chips = n_chips;
+  out.mode = mode;
+  out.block_cycles = rep.block_cycles;
+  out.energy_mj = em.compute(rep).total_mj();
+  out.weight_duplication = 1.0;
+  out.needs_pipelining = false;
+  out.residency = rep.residency;
+  return out;
+}
+
+ReplicatedSeqParallel::ReplicatedSeqParallel(runtime::SystemConfig sys)
+    : sys_(std::move(sys)) {}
+
+BaselineReport ReplicatedSeqParallel::run(const model::TransformerConfig& cfg,
+                                          int n_chips, model::Mode mode) const {
+  util::check(n_chips >= 1, "ReplicatedSeqParallel: need at least one chip");
+  BaselineReport out;
+  out.name = "replicated seq-parallel [21]";
+  out.num_chips = n_chips;
+  out.mode = mode;
+  out.weight_duplication = static_cast<double>(n_chips);
+  out.needs_pipelining = false;
+
+  const energy::EnergyModel em(sys_.chip, sys_.link);
+
+  if (mode == model::Mode::autoregressive || n_chips == 1) {
+    // A single token row cannot be split: all chips but one idle.
+    const auto rep = single_chip_block(cfg, mode, sys_);
+    out.block_cycles = rep.block_cycles;
+    out.energy_mj = em.compute(rep).total_mj();
+    out.residency = rep.residency;
+    return out;
+  }
+
+  // Each chip runs the full block over ceil(S/N) sequence rows with the
+  // FULL (unsharded) weights.
+  model::TransformerConfig shard_cfg = cfg;
+  shard_cfg.prompt_len = (cfg.prompt_len + n_chips - 1) / n_chips;
+  const auto rep = single_chip_block(shard_cfg, mode, sys_);
+  out.residency = rep.residency;
+
+  // Attention needs the full K/V context: all-gather of each chip's K/V
+  // row-slices ((N-1)/N of 2*S*PH bytes arriving at every chip, counted
+  // once per link crossing), plus the output row-gather to chip 0.
+  const auto s = static_cast<Bytes>(cfg.prompt_len);
+  const auto e = static_cast<Bytes>(cfg.embed_dim);
+  const auto ph = static_cast<Bytes>(cfg.proj_dim());
+  const Bytes ab = sys_.precision.act_bytes;
+  const Bytes kv_all_gather = 2 * s * ph * ab * static_cast<Bytes>(n_chips - 1);
+  const Bytes out_gather = s * e * ab * static_cast<Bytes>(n_chips - 1) /
+                           static_cast<Bytes>(n_chips);
+  const Bytes c2c_bytes = kv_all_gather + out_gather;
+  // Serialized on the gathering chip's ingress, the dominant term.
+  const auto c2c_cycles = static_cast<Cycles>(
+      std::ceil(static_cast<double>(c2c_bytes) / sys_.link.bandwidth_bytes_per_cycle)) +
+      static_cast<Cycles>(2 * n_chips) * sys_.link.setup_cycles;
+
+  out.block_cycles = rep.block_cycles + c2c_cycles;
+
+  // Energy: every chip runs the reduced block; link traffic on top.
+  auto eb = em.compute(rep);
+  out.energy_mj = eb.total_mj() * static_cast<double>(n_chips) +
+                  util::pj_to_mj(static_cast<double>(c2c_bytes) *
+                                 sys_.link.energy_pj_per_byte);
+  return out;
+}
+
+PipelineParallel::PipelineParallel(runtime::SystemConfig sys) : sys_(std::move(sys)) {}
+
+BaselineReport PipelineParallel::run(const model::TransformerConfig& cfg, int n_chips,
+                                     model::Mode mode) const {
+  util::check(n_chips >= 1 && n_chips <= cfg.num_layers,
+              "PipelineParallel: chips must not exceed layers");
+  BaselineReport out;
+  out.name = "pipeline-parallel [22,31]";
+  out.num_chips = n_chips;
+  out.mode = mode;
+  out.weight_duplication = 1.0;
+  out.needs_pipelining = true;
+
+  // Each stage executes full (unsharded) blocks sequentially; for a
+  // single request the stages chain, so per-block latency equals the
+  // single-chip block latency plus the amortized inter-stage activation
+  // hop.
+  const auto rep = single_chip_block(cfg, mode, sys_);
+  out.residency = rep.residency;
+
+  const auto s = static_cast<Bytes>(mode == model::Mode::prompt ? cfg.prompt_len : 1);
+  const Bytes act_hop = s * static_cast<Bytes>(cfg.embed_dim) * sys_.precision.act_bytes;
+  const auto hop_cycles = sys_.link.setup_cycles + static_cast<Cycles>(std::ceil(
+                              static_cast<double>(act_hop) /
+                              sys_.link.bandwidth_bytes_per_cycle));
+  const auto hops = static_cast<Cycles>(n_chips - 1);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  // Full model latency / layers -> per-block equivalent.
+  out.block_cycles = rep.block_cycles + (hops * hop_cycles + layers - 1) / layers;
+
+  const energy::EnergyModel em(sys_.chip, sys_.link);
+  out.energy_mj = em.compute(rep).total_mj() +
+                  util::pj_to_mj(static_cast<double>(hops * act_hop) *
+                                 sys_.link.energy_pj_per_byte /
+                                 static_cast<double>(layers));
+  return out;
+}
+
+Cycles PipelineParallel::pipelined_period_cycles(const model::TransformerConfig& cfg,
+                                                 int n_chips, model::Mode mode) const {
+  // With an unbounded batch the pipeline period is the slowest stage:
+  // ceil(L/N) blocks per stage.
+  const auto rep = single_chip_block(cfg, mode, sys_);
+  const auto blocks_per_stage =
+      static_cast<Cycles>((cfg.num_layers + n_chips - 1) / n_chips);
+  return rep.block_cycles * blocks_per_stage;
+}
+
+}  // namespace distmcu::baselines

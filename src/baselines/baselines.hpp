@@ -1,0 +1,83 @@
+#ifndef DISTMCU_BASELINES_BASELINES_HPP
+#define DISTMCU_BASELINES_BASELINES_HPP
+
+#include <string>
+
+#include "model/config.hpp"
+#include "runtime/timed_simulation.hpp"
+
+namespace distmcu::baselines {
+
+/// Common report for the comparison baselines of the paper's Table I.
+struct BaselineReport {
+  std::string name;
+  int num_chips = 1;
+  model::Mode mode = model::Mode::prompt;
+
+  /// Latency of one Transformer block for a single request (the paper's
+  /// unit). For the pipeline baseline this is the full-model latency
+  /// divided by the layer count (stages do not help a single request).
+  Cycles block_cycles = 0;
+  double energy_mj = 0.0;
+
+  /// How many copies of each weight exist across the system (1 = none).
+  double weight_duplication = 1.0;
+  /// Whether the scheme needs batch pipelining to reach its throughput.
+  bool needs_pipelining = false;
+  partition::Residency residency = partition::Residency::streamed;
+};
+
+/// Weight-replicated sequence parallelism in the style of "When the Edge
+/// Meets Transformers" [21]: every chip holds the FULL block weights
+/// (duplication factor = N) and processes a row-slice of the sequence.
+/// Attention needs the full K/V context, so the chips all-gather their
+/// K/V slices each block. In autoregressive mode (S = 1) there is
+/// nothing to split: the scheme degenerates to single-chip execution.
+///
+/// Because weights are replicated, the per-chip working set never
+/// shrinks: the residency regime is stuck at `streamed` for models that
+/// exceed one chip's L2 — the paper's core argument against replication.
+class ReplicatedSeqParallel {
+ public:
+  explicit ReplicatedSeqParallel(runtime::SystemConfig sys);
+
+  [[nodiscard]] BaselineReport run(const model::TransformerConfig& cfg, int n_chips,
+                                   model::Mode mode) const;
+
+ private:
+  runtime::SystemConfig sys_;
+};
+
+/// Pipeline parallelism in the style of PipeEdge [31] / Hermes [22]:
+/// contiguous layer ranges per chip. Each stage holds FULL blocks, so a
+/// block that exceeds L2 (TinyLlama: 6 MiB vs 2 MiB) is streamed no
+/// matter how many chips are added — intra-block sharding is what the
+/// paper's scheme adds. Single-request latency gains nothing from the
+/// pipeline (stages are sequential for one token); throughput does, but
+/// only with batch sizes wearables do not have (paper Sec. III-B).
+class PipelineParallel {
+ public:
+  explicit PipelineParallel(runtime::SystemConfig sys);
+
+  [[nodiscard]] BaselineReport run(const model::TransformerConfig& cfg, int n_chips,
+                                   model::Mode mode) const;
+
+  /// Steady-state pipelined throughput (blocks/s-equivalent period, in
+  /// cycles per block) with an unbounded request batch — the regime
+  /// PipeEdge/Hermes target.
+  [[nodiscard]] Cycles pipelined_period_cycles(const model::TransformerConfig& cfg,
+                                               int n_chips, model::Mode mode) const;
+
+ private:
+  runtime::SystemConfig sys_;
+};
+
+/// The paper's scheme, wrapped in the same report shape for the Table I
+/// bench.
+[[nodiscard]] BaselineReport run_tensor_parallel(const model::TransformerConfig& cfg,
+                                                 int n_chips, model::Mode mode,
+                                                 const runtime::SystemConfig& sys);
+
+}  // namespace distmcu::baselines
+
+#endif  // DISTMCU_BASELINES_BASELINES_HPP

@@ -1,0 +1,16 @@
+#include "chip/chip_config.hpp"
+
+namespace distmcu::chip {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::int8: return "int8";
+    case Precision::int16: return "int16";
+    case Precision::fp32: return "fp32";
+  }
+  return "?";
+}
+
+ChipConfig ChipConfig::siracusa() { return ChipConfig{}; }
+
+}  // namespace distmcu::chip

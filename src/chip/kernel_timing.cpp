@@ -1,0 +1,123 @@
+#include "chip/kernel_timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace distmcu::chip {
+
+namespace {
+[[nodiscard]] std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+Cycles KernelTiming::ceil_div_work(double work, double rate) const {
+  return static_cast<Cycles>(std::ceil(work / rate));
+}
+
+KernelCost KernelTiming::gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                              Precision op_precision, Bytes weight_elem_bytes,
+                              Bytes act_elem_bytes) const {
+  util::check(m > 0 && n > 0 && k > 0, "gemm dimensions must be positive");
+  const int cores = cfg_.cores;
+  const double mpc = cfg_.macs_per_cycle(op_precision);
+  const double per_out = static_cast<double>(k) / mpc + cfg_.out_elem_overhead;
+
+  // Parallelize over the larger output dimension; the ceil captures the
+  // imbalance when it is not a multiple of the core count.
+  std::int64_t outs_per_core = 0;
+  std::int64_t rows_per_core = 0;
+  if (m >= n) {
+    rows_per_core = ceil_div(m, cores);
+    outs_per_core = rows_per_core * n;
+  } else {
+    const std::int64_t cols_per_core = ceil_div(n, cores);
+    outs_per_core = cols_per_core * m;
+    rows_per_core = m;
+  }
+  const auto core_cycles = static_cast<Cycles>(
+      std::ceil(static_cast<double>(outs_per_core) * per_out)) +
+      static_cast<Cycles>(rows_per_core) * cfg_.row_overhead;
+
+  KernelCost cost;
+  cost.compute_cycles = core_cycles;
+  cost.overhead_cycles = cfg_.kernel_call_overhead + cfg_.barrier_overhead;
+  // Stationary operand (weights / KV slice) streams L2->L1 once; the
+  // activation input and output stream through L1 as well.
+  cost.l1_in_bytes = static_cast<Bytes>(n * k) * weight_elem_bytes +
+                     static_cast<Bytes>(m * k) * act_elem_bytes;
+  cost.l1_out_bytes = static_cast<Bytes>(m * n) * act_elem_bytes;
+  return cost;
+}
+
+KernelCost KernelTiming::softmax(std::int64_t rows, std::int64_t cols,
+                                 Bytes act_elem_bytes) const {
+  util::check(rows > 0 && cols > 0, "softmax dimensions must be positive");
+  const std::int64_t rows_per_core = ceil_div(rows, cfg_.cores);
+  KernelCost cost;
+  cost.compute_cycles = static_cast<Cycles>(
+      std::ceil(static_cast<double>(rows_per_core * cols) * cfg_.softmax_cycles_per_elem)) +
+      static_cast<Cycles>(rows_per_core) * cfg_.row_overhead;
+  cost.overhead_cycles = cfg_.kernel_call_overhead + cfg_.barrier_overhead;
+  cost.l1_in_bytes = static_cast<Bytes>(rows * cols) * act_elem_bytes;
+  cost.l1_out_bytes = static_cast<Bytes>(rows * cols) * act_elem_bytes;
+  return cost;
+}
+
+KernelCost KernelTiming::norm(std::int64_t rows, std::int64_t cols,
+                              Bytes act_elem_bytes) const {
+  util::check(rows > 0 && cols > 0, "norm dimensions must be positive");
+  const std::int64_t rows_per_core = ceil_div(rows, cfg_.cores);
+  KernelCost cost;
+  cost.compute_cycles = static_cast<Cycles>(
+      std::ceil(static_cast<double>(rows_per_core * cols) * cfg_.norm_cycles_per_elem)) +
+      static_cast<Cycles>(rows_per_core) * cfg_.row_overhead;
+  cost.overhead_cycles = cfg_.kernel_call_overhead + cfg_.barrier_overhead;
+  cost.l1_in_bytes = static_cast<Bytes>(rows * cols) * act_elem_bytes;
+  cost.l1_out_bytes = static_cast<Bytes>(rows * cols) * act_elem_bytes;
+  return cost;
+}
+
+KernelCost KernelTiming::elementwise(std::int64_t n, Bytes act_elem_bytes) const {
+  util::check(n > 0, "elementwise size must be positive");
+  const std::int64_t per_core = ceil_div(n, cfg_.cores);
+  KernelCost cost;
+  cost.compute_cycles =
+      ceil_div_work(static_cast<double>(per_core), cfg_.elementwise_ops_per_cycle);
+  cost.overhead_cycles = cfg_.kernel_call_overhead + cfg_.barrier_overhead;
+  cost.l1_in_bytes = static_cast<Bytes>(n) * act_elem_bytes;
+  cost.l1_out_bytes = static_cast<Bytes>(n) * act_elem_bytes;
+  return cost;
+}
+
+KernelCost KernelTiming::rope(std::int64_t rows, std::int64_t dim,
+                              Bytes act_elem_bytes) const {
+  util::check(rows > 0 && dim > 0, "rope dimensions must be positive");
+  const std::int64_t per_core = ceil_div(rows, cfg_.cores) * dim;
+  KernelCost cost;
+  cost.compute_cycles = static_cast<Cycles>(
+      std::ceil(static_cast<double>(per_core) * cfg_.rope_cycles_per_elem));
+  cost.overhead_cycles = cfg_.kernel_call_overhead + cfg_.barrier_overhead;
+  cost.l1_in_bytes = static_cast<Bytes>(rows * dim) * act_elem_bytes;
+  cost.l1_out_bytes = static_cast<Bytes>(rows * dim) * act_elem_bytes;
+  return cost;
+}
+
+KernelCost KernelTiming::accumulate(std::int64_t n, Bytes act_elem_bytes) const {
+  util::check(n > 0, "accumulate size must be positive");
+  const std::int64_t per_core = ceil_div(n, cfg_.cores);
+  KernelCost cost;
+  cost.compute_cycles =
+      ceil_div_work(static_cast<double>(per_core), cfg_.accumulate_elems_per_cycle);
+  // Accumulation happens inside the collective; it does not pay a full
+  // kernel-launch overhead (the cluster is already spinning on the
+  // reduce), only a barrier.
+  cost.overhead_cycles = cfg_.barrier_overhead;
+  cost.l1_in_bytes = static_cast<Bytes>(2 * n) * act_elem_bytes;
+  cost.l1_out_bytes = static_cast<Bytes>(n) * act_elem_bytes;
+  return cost;
+}
+
+}  // namespace distmcu::chip

@@ -1,0 +1,80 @@
+#ifndef DISTMCU_CHIP_KERNEL_TIMING_HPP
+#define DISTMCU_CHIP_KERNEL_TIMING_HPP
+
+#include <cstdint>
+
+#include "chip/chip_config.hpp"
+#include "util/units.hpp"
+
+namespace distmcu::chip {
+
+/// Cost of one kernel launch on the cluster, split the way the timed
+/// runtime needs it:
+///  - `compute_cycles`: pure core-active time (drives the P*T_comp energy
+///    term and overlaps with tile DMA),
+///  - `overhead_cycles`: kernel call + barrier (not overlappable),
+///  - `l1_in_bytes` / `l1_out_bytes`: L2<->L1 tile traffic implied by the
+///    kernel's operands (streamed through L1 by the cluster DMA).
+struct KernelCost {
+  Cycles compute_cycles = 0;
+  Cycles overhead_cycles = 0;
+  Bytes l1_in_bytes = 0;
+  Bytes l1_out_bytes = 0;
+
+  [[nodiscard]] Bytes l1_bytes() const { return l1_in_bytes + l1_out_bytes; }
+};
+
+/// Analytic cycle model for the kernels of a Transformer block on one
+/// Siracusa cluster. The model is deliberately simple and fully
+/// documented so every constant can be ablated:
+///
+///   per-output-element cost = K / macs_per_cycle + out_elem_overhead
+///   per-core work           = ceil over the parallelized dimension
+///   kernel total            = call_overhead + core work + barrier
+///
+/// Work is parallelized across the 8 cores over the larger of the two
+/// output dimensions (rows for GEMM, output channels for GEMV), matching
+/// how PULP kernels split work. The ceil-based split captures the
+/// utilization cliff when a partitioned kernel's dimension drops below
+/// the core count — the cause of the paper's sub-linear kernel scaling.
+class KernelTiming {
+ public:
+  explicit KernelTiming(const TimingConfig& cfg) : cfg_(cfg) {}
+
+  /// C[M,N] = A[M,K] * B[K,N]; B is the stationary operand ("weights").
+  /// `weight_bytes_per_elem` controls traffic, `acc_precision` the MAC
+  /// throughput. GEMV is the M == 1 case.
+  [[nodiscard]] KernelCost gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                                Precision op_precision, Bytes weight_elem_bytes,
+                                Bytes act_elem_bytes) const;
+
+  /// Row-wise softmax over an [rows, cols] tensor.
+  [[nodiscard]] KernelCost softmax(std::int64_t rows, std::int64_t cols,
+                                   Bytes act_elem_bytes) const;
+
+  /// RMSNorm / LayerNorm over [rows, cols].
+  [[nodiscard]] KernelCost norm(std::int64_t rows, std::int64_t cols,
+                                Bytes act_elem_bytes) const;
+
+  /// Element-wise map (GELU/SiLU/residual add) over n elements.
+  [[nodiscard]] KernelCost elementwise(std::int64_t n, Bytes act_elem_bytes) const;
+
+  /// Rotary position embedding over [rows, dim].
+  [[nodiscard]] KernelCost rope(std::int64_t rows, std::int64_t dim,
+                                Bytes act_elem_bytes) const;
+
+  /// Accumulation of a partial-sum buffer during the hierarchical
+  /// reduce: n elements added into a local buffer.
+  [[nodiscard]] KernelCost accumulate(std::int64_t n, Bytes act_elem_bytes) const;
+
+  [[nodiscard]] const TimingConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] Cycles ceil_div_work(double work, double rate) const;
+
+  TimingConfig cfg_;
+};
+
+}  // namespace distmcu::chip
+
+#endif  // DISTMCU_CHIP_KERNEL_TIMING_HPP

@@ -1,0 +1,26 @@
+#include "energy/energy_model.hpp"
+
+namespace distmcu::energy {
+
+EnergyModel::EnergyModel(chip::ChipConfig chip_cfg, noc::LinkConfig link)
+    : chip_(std::move(chip_cfg)), link_(link) {}
+
+EnergyBreakdown EnergyModel::compute(const runtime::RunReport& report) const {
+  EnergyBreakdown e;
+  // P[mW] * t[s] = mJ; *1e9 -> pJ.
+  const double p_mw = chip_.active_power_mw();
+  for (const Cycles t : report.t_comp) {
+    const double seconds = util::cycles_to_s(t, chip_.freq_hz);
+    e.core += p_mw * seconds * 1e9;
+  }
+  e.l3 = static_cast<double>(report.traffic.l3_l2) * chip_.e_l3_pj_per_byte;
+  e.l2 = static_cast<double>(report.traffic.l2_l1) * chip_.e_l2_pj_per_byte;
+  e.c2c = static_cast<double>(report.traffic.c2c) * link_.energy_pj_per_byte;
+  return e;
+}
+
+double EnergyModel::edp_mj_ms(const EnergyBreakdown& energy, Cycles cycles) const {
+  return energy.total_mj() * util::cycles_to_ms(cycles, chip_.freq_hz);
+}
+
+}  // namespace distmcu::energy

@@ -1,0 +1,52 @@
+#ifndef DISTMCU_ENERGY_ENERGY_MODEL_HPP
+#define DISTMCU_ENERGY_ENERGY_MODEL_HPP
+
+#include "chip/chip_config.hpp"
+#include "noc/topology.hpp"
+#include "runtime/timed_simulation.hpp"
+#include "util/units.hpp"
+
+namespace distmcu::energy {
+
+/// Per-component energy of one simulated execution, in picojoules —
+/// the terms of the paper's Sec. V-A equation:
+///
+///   E_total = N_C2C * E_C2C
+///           + sum_j [ P * T_comp,j
+///                   + N_L3<->L2,j * E_L3<->L2
+///                   + N_L2<->L1,j * E_L2<->L1 ]
+struct EnergyBreakdown {
+  PicoJoules core = 0;  // P * T_comp summed over chips
+  PicoJoules l3 = 0;    // off-chip accesses (100 pJ/B)
+  PicoJoules l2 = 0;    // L2<->L1 tile traffic (2 pJ/B)
+  PicoJoules c2c = 0;   // MIPI link traffic (100 pJ/B)
+
+  [[nodiscard]] PicoJoules total() const { return core + l3 + l2 + c2c; }
+  [[nodiscard]] double total_mj() const { return util::pj_to_mj(total()); }
+  [[nodiscard]] double total_uj() const { return util::pj_to_uj(total()); }
+};
+
+/// Evaluates the paper's analytical energy model on a RunReport.
+/// P is the active cluster power (8 cores x 13 mW) applied to each
+/// chip's compute-active time only — DMA stalls are not charged, exactly
+/// as the equation is written (see DESIGN.md "Calibration decisions").
+class EnergyModel {
+ public:
+  EnergyModel(chip::ChipConfig chip_cfg, noc::LinkConfig link);
+
+  [[nodiscard]] EnergyBreakdown compute(const runtime::RunReport& report) const;
+
+  /// Energy-Delay Product in mJ*ms — the paper's abstract metric
+  /// (27.2x improvement at 8 chips).
+  [[nodiscard]] double edp_mj_ms(const EnergyBreakdown& energy, Cycles cycles) const;
+
+  [[nodiscard]] const chip::ChipConfig& chip() const { return chip_; }
+
+ private:
+  chip::ChipConfig chip_;
+  noc::LinkConfig link_;
+};
+
+}  // namespace distmcu::energy
+
+#endif  // DISTMCU_ENERGY_ENERGY_MODEL_HPP

@@ -1,0 +1,49 @@
+#include "kernels/attention.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "kernels/gemm.hpp"
+#include "kernels/ops.hpp"
+#include "util/check.hpp"
+
+namespace distmcu::kernels {
+
+void attention_head(std::span<const float> q, std::span<const float> k,
+                    std::span<const float> v, std::span<float> out, int s_q,
+                    int s_kv, int p, bool causal, int pos_offset) {
+  util::check(s_q > 0 && s_kv > 0 && p > 0, "attention: dimensions must be positive");
+  util::check(q.size() == static_cast<std::size_t>(s_q) * static_cast<std::size_t>(p),
+              "attention: Q size mismatch");
+  util::check(k.size() == static_cast<std::size_t>(s_kv) * static_cast<std::size_t>(p),
+              "attention: K size mismatch");
+  util::check(v.size() == k.size(), "attention: V size mismatch");
+  util::check(out.size() == q.size(), "attention: out size mismatch");
+
+  std::vector<float> scores(static_cast<std::size_t>(s_q) * static_cast<std::size_t>(s_kv));
+  gemm_nt(q, k, scores, s_q, s_kv, p);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(p));
+  for (float& s : scores) s *= scale;
+
+  if (causal) {
+    constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+    for (int i = 0; i < s_q; ++i) {
+      float* row = scores.data() + static_cast<std::size_t>(i) * s_kv;
+      for (int j = pos_offset + i + 1; j < s_kv; ++j) row[static_cast<std::size_t>(j)] = kNegInf;
+    }
+  }
+  softmax_rows(scores, s_q, s_kv);
+  gemm(scores, v, out, s_q, p, s_kv);
+}
+
+void attention_head_ar(std::span<const float> q, std::span<const float> k,
+                       std::span<const float> v, std::span<float> out, int s_kv,
+                       int p) {
+  // A single query attending to the full cache: causality is implied by
+  // the cache containing only past positions.
+  attention_head(q, k, v, out, /*s_q=*/1, s_kv, p, /*causal=*/false, /*pos_offset=*/0);
+}
+
+}  // namespace distmcu::kernels

@@ -1,0 +1,28 @@
+#ifndef DISTMCU_KERNELS_ATTENTION_HPP
+#define DISTMCU_KERNELS_ATTENTION_HPP
+
+#include <span>
+
+namespace distmcu::kernels {
+
+/// Single-head scaled dot-product attention for prompt mode (paper
+/// Eq. 2): Q [s_q, p], K/V [s_kv, p], output [s_q, p].
+///
+/// When `causal` is true, query row i may attend to key positions
+/// 0 .. (pos_offset + i); `pos_offset` is the absolute position of the
+/// first query row (non-zero when a prompt is processed with an existing
+/// KV cache prefix).
+void attention_head(std::span<const float> q, std::span<const float> k,
+                    std::span<const float> v, std::span<float> out, int s_q,
+                    int s_kv, int p, bool causal, int pos_offset);
+
+/// Single-head single-query attention for autoregressive mode: q [p],
+/// K/V hold `s_kv` cached positions, output [p]. This is the GEMV-shaped
+/// kernel that dominates the paper's autoregressive workload.
+void attention_head_ar(std::span<const float> q, std::span<const float> k,
+                       std::span<const float> v, std::span<float> out, int s_kv,
+                       int p);
+
+}  // namespace distmcu::kernels
+
+#endif  // DISTMCU_KERNELS_ATTENTION_HPP

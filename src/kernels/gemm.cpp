@@ -1,0 +1,60 @@
+#include "kernels/gemm.hpp"
+
+#include "util/check.hpp"
+
+namespace distmcu::kernels {
+
+namespace {
+void check_sizes(std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, int m, int n, int k, std::size_t b_expected) {
+  util::check(m > 0 && n > 0 && k > 0, "gemm: dimensions must be positive");
+  util::check(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(k),
+              "gemm: A size mismatch");
+  util::check(b.size() == b_expected, "gemm: B size mismatch");
+  util::check(c.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+              "gemm: C size mismatch");
+}
+}  // namespace
+
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          int m, int n, int k, std::span<const float> bias) {
+  check_sizes(a, b, c, m, n, k,
+              static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+  util::check(bias.empty() || bias.size() == static_cast<std::size_t>(n),
+              "gemm: bias size mismatch");
+  for (int i = 0; i < m; ++i) {
+    float* crow = c.data() + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) crow[j] = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(j)];
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    // k-outer loop keeps B accesses sequential (row-major [K,N]).
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float> c,
+             int m, int n, int k) {
+  check_sizes(a, b, c, m, n, k,
+              static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    float* crow = c.data() + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.data() + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemv(std::span<const float> x, std::span<const float> b, std::span<float> out,
+          int n, int k, std::span<const float> bias) {
+  gemm(x, b, out, 1, n, k, bias);
+}
+
+}  // namespace distmcu::kernels

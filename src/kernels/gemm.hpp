@@ -1,0 +1,25 @@
+#ifndef DISTMCU_KERNELS_GEMM_HPP
+#define DISTMCU_KERNELS_GEMM_HPP
+
+#include <span>
+
+namespace distmcu::kernels {
+
+/// C[M,N] = A[M,K] * B[K,N] (+ bias broadcast over rows when given).
+/// All tensors row-major. This is the functional reference used for
+/// numeric validation; performance on the simulated platform comes from
+/// chip::KernelTiming, not from this host implementation.
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          int m, int n, int k, std::span<const float> bias = {});
+
+/// C[M,N] = A[M,K] * B^T where B is [N,K] row-major (the Q*K^T pattern).
+void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float> c,
+             int m, int n, int k);
+
+/// out[N] = x[K] * B[K,N] — the GEMV that dominates autoregressive mode.
+void gemv(std::span<const float> x, std::span<const float> b, std::span<float> out,
+          int n, int k, std::span<const float> bias = {});
+
+}  // namespace distmcu::kernels
+
+#endif  // DISTMCU_KERNELS_GEMM_HPP

@@ -1,0 +1,96 @@
+#include "kernels/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace distmcu::kernels {
+
+void softmax_rows(std::span<float> x, int rows, int cols) {
+  util::check(rows > 0 && cols > 0, "softmax: dimensions must be positive");
+  util::check(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              "softmax: size mismatch");
+  for (int r = 0; r < rows; ++r) {
+    float* row = x.data() + static_cast<std::size_t>(r) * cols;
+    const float mx = *std::max_element(row, row + cols);
+    float sum = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (int c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+void rmsnorm_rows(std::span<const float> x, std::span<const float> gamma,
+                  std::span<float> out, int rows, int cols, float eps) {
+  util::check(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              "rmsnorm: size mismatch");
+  util::check(gamma.size() == static_cast<std::size_t>(cols), "rmsnorm: gamma size mismatch");
+  util::check(out.size() == x.size(), "rmsnorm: out size mismatch");
+  for (int r = 0; r < rows; ++r) {
+    const float* xi = x.data() + static_cast<std::size_t>(r) * cols;
+    float* oi = out.data() + static_cast<std::size_t>(r) * cols;
+    float ss = 0.0f;
+    for (int c = 0; c < cols; ++c) ss += xi[c] * xi[c];
+    const float scale = 1.0f / std::sqrt(ss / static_cast<float>(cols) + eps);
+    for (int c = 0; c < cols; ++c) oi[c] = xi[c] * scale * gamma[static_cast<std::size_t>(c)];
+  }
+}
+
+void layernorm_rows(std::span<const float> x, std::span<const float> gamma,
+                    std::span<const float> beta, std::span<float> out, int rows,
+                    int cols, float eps) {
+  util::check(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              "layernorm: size mismatch");
+  util::check(gamma.size() == static_cast<std::size_t>(cols) &&
+                  beta.size() == static_cast<std::size_t>(cols),
+              "layernorm: param size mismatch");
+  util::check(out.size() == x.size(), "layernorm: out size mismatch");
+  for (int r = 0; r < rows; ++r) {
+    const float* xi = x.data() + static_cast<std::size_t>(r) * cols;
+    float* oi = out.data() + static_cast<std::size_t>(r) * cols;
+    float mean = 0.0f;
+    for (int c = 0; c < cols; ++c) mean += xi[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float d = xi[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (int c = 0; c < cols; ++c) {
+      oi[c] = (xi[c] - mean) * inv * gamma[static_cast<std::size_t>(c)] +
+              beta[static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+void gelu(std::span<float> x) {
+  for (float& v : x) {
+    v = 0.5f * v * (1.0f + std::erf(v * 0.70710678118654752440f));
+  }
+}
+
+void silu(std::span<float> x) {
+  for (float& v : x) v = v / (1.0f + std::exp(-v));
+}
+
+void relu(std::span<float> x) {
+  for (float& v : x) v = std::max(v, 0.0f);
+}
+
+void add_inplace(std::span<float> out, std::span<const float> x) {
+  util::check(out.size() == x.size(), "add_inplace: size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += x[i];
+}
+
+void mul_inplace(std::span<float> out, std::span<const float> x) {
+  util::check(out.size() == x.size(), "mul_inplace: size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= x[i];
+}
+
+}  // namespace distmcu::kernels

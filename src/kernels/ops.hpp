@@ -1,0 +1,35 @@
+#ifndef DISTMCU_KERNELS_OPS_HPP
+#define DISTMCU_KERNELS_OPS_HPP
+
+#include <span>
+
+namespace distmcu::kernels {
+
+/// Row-wise numerically stable softmax over an [rows, cols] tensor,
+/// in place (paper Eq. 3: max-subtracted exponentials).
+void softmax_rows(std::span<float> x, int rows, int cols);
+
+/// RMSNorm (Llama family): out = x / rms(x) * gamma, row-wise.
+/// `x` and `out` may alias.
+void rmsnorm_rows(std::span<const float> x, std::span<const float> gamma,
+                  std::span<float> out, int rows, int cols, float eps);
+
+/// LayerNorm (BERT family): out = (x - mean) / sqrt(var + eps) * gamma + beta.
+void layernorm_rows(std::span<const float> x, std::span<const float> gamma,
+                    std::span<const float> beta, std::span<float> out, int rows,
+                    int cols, float eps);
+
+/// Element-wise activations, in place.
+void gelu(std::span<float> x);   // exact erf formulation [19]
+void silu(std::span<float> x);
+void relu(std::span<float> x);
+
+/// out[i] += x[i]
+void add_inplace(std::span<float> out, std::span<const float> x);
+
+/// out[i] *= x[i]
+void mul_inplace(std::span<float> out, std::span<const float> x);
+
+}  // namespace distmcu::kernels
+
+#endif  // DISTMCU_KERNELS_OPS_HPP

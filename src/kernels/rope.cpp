@@ -1,0 +1,32 @@
+#include "kernels/rope.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace distmcu::kernels {
+
+void rope_apply(std::span<float> x, int n_pos, int head_dim, int pos_offset,
+                float base) {
+  util::check(n_pos > 0 && head_dim > 0, "rope: dimensions must be positive");
+  util::check(head_dim % 2 == 0, "rope: head_dim must be even");
+  util::check(x.size() == static_cast<std::size_t>(n_pos) * static_cast<std::size_t>(head_dim),
+              "rope: size mismatch");
+  for (int i = 0; i < n_pos; ++i) {
+    const auto pos = static_cast<float>(pos_offset + i);
+    float* row = x.data() + static_cast<std::size_t>(i) * head_dim;
+    for (int j = 0; j < head_dim; j += 2) {
+      const float freq =
+          std::pow(base, -static_cast<float>(j) / static_cast<float>(head_dim));
+      const float angle = pos * freq;
+      const float c = std::cos(angle);
+      const float s = std::sin(angle);
+      const float x0 = row[j];
+      const float x1 = row[j + 1];
+      row[j] = x0 * c - x1 * s;
+      row[j + 1] = x0 * s + x1 * c;
+    }
+  }
+}
+
+}  // namespace distmcu::kernels

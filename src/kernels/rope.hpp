@@ -1,0 +1,21 @@
+#ifndef DISTMCU_KERNELS_ROPE_HPP
+#define DISTMCU_KERNELS_ROPE_HPP
+
+#include <span>
+
+namespace distmcu::kernels {
+
+/// Rotary position embedding (Llama family) applied in place to one
+/// head's rows: `x` is [n_pos, head_dim] row-major, where row i holds the
+/// features of absolute position `pos_offset + i`. Pairs (2j, 2j+1) are
+/// rotated by angle pos / base^(2j/head_dim).
+///
+/// RoPE is applied per head and depends only on that head's features, so
+/// it is fully chip-local under the head-dimension partitioning — no
+/// extra communication, a property the partition tests assert.
+void rope_apply(std::span<float> x, int n_pos, int head_dim, int pos_offset,
+                float base);
+
+}  // namespace distmcu::kernels
+
+#endif  // DISTMCU_KERNELS_ROPE_HPP

@@ -1,0 +1,14 @@
+#include "mem/memory_level.hpp"
+
+namespace distmcu::mem {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::l1: return "L1";
+    case Tier::l2: return "L2";
+    case Tier::l3: return "L3";
+  }
+  return "?";
+}
+
+}  // namespace distmcu::mem

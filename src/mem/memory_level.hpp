@@ -1,0 +1,32 @@
+#ifndef DISTMCU_MEM_MEMORY_LEVEL_HPP
+#define DISTMCU_MEM_MEMORY_LEVEL_HPP
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace distmcu::mem {
+
+/// Identifier for the three memory tiers of the Siracusa platform
+/// (paper Sec. II-B): L1 TCDM inside the cluster, L2 on-chip SRAM, and L3
+/// off-chip memory behind the chip I/O.
+enum class Tier : int { l1 = 1, l2 = 2, l3 = 3 };
+
+[[nodiscard]] const char* tier_name(Tier t);
+
+/// Static description of one memory tier on one chip: capacity and the
+/// per-byte access energy used by the paper's analytical energy model
+/// (100 pJ/B for L3, 2 pJ/B for L2; L1 access energy is folded into the
+/// cluster's active power, matching the paper's equation which has no L1
+/// term).
+struct MemoryLevel {
+  Tier tier = Tier::l2;
+  Bytes size = 0;                    // capacity (L3: effectively unbounded)
+  double energy_pj_per_byte = 0.0;   // per-byte access energy
+
+  [[nodiscard]] std::string name() const { return tier_name(tier); }
+};
+
+}  // namespace distmcu::mem
+
+#endif  // DISTMCU_MEM_MEMORY_LEVEL_HPP

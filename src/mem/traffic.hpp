@@ -1,0 +1,34 @@
+#ifndef DISTMCU_MEM_TRAFFIC_HPP
+#define DISTMCU_MEM_TRAFFIC_HPP
+
+#include "util/units.hpp"
+
+namespace distmcu::mem {
+
+/// Byte counters for every data-movement class that appears in the
+/// paper's energy equation: N_L3<->L2, N_L2<->L1 (per chip) and N_C2C
+/// (system-wide). The timed simulation fills one counter per chip plus a
+/// system counter; the energy model consumes them directly.
+struct TrafficCounter {
+  Bytes l3_l2 = 0;   // off-chip <-> L2 (both directions summed)
+  Bytes l2_l1 = 0;   // L2 <-> L1 tile traffic
+  Bytes c2c = 0;     // chip-to-chip link traffic
+
+  TrafficCounter& operator+=(const TrafficCounter& other) {
+    l3_l2 += other.l3_l2;
+    l2_l1 += other.l2_l1;
+    c2c += other.c2c;
+    return *this;
+  }
+
+  [[nodiscard]] friend TrafficCounter operator+(TrafficCounter a, const TrafficCounter& b) {
+    a += b;
+    return a;
+  }
+
+  [[nodiscard]] bool operator==(const TrafficCounter&) const = default;
+};
+
+}  // namespace distmcu::mem
+
+#endif  // DISTMCU_MEM_TRAFFIC_HPP

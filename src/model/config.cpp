@@ -1,0 +1,89 @@
+#include "model/config.hpp"
+
+#include "util/check.hpp"
+
+namespace distmcu::model {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::autoregressive: return "autoregressive";
+    case Mode::prompt: return "prompt";
+  }
+  return "?";
+}
+
+std::uint64_t TransformerConfig::block_weight_elems() const {
+  const auto e = static_cast<std::uint64_t>(embed_dim);
+  const auto f = static_cast<std::uint64_t>(ffn_dim);
+  const auto ph = static_cast<std::uint64_t>(proj_dim());
+  const std::uint64_t ffn_mats = ffn == FfnKind::swiglu ? 3 : 2;
+  return 4 * e * ph + ffn_mats * e * f;
+}
+
+std::uint64_t TransformerConfig::block_norm_elems() const {
+  const auto e = static_cast<std::uint64_t>(embed_dim);
+  const std::uint64_t per_norm = norm == NormKind::layernorm ? 2 * e : e;
+  return 2 * per_norm;  // two norms per block
+}
+
+void TransformerConfig::validate() const {
+  util::check(embed_dim > 0 && ffn_dim > 0 && num_heads > 0 && head_dim > 0 &&
+                  num_layers > 0,
+              "TransformerConfig: dimensions must be positive");
+  util::check(vocab_size > 0, "TransformerConfig: vocab_size must be positive");
+  util::check(ar_context > 0 && prompt_len > 0,
+              "TransformerConfig: sequence parameters must be positive");
+  util::check(head_dim % 2 == 0 || pos != PosEmbed::rope,
+              "TransformerConfig: RoPE requires an even head_dim");
+}
+
+TransformerConfig TransformerConfig::tiny_llama_42m() {
+  TransformerConfig cfg;
+  cfg.name = "tinyllama-42m";
+  cfg.embed_dim = 512;
+  cfg.ffn_dim = 2048;
+  cfg.num_heads = 8;
+  cfg.head_dim = 64;
+  cfg.num_layers = 8;
+  cfg.vocab_size = 32000;
+  cfg.ar_context = 128;
+  cfg.prompt_len = 16;
+  cfg.norm = NormKind::rmsnorm;
+  cfg.act = Activation::gelu;
+  cfg.pos = PosEmbed::rope;
+  cfg.mask = MaskKind::causal;
+  cfg.validate();
+  return cfg;
+}
+
+TransformerConfig TransformerConfig::mobile_bert() {
+  TransformerConfig cfg;
+  cfg.name = "mobilebert";
+  cfg.embed_dim = 512;
+  cfg.ffn_dim = 512;
+  cfg.num_heads = 4;
+  cfg.head_dim = 128;
+  cfg.num_layers = 24;
+  cfg.vocab_size = 30522;
+  cfg.ar_context = 268;
+  cfg.prompt_len = 268;
+  cfg.norm = NormKind::layernorm;
+  cfg.act = Activation::gelu;
+  cfg.pos = PosEmbed::none;
+  cfg.mask = MaskKind::bidirectional;
+  cfg.validate();
+  return cfg;
+}
+
+TransformerConfig TransformerConfig::tiny_llama_scaled(int heads) {
+  TransformerConfig cfg = tiny_llama_42m();
+  util::check(heads > 0 && cfg.proj_dim() % heads == 0,
+              "tiny_llama_scaled: heads must divide P*H = 512");
+  cfg.name = "tinyllama-scaled-" + std::to_string(heads) + "h";
+  cfg.head_dim = cfg.proj_dim() / heads;  // keep P*H constant first
+  cfg.num_heads = heads;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace distmcu::model

@@ -1,0 +1,88 @@
+#ifndef DISTMCU_MODEL_CONFIG_HPP
+#define DISTMCU_MODEL_CONFIG_HPP
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace distmcu::model {
+
+enum class NormKind { rmsnorm, layernorm };
+enum class Activation { gelu, silu, relu };
+
+/// Feed-forward variant: the paper describes the classic two-matrix MLP
+/// (Sec. II-A); `swiglu` is the gated three-matrix FFN the Llama family
+/// actually ships with — supported to show the F-dimension split carries
+/// over unchanged (both W1 and W3 shard along F, W2 along its rows).
+enum class FfnKind { mlp, swiglu };
+enum class PosEmbed { rope, none };
+enum class MaskKind { causal, bidirectional };
+
+/// Inference mode (paper Sec. II-A): autoregressive decodes one token
+/// against a KV-cache (GEMV-dominated, memory-bound); prompt processes a
+/// full sequence at once (GEMM-dominated, compute-bound).
+enum class Mode { autoregressive, prompt };
+
+[[nodiscard]] const char* mode_name(Mode m);
+
+/// Architecture hyper-parameters of a Transformer in the paper's
+/// notation (Sec. II-A): embedding dim E, intermediate (FFN) dim F, H
+/// heads of projection dim P each, with P*H the total projection width.
+struct TransformerConfig {
+  std::string name = "transformer";
+  int embed_dim = 512;     // E
+  int ffn_dim = 2048;      // F
+  int num_heads = 8;       // H
+  int head_dim = 64;       // P
+  int num_layers = 8;
+  int vocab_size = 32000;
+
+  // Sequence parameters used by the paper's experiments: autoregressive
+  // mode decodes one token against `ar_context` cached positions; prompt
+  // mode processes `prompt_len` tokens at once.
+  int ar_context = 128;
+  int prompt_len = 16;
+
+  NormKind norm = NormKind::rmsnorm;
+  Activation act = Activation::gelu;
+  FfnKind ffn = FfnKind::mlp;
+  PosEmbed pos = PosEmbed::rope;
+  MaskKind mask = MaskKind::causal;
+  // Post-norm follows the paper's Fig. 3 (Norm applied to the all-reduced
+  // sublayer output on a single chip); pre-norm (Llama-style) is also
+  // supported — it only moves which tensor the root normalizes and
+  // broadcasts, not the number of synchronizations.
+  bool pre_norm = false;
+
+  float norm_eps = 1e-5f;
+  float rope_base = 10000.0f;
+
+  /// Total projection width P*H.
+  [[nodiscard]] int proj_dim() const { return num_heads * head_dim; }
+
+  /// Weight elements of one Transformer block:
+  /// WQ/WK/WV [E, P*H], WO [P*H, E], W1 [E, F], W2 [F, E]
+  /// (+ the gate W3 [E, F] for SwiGLU).
+  [[nodiscard]] std::uint64_t block_weight_elems() const;
+
+  /// Norm parameter elements per block (replicated on the root only).
+  [[nodiscard]] std::uint64_t block_norm_elems() const;
+
+  /// Throws distmcu::Error when inconsistent.
+  void validate() const;
+
+  /// TinyLlama-42M as deployed by the paper (Sec. V-A): E=512, F=2048,
+  /// 8 heads, 8 layers, S=128 autoregressive / 16 prompt.
+  [[nodiscard]] static TransformerConfig tiny_llama_42m();
+
+  /// MobileBERT as deployed by the paper: E=F=512, 4 heads, S=268.
+  [[nodiscard]] static TransformerConfig mobile_bert();
+
+  /// The scalability-study variant (Sec. V-C): heads raised to 64 with
+  /// all other parameters unchanged (head_dim shrinks to keep P*H = E).
+  [[nodiscard]] static TransformerConfig tiny_llama_scaled(int heads = 64);
+};
+
+}  // namespace distmcu::model
+
+#endif  // DISTMCU_MODEL_CONFIG_HPP

@@ -1,0 +1,51 @@
+#include "model/embedding.hpp"
+
+#include <cmath>
+
+#include "kernels/gemm.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace distmcu::model {
+
+Embedding::Embedding(const TransformerConfig& cfg, std::uint64_t seed)
+    : table_(cfg.vocab_size, cfg.embed_dim) {
+  util::Rng rng(seed ^ 0xe5b5u);
+  table_.random_init(rng, 1.0f / std::sqrt(static_cast<float>(cfg.embed_dim)));
+}
+
+Tensor Embedding::lookup(const std::vector<int>& ids) const {
+  util::check(!ids.empty(), "Embedding::lookup: empty id list");
+  Tensor out(static_cast<int>(ids.size()), table_.cols());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    util::check(ids[i] >= 0 && ids[i] < table_.rows(),
+                "Embedding::lookup: id out of vocabulary");
+    const auto src = table_.row(ids[i]);
+    auto dst = out.row(static_cast<int>(i));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+Tensor Embedding::logits(const Tensor& x) const {
+  util::check(x.cols() == table_.cols(), "Embedding::logits: width mismatch");
+  Tensor out(x.rows(), table_.rows());
+  kernels::gemm_nt(x.span(), table_.span(), out.span(), x.rows(), table_.rows(),
+                   x.cols());
+  return out;
+}
+
+int Embedding::greedy_next(const Tensor& x) const {
+  const Tensor lg = logits(x.slice_rows(x.rows() - 1, x.rows()));
+  int best = 0;
+  float best_v = lg.at(0, 0);
+  for (int v = 1; v < lg.cols(); ++v) {
+    if (lg.at(0, v) > best_v) {
+      best_v = lg.at(0, v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace distmcu::model

@@ -1,0 +1,45 @@
+#include "model/kv_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace distmcu::model {
+
+KvCache::KvCache(int max_positions, int dim)
+    : max_positions_(max_positions), dim_(dim), k_store_(max_positions, dim),
+      v_store_(max_positions, dim) {
+  util::check(max_positions > 0 && dim > 0, "KvCache: dimensions must be positive");
+}
+
+void KvCache::append(std::span<const float> k, std::span<const float> v) {
+  util::check(length_ < max_positions_, "KvCache: capacity exceeded");
+  util::check(k.size() == static_cast<std::size_t>(dim_) &&
+                  v.size() == static_cast<std::size_t>(dim_),
+              "KvCache: row size mismatch");
+  std::copy(k.begin(), k.end(), k_store_.row(length_).begin());
+  std::copy(v.begin(), v.end(), v_store_.row(length_).begin());
+  ++length_;
+}
+
+std::span<const float> KvCache::k() const {
+  return k_store_.span().subspan(0, static_cast<std::size_t>(length_) *
+                                        static_cast<std::size_t>(dim_));
+}
+
+std::span<const float> KvCache::v() const {
+  return v_store_.span().subspan(0, static_cast<std::size_t>(length_) *
+                                        static_cast<std::size_t>(dim_));
+}
+
+Tensor KvCache::k_slice(int c0, int c1) const {
+  util::check(length_ > 0, "KvCache::k_slice: cache is empty");
+  return k_store_.slice_rows(0, length_).slice_cols(c0, c1);
+}
+
+Tensor KvCache::v_slice(int c0, int c1) const {
+  util::check(length_ > 0, "KvCache::v_slice: cache is empty");
+  return v_store_.slice_rows(0, length_).slice_cols(c0, c1);
+}
+
+}  // namespace distmcu::model

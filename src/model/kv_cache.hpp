@@ -1,0 +1,55 @@
+#ifndef DISTMCU_MODEL_KV_CACHE_HPP
+#define DISTMCU_MODEL_KV_CACHE_HPP
+
+#include <span>
+#include <vector>
+
+#include "model/tensor.hpp"
+
+namespace distmcu::model {
+
+/// Key/Value cache for one layer (paper Sec. II-A): stores the projected
+/// K and V rows of all past positions so autoregressive decoding avoids
+/// recomputation. `dim` is P*H for the reference model or the per-chip
+/// slice P*H/N under the head partitioning — the cache itself is
+/// partition-agnostic.
+class KvCache {
+ public:
+  KvCache(int max_positions, int dim);
+
+  /// Append one position's k and v rows (each of length dim).
+  void append(std::span<const float> k, std::span<const float> v);
+
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] int capacity() const { return max_positions_; }
+
+  /// Contiguous [length, dim] views of the filled prefix.
+  [[nodiscard]] std::span<const float> k() const;
+  [[nodiscard]] std::span<const float> v() const;
+
+  /// Column-slice copies for one head (or head range) of the filled
+  /// prefix: [length, c1-c0].
+  [[nodiscard]] Tensor k_slice(int c0, int c1) const;
+  [[nodiscard]] Tensor v_slice(int c0, int c1) const;
+
+  void reset() { length_ = 0; }
+
+  /// Bytes this cache occupies at `elem_bytes` per element, for the full
+  /// capacity (what the memory planner must reserve).
+  [[nodiscard]] Bytes capacity_bytes(Bytes elem_bytes) const {
+    return 2ull * static_cast<Bytes>(max_positions_) * static_cast<Bytes>(dim_) *
+           elem_bytes;
+  }
+
+ private:
+  int max_positions_;
+  int dim_;
+  int length_ = 0;
+  Tensor k_store_;
+  Tensor v_store_;
+};
+
+}  // namespace distmcu::model
+
+#endif  // DISTMCU_MODEL_KV_CACHE_HPP

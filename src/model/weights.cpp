@@ -1,0 +1,60 @@
+#include "model/weights.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace distmcu::model {
+
+Weights::Weights(const TransformerConfig& cfg, std::uint64_t seed) : cfg_(cfg) {
+  cfg_.validate();
+  util::Rng rng(seed);
+  const int e = cfg_.embed_dim;
+  const int f = cfg_.ffn_dim;
+  const int ph = cfg_.proj_dim();
+  // 1/sqrt(fan-in) keeps activations O(1) through deep stacks, which in
+  // turn keeps the quantized path's scales healthy.
+  const float proj_scale = 1.0f / std::sqrt(static_cast<float>(e));
+  const float w2_scale = 1.0f / std::sqrt(static_cast<float>(f));
+
+  layers_.reserve(static_cast<std::size_t>(cfg_.num_layers));
+  for (int l = 0; l < cfg_.num_layers; ++l) {
+    LayerWeights w;
+    w.wq = Tensor(e, ph);
+    w.wk = Tensor(e, ph);
+    w.wv = Tensor(e, ph);
+    w.wo = Tensor(ph, e);
+    w.w1 = Tensor(e, f);
+    w.w2 = Tensor(f, e);
+    w.wq.random_init(rng, proj_scale);
+    w.wk.random_init(rng, proj_scale);
+    w.wv.random_init(rng, proj_scale);
+    w.wo.random_init(rng, proj_scale);
+    w.w1.random_init(rng, proj_scale);
+    w.w2.random_init(rng, w2_scale);
+    if (cfg_.ffn == FfnKind::swiglu) {
+      w.w3 = Tensor(e, f);
+      w.w3.random_init(rng, proj_scale);
+    }
+    w.norm1_gamma = Tensor(1, e);
+    w.norm1_beta = Tensor(1, e);
+    w.norm2_gamma = Tensor(1, e);
+    w.norm2_beta = Tensor(1, e);
+    w.norm1_gamma.fill(1.0f);
+    w.norm2_gamma.fill(1.0f);
+    // Small random beta exercises the layernorm shift path in tests.
+    for (int c = 0; c < e; ++c) {
+      w.norm1_beta.at(0, c) = rng.uniform(-0.05f, 0.05f);
+      w.norm2_beta.at(0, c) = rng.uniform(-0.05f, 0.05f);
+    }
+    layers_.push_back(std::move(w));
+  }
+}
+
+const LayerWeights& Weights::layer(int i) const {
+  util::check(i >= 0 && i < num_layers(), "Weights::layer: index out of range");
+  return layers_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace distmcu::model

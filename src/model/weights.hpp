@@ -1,0 +1,56 @@
+#ifndef DISTMCU_MODEL_WEIGHTS_HPP
+#define DISTMCU_MODEL_WEIGHTS_HPP
+
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/tensor.hpp"
+
+namespace distmcu::model {
+
+/// Weights of one Transformer block, stored as the kernels consume them:
+/// projections are [in, out] row-major so GEMM needs no transposes.
+struct LayerWeights {
+  Tensor wq;  // [E, P*H]
+  Tensor wk;  // [E, P*H]
+  Tensor wv;  // [E, P*H]
+  Tensor wo;  // [P*H, E]
+  Tensor w1;  // [E, F]
+  Tensor w2;  // [F, E]
+  Tensor w3;  // [E, F] SwiGLU gate (empty for the plain MLP)
+  Tensor norm1_gamma;  // [1, E]
+  Tensor norm1_beta;   // [1, E] (layernorm only; unused for rmsnorm)
+  Tensor norm2_gamma;  // [1, E]
+  Tensor norm2_beta;   // [1, E]
+};
+
+/// Full model weights with deterministic pseudo-random initialization
+/// (see DESIGN.md substitution 2: all measured quantities are
+/// data-independent; numerics only need a stable golden input).
+class Weights {
+ public:
+  Weights(const TransformerConfig& cfg, std::uint64_t seed);
+
+  [[nodiscard]] const LayerWeights& layer(int i) const;
+  [[nodiscard]] int num_layers() const { return static_cast<int>(layers_.size()); }
+  [[nodiscard]] const TransformerConfig& config() const { return cfg_; }
+
+  /// Bytes of one block's matmul weights at `elem_bytes` per element.
+  [[nodiscard]] Bytes block_weight_bytes(Bytes elem_bytes) const {
+    return cfg_.block_weight_elems() * elem_bytes;
+  }
+
+  /// Bytes of the whole model's matmul weights (all blocks, excluding
+  /// embeddings, which never live in on-chip memory).
+  [[nodiscard]] Bytes total_weight_bytes(Bytes elem_bytes) const {
+    return block_weight_bytes(elem_bytes) * static_cast<Bytes>(cfg_.num_layers);
+  }
+
+ private:
+  TransformerConfig cfg_;
+  std::vector<LayerWeights> layers_;
+};
+
+}  // namespace distmcu::model
+
+#endif  // DISTMCU_MODEL_WEIGHTS_HPP

@@ -1,0 +1,96 @@
+#ifndef DISTMCU_PARTITION_DISTRIBUTED_BLOCK_HPP
+#define DISTMCU_PARTITION_DISTRIBUTED_BLOCK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/kv_cache.hpp"
+#include "model/tensor.hpp"
+#include "model/weights.hpp"
+#include "noc/topology.hpp"
+#include "partition/plan.hpp"
+#include "partition/sharder.hpp"
+
+namespace distmcu::partition {
+
+/// Communication accounting of one distributed block execution —
+/// cross-checked by tests against the timed simulation's C2C byte
+/// counters (both must derive the same traffic from the same plan).
+struct CommRecord {
+  int reduces = 0;
+  int broadcasts = 0;
+  std::uint64_t payload_elems = 0;    // elements per [S, E] partial buffer
+  std::uint64_t total_hop_elems = 0;  // sum over all hops of payload elems
+
+  [[nodiscard]] int synchronizations() const { return reduces; }
+};
+
+/// Functional (numerically real) execution of one Transformer block under
+/// the paper's partitioning, following Fig. 3 exactly:
+///
+///   1. the input X [S, E] is present on every chip (broadcast);
+///   2. each chip projects Q/K/V for its own heads, applies RoPE
+///      locally, appends its KV-cache slice, runs attention per owned
+///      head and applies its rows of WO -> a partial output [S, E];
+///   3. hierarchical reduce of partials to the root; the skip connection
+///      is merged into the reduction (the root holds the full input);
+///      the root normalizes and broadcasts;
+///   4. the FFN repeats the pattern along the F dimension.
+///
+/// Exactly two reduce+broadcast synchronizations per block; no weight is
+/// present on more than one chip. Every test of the partitioning scheme
+/// validates this class against the single-chip ReferenceModel.
+class DistributedBlock {
+ public:
+  /// `weights` provides the (root-resident) norm parameters; the matmul
+  /// weights come exclusively from `shards`. All references must outlive
+  /// the block.
+  DistributedBlock(const model::TransformerConfig& cfg, const model::Weights& weights,
+                   const ShardedWeights& shards, const PartitionPlan& plan,
+                   const noc::Topology& topo);
+
+  /// Execute one block. `x` is the block input (logically broadcast to
+  /// all chips). `chip_caches`, when non-null, is indexed
+  /// [chip][layer] and holds each chip's KV slice (dim = proj_width).
+  /// `pos_offset` is the absolute position of x's first row.
+  [[nodiscard]] model::Tensor forward(const model::Tensor& x, int layer,
+                                      std::vector<std::vector<model::KvCache>>* chip_caches,
+                                      int pos_offset, CommRecord* comm = nullptr) const;
+
+  /// Per-chip, per-layer KV caches sized for each chip's head slice.
+  [[nodiscard]] std::vector<std::vector<model::KvCache>> make_chip_caches(
+      int capacity) const;
+
+  [[nodiscard]] const PartitionPlan& plan() const { return plan_; }
+  [[nodiscard]] const noc::Topology& topology() const { return topo_; }
+
+ private:
+  /// Per-chip partial MHSA output [S, E] for chip `c`.
+  [[nodiscard]] model::Tensor mhsa_partial(const model::Tensor& x, int chip, int layer,
+                                           std::vector<std::vector<model::KvCache>>* caches,
+                                           int pos_offset) const;
+  /// Per-chip partial FFN output [S, E].
+  [[nodiscard]] model::Tensor ffn_partial(const model::Tensor& h, int chip,
+                                          int layer) const;
+  [[nodiscard]] model::Tensor root_norm(const model::Tensor& x, const model::Tensor& gamma,
+                                        const model::Tensor& beta) const;
+  void apply_activation(model::Tensor& t) const;
+
+  /// Reduce per-chip partials (tree order), merge the skip tensor, and
+  /// return the root's result; records comm stats.
+  [[nodiscard]] model::Tensor reduce_with_skip(std::vector<model::Tensor>& partials,
+                                               const model::Tensor& skip,
+                                               CommRecord* comm) const;
+  void record_broadcast(std::uint64_t elems, CommRecord* comm) const;
+
+  const model::TransformerConfig& cfg_;
+  const model::Weights& weights_;
+  const ShardedWeights& shards_;
+  const PartitionPlan& plan_;
+  const noc::Topology& topo_;
+};
+
+}  // namespace distmcu::partition
+
+#endif  // DISTMCU_PARTITION_DISTRIBUTED_BLOCK_HPP

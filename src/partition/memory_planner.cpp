@@ -1,0 +1,89 @@
+#include "partition/memory_planner.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace distmcu::partition {
+
+const char* residency_name(Residency r) {
+  switch (r) {
+    case Residency::streamed: return "streamed";
+    case Residency::double_buffered: return "double-buffered";
+    case Residency::fully_resident: return "fully-resident";
+  }
+  return "?";
+}
+
+std::string MemoryPlan::describe() const {
+  std::ostringstream os;
+  os << "residency: " << residency_name(residency) << "\n"
+     << "  S=" << seq_len << " attention span=" << attention_span
+     << (uses_kv_cache ? " (KV cache)" : "") << "\n"
+     << "  weight shard / block: " << util::format_bytes(weight_shard_bytes) << "\n"
+     << "  whole model shard:    " << util::format_bytes(all_blocks_bytes) << "\n"
+     << "  KV cache (all layers): " << util::format_bytes(kv_cache_bytes) << "\n"
+     << "  activations:          " << util::format_bytes(activation_bytes) << "\n"
+     << "  L2 usable:            " << util::format_bytes(l2_usable) << "\n"
+     << "  need fully-resident:  " << util::format_bytes(need_fully_resident())
+     << (need_fully_resident() <= l2_usable ? "  [fits]" : "  [exceeds]") << "\n"
+     << "  need double-buffered: " << util::format_bytes(need_double_buffered())
+     << (need_double_buffered() <= l2_usable ? "  [fits]" : "  [exceeds]") << "\n"
+     << "  need streamed:        " << util::format_bytes(need_streamed())
+     << (need_streamed() <= l2_usable ? "  [fits]" : "  [exceeds]") << "\n";
+  return os.str();
+}
+
+MemoryPlanner::MemoryPlanner(chip::ChipConfig chip_cfg, PrecisionConfig precision)
+    : chip_(std::move(chip_cfg)), precision_(precision) {
+  util::check(precision_.weight_bytes > 0 && precision_.act_bytes > 0 &&
+                  precision_.kv_bytes > 0,
+              "MemoryPlanner: element sizes must be positive");
+}
+
+MemoryPlan MemoryPlanner::plan(const PartitionPlan& partition, model::Mode mode) const {
+  const model::TransformerConfig& cfg = partition.config();
+  MemoryPlan out;
+  out.l2_usable = chip_.l2_usable();
+  out.seq_len = mode == model::Mode::prompt ? cfg.prompt_len : 1;
+  out.uses_kv_cache = cfg.mask == model::MaskKind::causal;
+  out.attention_span = out.uses_kv_cache
+                           ? (mode == model::Mode::prompt ? cfg.prompt_len : cfg.ar_context)
+                           : out.seq_len;
+
+  // Worst-case chip: chip 0 (largest slice by construction).
+  const auto e = static_cast<Bytes>(cfg.embed_dim);
+  const auto s = static_cast<Bytes>(out.seq_len);
+  const auto pw = static_cast<Bytes>(partition.proj_width(0));
+  const auto fw = static_cast<Bytes>(partition.slice(0).f_width());
+
+  out.weight_shard_bytes =
+      partition.chip_block_weight_elems(0) * precision_.weight_bytes;
+  out.all_blocks_bytes = out.weight_shard_bytes * static_cast<Bytes>(cfg.num_layers);
+  if (out.uses_kv_cache) {
+    out.kv_cache_bytes = static_cast<Bytes>(cfg.num_layers) * 2 *
+                         static_cast<Bytes>(cfg.ar_context) * pw * precision_.kv_bytes;
+  }
+  const Bytes hidden_bufs = cfg.ffn == model::FfnKind::swiglu ? 2 : 1;
+  out.activation_bytes =
+      (2 * s * e + 3 * s * pw + hidden_bufs * s * fw) * precision_.act_bytes;
+  // Two double-buffered streaming tiles sized to half the L1 tile budget
+  // each: the L2-side staging the streamed regime needs.
+  out.stream_buffer_bytes = chip_.l1_tile_budget;
+
+  if (out.need_fully_resident() <= out.l2_usable) {
+    out.residency = Residency::fully_resident;
+  } else if (out.need_double_buffered() <= out.l2_usable) {
+    out.residency = Residency::double_buffered;
+  } else {
+    out.residency = Residency::streamed;
+    util::check_plan(out.need_streamed() <= out.l2_usable,
+                     "MemoryPlanner: KV cache + activations (" +
+                         util::format_bytes(out.need_streamed()) +
+                         ") exceed usable L2 (" + util::format_bytes(out.l2_usable) +
+                         ") even in the streamed regime for model '" + cfg.name + "'");
+  }
+  return out;
+}
+
+}  // namespace distmcu::partition

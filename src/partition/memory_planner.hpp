@@ -1,0 +1,99 @@
+#ifndef DISTMCU_PARTITION_MEMORY_PLANNER_HPP
+#define DISTMCU_PARTITION_MEMORY_PLANNER_HPP
+
+#include <string>
+
+#include "chip/chip_config.hpp"
+#include "model/config.hpp"
+#include "partition/plan.hpp"
+#include "util/units.hpp"
+
+namespace distmcu::partition {
+
+/// Storage widths of the deployment (see DESIGN.md "Calibration
+/// decisions"): 2-byte weights and 1-byte activations/KV reproduce the
+/// paper's residency crossovers; the precision ablation bench sweeps
+/// them.
+struct PrecisionConfig {
+  Bytes weight_bytes = 2;
+  Bytes act_bytes = 1;
+  Bytes kv_bytes = 1;
+  /// Operand width driving cluster MAC throughput.
+  chip::Precision mac_precision = chip::Precision::int16;
+};
+
+/// Where a block's weights live during execution — the regime that
+/// decides whether the paper's super-linear speedup appears:
+///  * streamed:        the working set exceeds L2; weights are fetched
+///                     from L3 synchronously during the block (1-4 chip
+///                     TinyLlama, 1-2 chip MobileBERT);
+///  * double_buffered: one block's shard fits in L2 twice, so the next
+///                     block prefetches during the current one (8-16
+///                     chips); L3 traffic costs energy but not latency;
+///  * fully_resident:  the whole model shard fits on-chip (32-64 chips
+///                     in the scaling study); no steady-state L3 traffic
+///                     at all.
+enum class Residency { streamed, double_buffered, fully_resident };
+
+[[nodiscard]] const char* residency_name(Residency r);
+
+/// Byte-exact L2 budget of the worst-case chip (chip 0 carries the
+/// remainder heads/columns) and the selected regime.
+struct MemoryPlan {
+  Residency residency = Residency::streamed;
+
+  int seq_len = 1;          // S used for activation sizing
+  int attention_span = 1;   // KV positions attended in this mode
+  bool uses_kv_cache = false;
+
+  Bytes weight_shard_bytes = 0;   // one block's shard
+  Bytes all_blocks_bytes = 0;     // whole model shard
+  Bytes kv_cache_bytes = 0;       // all layers, full capacity
+  Bytes activation_bytes = 0;     // persistent L2 activation buffers
+  Bytes stream_buffer_bytes = 0;  // streaming tiles (streamed regime)
+  Bytes l2_usable = 0;
+
+  [[nodiscard]] Bytes need_fully_resident() const {
+    return all_blocks_bytes + kv_cache_bytes + activation_bytes;
+  }
+  [[nodiscard]] Bytes need_double_buffered() const {
+    return 2 * weight_shard_bytes + kv_cache_bytes + activation_bytes;
+  }
+  [[nodiscard]] Bytes need_streamed() const {
+    return stream_buffer_bytes + kv_cache_bytes + activation_bytes;
+  }
+
+  /// Multi-line fit report (used by the partition_inspector example).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Decides the residency regime for a partition on a chip configuration.
+///
+/// Activation sizing (persistent L2 buffers per chip, documented so the
+/// constants are auditable):
+///   2*S*E   input + accumulation/normed buffer (partial output reuses it)
+///   3*S*pw  Q/K/V slices of the owned heads
+///   S*fw    FFN hidden slice
+/// Attention score tiles stream through L1 and are not persistent.
+/// KV caches reserve full capacity (ar_context positions) for every
+/// layer whenever the model is causal — during autoregressive decoding
+/// every layer's cache must persist across tokens.
+class MemoryPlanner {
+ public:
+  MemoryPlanner(chip::ChipConfig chip_cfg, PrecisionConfig precision);
+
+  /// Throws PlanError when even the streamed regime cannot fit (KV +
+  /// activations alone exceed L2).
+  [[nodiscard]] MemoryPlan plan(const PartitionPlan& partition, model::Mode mode) const;
+
+  [[nodiscard]] const chip::ChipConfig& chip_config() const { return chip_; }
+  [[nodiscard]] const PrecisionConfig& precision() const { return precision_; }
+
+ private:
+  chip::ChipConfig chip_;
+  PrecisionConfig precision_;
+};
+
+}  // namespace distmcu::partition
+
+#endif  // DISTMCU_PARTITION_MEMORY_PLANNER_HPP

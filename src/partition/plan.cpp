@@ -1,0 +1,98 @@
+#include "partition/plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace distmcu::partition {
+
+PartitionPlan::PartitionPlan(model::TransformerConfig cfg, std::vector<ChipSlice> slices)
+    : cfg_(std::move(cfg)), slices_(std::move(slices)) {}
+
+PartitionPlan PartitionPlan::create(const model::TransformerConfig& cfg, int n_chips) {
+  cfg.validate();
+  util::check(n_chips >= 1, "PartitionPlan: need at least one chip");
+  util::check(n_chips <= cfg.num_heads,
+              "PartitionPlan: more chips (" + std::to_string(n_chips) + ") than heads (" +
+                  std::to_string(cfg.num_heads) +
+                  ") — scale the head count first (paper Sec. V-C)");
+  util::check(n_chips <= cfg.ffn_dim,
+              "PartitionPlan: more chips than FFN columns");
+
+  std::vector<ChipSlice> slices;
+  slices.reserve(static_cast<std::size_t>(n_chips));
+  const int h_base = cfg.num_heads / n_chips;
+  const int h_extra = cfg.num_heads % n_chips;
+  const int f_base = cfg.ffn_dim / n_chips;
+  const int f_extra = cfg.ffn_dim % n_chips;
+  int h_cursor = 0;
+  int f_cursor = 0;
+  for (int c = 0; c < n_chips; ++c) {
+    ChipSlice s;
+    s.chip = c;
+    s.head_begin = h_cursor;
+    s.head_end = h_cursor + h_base + (c < h_extra ? 1 : 0);
+    s.f_begin = f_cursor;
+    s.f_end = f_cursor + f_base + (c < f_extra ? 1 : 0);
+    h_cursor = s.head_end;
+    f_cursor = s.f_end;
+    slices.push_back(s);
+  }
+  PartitionPlan plan(cfg, std::move(slices));
+  plan.validate();
+  return plan;
+}
+
+const ChipSlice& PartitionPlan::slice(int chip) const {
+  util::check(chip >= 0 && chip < num_chips(), "PartitionPlan::slice: chip out of range");
+  return slices_[static_cast<std::size_t>(chip)];
+}
+
+int PartitionPlan::proj_width(int chip) const {
+  return slice(chip).num_heads() * cfg_.head_dim;
+}
+
+std::uint64_t PartitionPlan::chip_block_weight_elems(int chip) const {
+  const auto e = static_cast<std::uint64_t>(cfg_.embed_dim);
+  const auto pw = static_cast<std::uint64_t>(proj_width(chip));
+  const auto fw = static_cast<std::uint64_t>(slice(chip).f_width());
+  const std::uint64_t ffn_mats = cfg_.ffn == model::FfnKind::swiglu ? 3 : 2;
+  return 4 * e * pw + ffn_mats * e * fw;
+}
+
+std::uint64_t PartitionPlan::max_chip_block_weight_elems() const {
+  std::uint64_t mx = 0;
+  for (int c = 0; c < num_chips(); ++c) {
+    mx = std::max(mx, chip_block_weight_elems(c));
+  }
+  return mx;
+}
+
+std::uint64_t PartitionPlan::sync_payload_elems(int seq_len) const {
+  return static_cast<std::uint64_t>(seq_len) * static_cast<std::uint64_t>(cfg_.embed_dim);
+}
+
+void PartitionPlan::validate() const {
+  util::check(!slices_.empty(), "PartitionPlan: empty");
+  int h_cursor = 0;
+  int f_cursor = 0;
+  std::uint64_t elem_sum = 0;
+  for (int c = 0; c < num_chips(); ++c) {
+    const ChipSlice& s = slices_[static_cast<std::size_t>(c)];
+    util::check(s.chip == c, "PartitionPlan: slice/chip index mismatch");
+    util::check(s.head_begin == h_cursor && s.head_end > s.head_begin,
+                "PartitionPlan: head ranges must tile [0, H) contiguously");
+    util::check(s.f_begin == f_cursor && s.f_end > s.f_begin,
+                "PartitionPlan: FFN ranges must tile [0, F) contiguously");
+    h_cursor = s.head_end;
+    f_cursor = s.f_end;
+    elem_sum += chip_block_weight_elems(c);
+  }
+  util::check(h_cursor == cfg_.num_heads, "PartitionPlan: heads not fully covered");
+  util::check(f_cursor == cfg_.ffn_dim, "PartitionPlan: FFN not fully covered");
+  // Zero duplication: shards partition the block's weights exactly.
+  util::check(elem_sum == cfg_.block_weight_elems(),
+              "PartitionPlan: shard elements do not sum to block total");
+}
+
+}  // namespace distmcu::partition

@@ -1,0 +1,85 @@
+#ifndef DISTMCU_PARTITION_PLAN_HPP
+#define DISTMCU_PARTITION_PLAN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+#include "util/units.hpp"
+
+namespace distmcu::partition {
+
+/// The slice of a Transformer block owned by one chip under the paper's
+/// partitioning (Sec. IV):
+///  * MHSA is split along the head dimension: the chip holds heads
+///    [head_begin, head_end) — columns of WQ/WK/WV and rows of WO — plus
+///    the corresponding Q/K/V activations and KV-cache slice.
+///  * The FFN is split along the intermediate dimension F: columns
+///    [f_begin, f_end) of W1 and the same rows of W2.
+/// Head computations are fully independent, and each chip's WO / W2 rows
+/// pair exactly with the columns it produced, so the only communication
+/// is the all-reduce of the [S, E] partial outputs — once after the MHSA
+/// and once after the FFN.
+struct ChipSlice {
+  int chip = 0;
+  int head_begin = 0;
+  int head_end = 0;
+  int f_begin = 0;
+  int f_end = 0;
+
+  [[nodiscard]] int num_heads() const { return head_end - head_begin; }
+  [[nodiscard]] int f_width() const { return f_end - f_begin; }
+};
+
+/// Zero-duplication tensor-parallel partition of a Transformer across N
+/// chips (the paper's core contribution). Heads and FFN columns are
+/// distributed as evenly as possible (remainders go to the lowest chip
+/// ids, so chip 0 always carries the maximal slice — the planner and the
+/// timing model treat chip 0 as the worst case).
+class PartitionPlan {
+ public:
+  /// Requires 1 <= n_chips <= min(H, F): every chip must own at least
+  /// one head and one FFN column, matching the paper's scaling study
+  /// where the head count is raised to 64 before using 64 chips.
+  [[nodiscard]] static PartitionPlan create(const model::TransformerConfig& cfg,
+                                            int n_chips);
+
+  [[nodiscard]] int num_chips() const { return static_cast<int>(slices_.size()); }
+  [[nodiscard]] const ChipSlice& slice(int chip) const;
+  [[nodiscard]] const std::vector<ChipSlice>& slices() const { return slices_; }
+  [[nodiscard]] const model::TransformerConfig& config() const { return cfg_; }
+
+  /// Projection width (P * heads owned) of one chip.
+  [[nodiscard]] int proj_width(int chip) const;
+
+  /// Matmul weight elements of one block held by `chip`:
+  /// 3*E*pw (WQ/WK/WV columns) + pw*E (WO rows) + E*fw (W1 columns) +
+  /// fw*E (W2 rows).
+  [[nodiscard]] std::uint64_t chip_block_weight_elems(int chip) const;
+
+  /// Maximum over chips (== chip 0) — the planner's sizing input.
+  [[nodiscard]] std::uint64_t max_chip_block_weight_elems() const;
+
+  /// Elements of one all-reduce payload per chip: the [S, E] partial
+  /// output (S depends on mode; passed in by the caller).
+  [[nodiscard]] std::uint64_t sync_payload_elems(int seq_len) const;
+
+  /// The paper's headline structural property: exactly two
+  /// synchronizations (all-reduces) per Transformer block.
+  static constexpr int kSyncsPerBlock = 2;
+
+  /// Internal consistency: slices tile [0,H) and [0,F) without overlap
+  /// and per-chip weights sum exactly to the block total (the
+  /// zero-duplication proof, also asserted by tests).
+  void validate() const;
+
+ private:
+  PartitionPlan(model::TransformerConfig cfg, std::vector<ChipSlice> slices);
+
+  model::TransformerConfig cfg_;
+  std::vector<ChipSlice> slices_;
+};
+
+}  // namespace distmcu::partition
+
+#endif  // DISTMCU_PARTITION_PLAN_HPP

@@ -1,0 +1,58 @@
+#ifndef DISTMCU_PARTITION_SHARDER_HPP
+#define DISTMCU_PARTITION_SHARDER_HPP
+
+#include <vector>
+
+#include "model/tensor.hpp"
+#include "model/weights.hpp"
+#include "partition/plan.hpp"
+
+namespace distmcu::partition {
+
+/// One chip's slice of one block's weights, materialized as tensors the
+/// functional distributed executor feeds straight into the kernels
+/// (paper Fig. 3 colouring):
+///   wq/wk/wv : [E, pw]  — columns of the head range
+///   wo       : [pw, E]  — the matching rows of WO
+///   w1       : [E, fw]  — columns of the FFN range
+///   w2       : [fw, E]  — the matching rows of W2
+struct WeightShard {
+  model::Tensor wq;
+  model::Tensor wk;
+  model::Tensor wv;
+  model::Tensor wo;
+  model::Tensor w1;
+  model::Tensor w2;
+  model::Tensor w3;  // SwiGLU gate slice (empty for the plain MLP)
+
+  [[nodiscard]] std::uint64_t num_elems() const {
+    return wq.size() + wk.size() + wv.size() + wo.size() + w1.size() + w2.size() +
+           w3.size();
+  }
+};
+
+/// Splits full model weights according to a PartitionPlan. Norm
+/// parameters are NOT sharded: the paper normalizes on a single chip
+/// between the reduce and the broadcast, so they live on the root only.
+class ShardedWeights {
+ public:
+  ShardedWeights(const model::Weights& weights, const PartitionPlan& plan);
+
+  [[nodiscard]] const WeightShard& shard(int chip, int layer) const;
+  [[nodiscard]] int num_chips() const { return n_chips_; }
+  [[nodiscard]] int num_layers() const { return n_layers_; }
+
+  /// Sum of shard elements across chips for `layer` — tests assert this
+  /// equals the unsharded block exactly (zero duplication, full
+  /// coverage).
+  [[nodiscard]] std::uint64_t layer_elem_sum(int layer) const;
+
+ private:
+  int n_chips_;
+  int n_layers_;
+  std::vector<WeightShard> shards_;  // [chip * n_layers + layer]
+};
+
+}  // namespace distmcu::partition
+
+#endif  // DISTMCU_PARTITION_SHARDER_HPP

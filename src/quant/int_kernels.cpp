@@ -1,0 +1,59 @@
+#include "quant/int_kernels.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace distmcu::quant {
+
+namespace {
+template <typename Int, typename Acc>
+void gemm_int(std::span<const Int> a, std::span<const Int> b, std::span<Acc> c,
+              int m, int n, int k) {
+  util::check(m > 0 && n > 0 && k > 0, "gemm_int: dimensions must be positive");
+  util::check(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(k),
+              "gemm_int: A size mismatch");
+  util::check(b.size() == static_cast<std::size_t>(k) * static_cast<std::size_t>(n),
+              "gemm_int: B size mismatch");
+  util::check(c.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+              "gemm_int: C size mismatch");
+  for (int i = 0; i < m; ++i) {
+    Acc* crow = c.data() + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) crow[j] = 0;
+    const Int* arow = a.data() + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const auto av = static_cast<Acc>(arow[p]);
+      if (av == 0) continue;
+      const Int* brow = b.data() + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) {
+        crow[j] += av * static_cast<Acc>(brow[j]);
+      }
+    }
+  }
+}
+}  // namespace
+
+void gemm_i8_i32(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+                 std::span<std::int32_t> c, int m, int n, int k) {
+  gemm_int<std::int8_t, std::int32_t>(a, b, c, m, n, k);
+}
+
+void gemm_i16_i64(std::span<const std::int16_t> a, std::span<const std::int16_t> b,
+                  std::span<std::int64_t> c, int m, int n, int k) {
+  gemm_int<std::int16_t, std::int64_t>(a, b, c, m, n, k);
+}
+
+void requant_i32_i8(std::span<const std::int32_t> acc, std::int32_t mult, int shift,
+                    std::span<std::int8_t> out) {
+  util::check(acc.size() == out.size(), "requant: size mismatch");
+  util::check(shift >= 0 && shift < 63, "requant: bad shift");
+  const std::int64_t rounding = shift > 0 ? (1ll << (shift - 1)) : 0;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const std::int64_t v =
+        (static_cast<std::int64_t>(acc[i]) * static_cast<std::int64_t>(mult) + rounding) >>
+        shift;
+    out[i] = static_cast<std::int8_t>(std::clamp<std::int64_t>(v, -128, 127));
+  }
+}
+
+}  // namespace distmcu::quant

@@ -1,0 +1,32 @@
+#ifndef DISTMCU_QUANT_INT_KERNELS_HPP
+#define DISTMCU_QUANT_INT_KERNELS_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace distmcu::quant {
+
+/// Integer GEMM with 32-bit accumulation — the arithmetic the Siracusa
+/// cluster executes. C[M,N](i32) = A[M,K](i8/i16) * B[K,N](same).
+///
+/// Because accumulation is exact in int32 (no rounding), the result is
+/// independent of summation order — the property that makes the
+/// hierarchical all-reduce of quantized partial outputs bit-exact
+/// regardless of tree shape (asserted by the partition property tests).
+void gemm_i8_i32(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+                 std::span<std::int32_t> c, int m, int n, int k);
+
+/// int16 variant: products are 30-bit, so accumulation must widen to
+/// int64 to stay exact for realistic K (int32 would overflow at K > 2).
+void gemm_i16_i64(std::span<const std::int16_t> a, std::span<const std::int16_t> b,
+                  std::span<std::int64_t> c, int m, int n, int k);
+
+/// Requantize an int32 accumulator tensor to int8 with a fixed-point
+/// multiplier: out = clamp(round(acc * mult / 2^shift)) — the Deeploy
+/// requant node.
+void requant_i32_i8(std::span<const std::int32_t> acc, std::int32_t mult, int shift,
+                    std::span<std::int8_t> out);
+
+}  // namespace distmcu::quant
+
+#endif  // DISTMCU_QUANT_INT_KERNELS_HPP

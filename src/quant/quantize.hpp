@@ -1,0 +1,37 @@
+#ifndef DISTMCU_QUANT_QUANTIZE_HPP
+#define DISTMCU_QUANT_QUANTIZE_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace distmcu::quant {
+
+/// Symmetric per-tensor quantization parameters (zero point fixed at 0,
+/// the Deeploy-style scheme the paper deploys with).
+struct QuantParams {
+  float scale = 1.0f;  // real = q * scale
+
+  [[nodiscard]] static QuantParams from_absmax(float absmax, int bits);
+};
+
+/// Pick parameters covering the tensor's range at `bits` precision.
+[[nodiscard]] QuantParams choose_params(std::span<const float> data, int bits);
+
+/// Quantize to int8 / int16 with round-to-nearest and saturation.
+[[nodiscard]] std::vector<std::int8_t> quantize_i8(std::span<const float> data,
+                                                   const QuantParams& p);
+[[nodiscard]] std::vector<std::int16_t> quantize_i16(std::span<const float> data,
+                                                     const QuantParams& p);
+
+void dequantize(std::span<const std::int8_t> q, const QuantParams& p,
+                std::span<float> out);
+void dequantize(std::span<const std::int16_t> q, const QuantParams& p,
+                std::span<float> out);
+
+/// Worst-case absolute reconstruction error of the scheme (half an LSB).
+[[nodiscard]] float max_quant_error(const QuantParams& p);
+
+}  // namespace distmcu::quant
+
+#endif  // DISTMCU_QUANT_QUANTIZE_HPP

@@ -1,0 +1,133 @@
+#include "quant/quantized_ffn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "kernels/ops.hpp"
+#include "noc/collectives.hpp"
+#include "quant/int_kernels.hpp"
+#include "util/check.hpp"
+
+namespace distmcu::quant {
+
+QuantizedDistributedFfn::QuantizedDistributedFfn(const model::TransformerConfig& cfg,
+                                                 const partition::ShardedWeights& shards,
+                                                 const partition::PartitionPlan& plan,
+                                                 const noc::Topology& topo)
+    : cfg_(cfg), plan_(plan), topo_(topo) {
+  util::check(cfg.ffn == model::FfnKind::mlp,
+              "QuantizedDistributedFfn: only the plain MLP FFN is supported");
+  util::check(topo.num_chips() == plan.num_chips(),
+              "QuantizedDistributedFfn: topology/plan mismatch");
+
+  // Quantization is per TENSOR, computed before sharding (exactly what a
+  // static Deeploy calibration does): all shards of W1 share one scale
+  // and all shards of W2 share another. Shared scales are what make the
+  // int32 partial sums commensurable on the reduce tree AND make the
+  // result bit-identical for every chip count (the products are the
+  // same; only the summation order differs, and int32 addition is
+  // order-invariant).
+  float w1_absmax = 0.0f;
+  float w2_absmax = 0.0f;
+  for (int c = 0; c < plan.num_chips(); ++c) {
+    for (const float v : shards.shard(c, 0).w1.span()) {
+      w1_absmax = std::max(w1_absmax, std::fabs(v));
+    }
+    for (const float v : shards.shard(c, 0).w2.span()) {
+      w2_absmax = std::max(w2_absmax, std::fabs(v));
+    }
+  }
+  const QuantParams w1_shared = QuantParams::from_absmax(w1_absmax, 8);
+  w2_shared_params_ = QuantParams::from_absmax(w2_absmax, 8);
+
+  chips_.reserve(static_cast<std::size_t>(plan.num_chips()));
+  for (int c = 0; c < plan.num_chips(); ++c) {
+    const partition::WeightShard& s = shards.shard(c, 0);
+    ChipShard chip;
+    chip.fw = s.w1.cols();
+    chip.w1_params = w1_shared;
+    chip.w2_params = w2_shared_params_;
+    chip.w1 = quantize_i8(s.w1.span(), chip.w1_params);
+    chip.w2 = quantize_i8(s.w2.span(), chip.w2_params);
+    chips_.push_back(std::move(chip));
+  }
+}
+
+std::vector<std::int32_t> QuantizedDistributedFfn::forward_raw(const model::Tensor& x,
+                                                               float* out_scale) const {
+  util::check(x.cols() == cfg_.embed_dim, "QuantizedDistributedFfn: input width != E");
+  const int s = x.rows();
+  const int e = cfg_.embed_dim;
+  const int n = plan_.num_chips();
+
+  // Dynamic per-invocation activation scales: x is broadcast, so every
+  // chip derives the SAME scale — no extra synchronization needed.
+  const QuantParams x_params = choose_params(x.span(), 8);
+  const auto xq = quantize_i8(x.span(), x_params);
+
+  // The second GEMM's input (requantized hidden) also needs one shared
+  // scale across chips so partials are commensurable. Use a bound
+  // derived from broadcast-known quantities only: |hidden| <= |x|max *
+  // |w1|max_global * E (loose but chip-local to compute).
+  float w1_absmax_global = 0.0f;
+  for (const auto& chip : chips_) {
+    w1_absmax_global =
+        std::max(w1_absmax_global, chip.w1_params.scale * 127.0f);
+  }
+  const float x_absmax = x_params.scale * 127.0f;
+  const float hidden_bound =
+      x_absmax * w1_absmax_global * static_cast<float>(e);
+  const QuantParams h_params = QuantParams::from_absmax(hidden_bound, 8);
+
+  std::vector<std::vector<std::int32_t>> partials(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    const ChipShard& chip = chips_[static_cast<std::size_t>(c)];
+    const int fw = chip.fw;
+    // --- int8 GEMM 1: [s, e] x [e, fw] -> int32 -------------------------
+    std::vector<std::int32_t> acc1(static_cast<std::size_t>(s) *
+                                   static_cast<std::size_t>(fw));
+    gemm_i8_i32(xq, chip.w1, acc1, s, fw, e);
+    // --- dequant -> activation -> requant to the shared hidden scale ---
+    std::vector<float> hidden(acc1.size());
+    const float deq1 = x_params.scale * chip.w1_params.scale;
+    for (std::size_t i = 0; i < acc1.size(); ++i) {
+      hidden[i] = static_cast<float>(acc1[i]) * deq1;
+    }
+    switch (cfg_.act) {
+      case model::Activation::gelu: kernels::gelu(hidden); break;
+      case model::Activation::silu: kernels::silu(hidden); break;
+      case model::Activation::relu: kernels::relu(hidden); break;
+    }
+    const auto hq = quantize_i8(hidden, h_params);
+    // --- int8 GEMM 2: [s, fw] x [fw, e] -> int32 partial ----------------
+    std::vector<std::int32_t> acc2(static_cast<std::size_t>(s) *
+                                   static_cast<std::size_t>(e));
+    gemm_i8_i32(hq, chip.w2, acc2, s, e, fw);
+    partials[static_cast<std::size_t>(c)] = std::move(acc2);
+  }
+
+  // --- int32 all-reduce: bit-exact for any tree shape -------------------
+  std::vector<std::span<std::int32_t>> views;
+  views.reserve(partials.size());
+  for (auto& p : partials) views.emplace_back(p);
+  noc::reduce_numeric(topo_, views);
+
+  if (out_scale != nullptr) {
+    *out_scale = h_params.scale * w2_shared_params_.scale;
+  }
+  return partials[static_cast<std::size_t>(topo_.root())];
+}
+
+model::Tensor QuantizedDistributedFfn::forward(const model::Tensor& x) const {
+  float scale = 1.0f;
+  const auto raw = forward_raw(x, &scale);
+  model::Tensor out(x.rows(), cfg_.embed_dim);
+  auto span = out.span();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    span[i] = static_cast<float>(raw[i]) * scale;
+  }
+  return out;
+}
+
+}  // namespace distmcu::quant

@@ -1,0 +1,64 @@
+#ifndef DISTMCU_QUANT_QUANTIZED_FFN_HPP
+#define DISTMCU_QUANT_QUANTIZED_FFN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/tensor.hpp"
+#include "noc/topology.hpp"
+#include "partition/plan.hpp"
+#include "partition/sharder.hpp"
+#include "quant/quantize.hpp"
+
+namespace distmcu::quant {
+
+/// Distributed **integer** execution of the FFN sublayer — the
+/// Deeploy-style deployment path the paper actually ships (A8W8 integer
+/// kernels on the Siracusa cluster), applied to the partitioning scheme:
+///
+///   * per chip: int8 GEMM (x * W1 shard) with int32 accumulation,
+///     float-side activation, requantization, int8 GEMM (hidden * W2
+///     shard) producing an int32 partial output;
+///   * the partial outputs all-reduce over the hierarchical topology in
+///     int32 — which, unlike float, is **reduction-order invariant**:
+///     any tree shape yields bit-identical results (property-tested);
+///   * the root dequantizes once.
+///
+/// Weights are statically quantized per tensor at construction;
+/// activations use per-invocation dynamic scales (calibration-free,
+/// keeps the path self-contained).
+class QuantizedDistributedFfn {
+ public:
+  QuantizedDistributedFfn(const model::TransformerConfig& cfg,
+                          const partition::ShardedWeights& shards,
+                          const partition::PartitionPlan& plan,
+                          const noc::Topology& topo);
+
+  /// Run the FFN over x [S, E]; returns the dequantized float output of
+  /// the all-reduced partials (sublayer only — no skip/norm).
+  [[nodiscard]] model::Tensor forward(const model::Tensor& x) const;
+
+  /// Raw int32 partials after the reduce (for bit-exactness tests).
+  [[nodiscard]] std::vector<std::int32_t> forward_raw(const model::Tensor& x,
+                                                      float* out_scale) const;
+
+ private:
+  struct ChipShard {
+    std::vector<std::int8_t> w1;  // [E, fw] column slice
+    std::vector<std::int8_t> w2;  // [fw, E] row slice
+    QuantParams w1_params;
+    QuantParams w2_params;
+    int fw = 0;
+  };
+
+  const model::TransformerConfig& cfg_;
+  const partition::PartitionPlan& plan_;
+  const noc::Topology& topo_;
+  QuantParams w2_shared_params_;  // shared so partials share one scale
+  std::vector<ChipShard> chips_;
+};
+
+}  // namespace distmcu::quant
+
+#endif  // DISTMCU_QUANT_QUANTIZED_FFN_HPP

@@ -1,0 +1,87 @@
+#include "runtime/inference_session.hpp"
+
+#include "util/check.hpp"
+
+namespace distmcu::runtime {
+
+InferenceSession::InferenceSession(model::TransformerConfig cfg, int n_chips,
+                                   SystemConfig sys, std::uint64_t seed)
+    : cfg_(std::move(cfg)),
+      sys_(std::move(sys)),
+      weights_(cfg_, seed),
+      embedding_(cfg_, seed),
+      plan_(partition::PartitionPlan::create(cfg_, n_chips)),
+      shards_(weights_, plan_),
+      topo_(sys_.flat_topology ? noc::Topology::flat(n_chips)
+                               : noc::Topology::hierarchical(n_chips, sys_.group_size)),
+      sim_(sys_),
+      energy_(sys_.chip, sys_.link) {
+  block_ = std::make_unique<partition::DistributedBlock>(cfg_, weights_, shards_, plan_,
+                                                         topo_);
+}
+
+BlockResult InferenceSession::run_block(model::Mode mode) const {
+  BlockResult out;
+  out.report = sim_.run(plan_, mode);
+  out.energy = energy_.compute(out.report);
+  const partition::MemoryPlanner planner(sys_.chip, sys_.precision);
+  out.memory = planner.plan(plan_, mode);
+  return out;
+}
+
+GenerationResult InferenceSession::generate(const std::vector<int>& prompt,
+                                            int new_tokens) const {
+  util::check(!prompt.empty(), "generate: prompt must not be empty");
+  util::check(new_tokens >= 0, "generate: new_tokens must be >= 0");
+  util::check(static_cast<int>(prompt.size()) + new_tokens <= cfg_.ar_context,
+              "generate: sequence exceeds the model's context length");
+
+  GenerationResult out;
+  out.tokens = prompt;
+
+  // Per-block costs from the timed model, reused for every layer/token.
+  const BlockResult prompt_cost = run_block(model::Mode::prompt);
+  const BlockResult ar_cost = run_block(model::Mode::autoregressive);
+  const auto layers = static_cast<Cycles>(cfg_.num_layers);
+
+  auto caches = block_->make_chip_caches(cfg_.ar_context);
+
+  // --- prefill: run the prompt through all layers (prompt mode) -------
+  model::Tensor h = embedding_.lookup(prompt);
+  for (int l = 0; l < cfg_.num_layers; ++l) {
+    h = block_->forward(h, l, &caches, 0);
+  }
+  out.total_cycles += prompt_cost.report.block_cycles * layers;
+  out.total_energy_mj += prompt_cost.energy_mj() * static_cast<double>(layers);
+
+  // --- decode: one token at a time against the KV caches --------------
+  int pos = static_cast<int>(prompt.size());
+  int next = embedding_.greedy_next(h);
+  for (int t = 0; t < new_tokens; ++t) {
+    out.tokens.push_back(next);
+    ++out.generated;
+    if (t + 1 == new_tokens) break;
+    model::Tensor x = embedding_.lookup({next});
+    for (int l = 0; l < cfg_.num_layers; ++l) {
+      x = block_->forward(x, l, &caches, pos);
+    }
+    out.total_cycles += ar_cost.report.block_cycles * layers;
+    out.total_energy_mj += ar_cost.energy_mj() * static_cast<double>(layers);
+    next = embedding_.greedy_next(x);
+    ++pos;
+  }
+  return out;
+}
+
+model::Tensor InferenceSession::encode(const std::vector<int>& tokens) const {
+  util::check(static_cast<int>(tokens.size()) == cfg_.prompt_len,
+              "encode: token count must equal the configured sequence length (" +
+                  std::to_string(cfg_.prompt_len) + ")");
+  model::Tensor h = embedding_.lookup(tokens);
+  for (int l = 0; l < cfg_.num_layers; ++l) {
+    h = block_->forward(h, l, nullptr, 0);
+  }
+  return h;
+}
+
+}  // namespace distmcu::runtime

@@ -1,0 +1,109 @@
+#ifndef DISTMCU_RUNTIME_INFERENCE_SESSION_HPP
+#define DISTMCU_RUNTIME_INFERENCE_SESSION_HPP
+
+#include <memory>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "model/config.hpp"
+#include "model/embedding.hpp"
+#include "model/reference_model.hpp"
+#include "model/weights.hpp"
+#include "noc/topology.hpp"
+#include "partition/distributed_block.hpp"
+#include "partition/memory_planner.hpp"
+#include "partition/plan.hpp"
+#include "partition/sharder.hpp"
+#include "runtime/timed_simulation.hpp"
+
+namespace distmcu::runtime {
+
+/// One block-level measurement in the paper's reporting unit (runtime and
+/// energy for a single Transformer block, weights of the next block
+/// double-buffered where applicable).
+struct BlockResult {
+  RunReport report;
+  energy::EnergyBreakdown energy;
+  partition::MemoryPlan memory;
+
+  [[nodiscard]] double latency_ms(double freq_hz) const { return report.ms(freq_hz); }
+  [[nodiscard]] double energy_mj() const { return energy.total_mj(); }
+  [[nodiscard]] double edp_mj_ms(double freq_hz) const {
+    return energy.total_mj() * util::cycles_to_ms(report.block_cycles, freq_hz);
+  }
+};
+
+/// End-to-end generation outcome: the produced tokens plus aggregate
+/// simulated cost (per-token block measurements scaled by layer count).
+struct GenerationResult {
+  std::vector<int> tokens;          // prompt + generated continuation
+  Cycles total_cycles = 0;          // simulated wall-clock
+  double total_energy_mj = 0.0;
+  int generated = 0;
+
+  [[nodiscard]] double tokens_per_s(double freq_hz) const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(generated) /
+                     util::cycles_to_s(total_cycles, freq_hz);
+  }
+  [[nodiscard]] double mj_per_token() const {
+    return generated == 0 ? 0.0 : total_energy_mj / generated;
+  }
+};
+
+/// The library's front door: owns the model, the partition, the
+/// functional distributed executor, and the timed simulator for one
+/// (model, chip-count) deployment.
+///
+///   InferenceSession session(model::TransformerConfig::tiny_llama_42m(), 8);
+///   auto block = session.run_block(model::Mode::autoregressive);
+///   auto gen   = session.generate({1, 17, 42}, 16);
+///
+/// Functional outputs are produced by the real distributed numerics (so
+/// they are testably identical to a single-chip reference), while costs
+/// come from the timed platform model.
+class InferenceSession {
+ public:
+  InferenceSession(model::TransformerConfig cfg, int n_chips,
+                   SystemConfig sys = SystemConfig::siracusa_system(),
+                   std::uint64_t seed = 42);
+
+  /// The paper's measurement: one Transformer block in `mode`.
+  [[nodiscard]] BlockResult run_block(model::Mode mode) const;
+
+  /// Greedy end-to-end generation: embeds `prompt` (prefill through the
+  /// distributed blocks), then decodes `new_tokens` autoregressively.
+  /// Costs accumulate per block from the timed model.
+  [[nodiscard]] GenerationResult generate(const std::vector<int>& prompt,
+                                          int new_tokens) const;
+
+  /// Encoder forward (MobileBERT-style): runs the full stack over a
+  /// token sequence and returns the final hidden states [S, E].
+  [[nodiscard]] model::Tensor encode(const std::vector<int>& tokens) const;
+
+  [[nodiscard]] const partition::PartitionPlan& plan() const { return plan_; }
+  [[nodiscard]] const model::TransformerConfig& config() const { return cfg_; }
+  [[nodiscard]] const SystemConfig& system() const { return sys_; }
+  [[nodiscard]] const model::Weights& weights() const { return weights_; }
+  [[nodiscard]] const partition::DistributedBlock& block_executor() const {
+    return *block_;
+  }
+  [[nodiscard]] const model::Embedding& embedding() const { return embedding_; }
+
+ private:
+  model::TransformerConfig cfg_;
+  SystemConfig sys_;
+  model::Weights weights_;
+  model::Embedding embedding_;
+  partition::PartitionPlan plan_;
+  partition::ShardedWeights shards_;
+  noc::Topology topo_;
+  std::unique_ptr<partition::DistributedBlock> block_;
+  TimedBlockSimulation sim_;
+  energy::EnergyModel energy_;
+};
+
+}  // namespace distmcu::runtime
+
+#endif  // DISTMCU_RUNTIME_INFERENCE_SESSION_HPP

@@ -1,0 +1,41 @@
+#ifndef DISTMCU_RUNTIME_STEADY_STATE_HPP
+#define DISTMCU_RUNTIME_STEADY_STATE_HPP
+
+#include "partition/plan.hpp"
+#include "runtime/timed_simulation.hpp"
+
+namespace distmcu::runtime {
+
+/// Result of simulating a full multi-block pass (all layers, one mode).
+struct SteadyStateReport {
+  int blocks = 0;
+  Cycles total_cycles = 0;
+  /// total / blocks — the sustained per-block latency.
+  Cycles per_block_sustained = 0;
+  /// The paper's reported single-block latency for comparison.
+  Cycles per_block_isolated = 0;
+  /// Cycles blocks spent waiting for their weights to arrive from L3.
+  Cycles prefetch_stall_cycles = 0;
+  partition::Residency residency = partition::Residency::streamed;
+};
+
+/// Event-driven simulation of all `num_layers` blocks back-to-back on the
+/// sim::Engine: in the double-buffered regime each block's weight shard
+/// prefetch is an asynchronous DMA event racing the previous block's
+/// compute — exposing the gap between the paper's isolated single-block
+/// latency and the sustained latency of a full forward pass (ablation
+/// A2 in DESIGN.md).
+class SteadyStateSimulation {
+ public:
+  explicit SteadyStateSimulation(SystemConfig sys);
+
+  [[nodiscard]] SteadyStateReport run(const partition::PartitionPlan& plan,
+                                      model::Mode mode) const;
+
+ private:
+  SystemConfig sys_;
+};
+
+}  // namespace distmcu::runtime
+
+#endif  // DISTMCU_RUNTIME_STEADY_STATE_HPP

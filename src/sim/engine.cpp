@@ -1,0 +1,33 @@
+#include "sim/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace distmcu::sim {
+
+void Engine::schedule_at(Cycles at, Callback cb) {
+  util::check(at >= now_, "Engine::schedule_at in the past");
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+void Engine::step() {
+  // Move the event out before firing: the callback may schedule new
+  // events, which mutates the queue.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++events_executed_;
+  ev.cb();
+}
+
+Cycles Engine::run() {
+  while (!queue_.empty()) step();
+  return now_;
+}
+
+Cycles Engine::run_until(Cycles deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace distmcu::sim

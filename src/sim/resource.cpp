@@ -1,0 +1,52 @@
+#include "sim/resource.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace distmcu::sim {
+
+Resource::Resource(std::string name, double bandwidth_bytes_per_cycle, Cycles setup_cycles)
+    : name_(std::move(name)), bandwidth_(bandwidth_bytes_per_cycle), setup_cycles_(setup_cycles) {
+  util::check(bandwidth_ > 0.0, "Resource bandwidth must be positive: " + name_);
+}
+
+Cycles Resource::service_cycles(Bytes bytes) const {
+  const auto serialization =
+      static_cast<Cycles>(std::ceil(static_cast<double>(bytes) / bandwidth_));
+  return setup_cycles_ + serialization;
+}
+
+Cycles Resource::peek_completion(Cycles ready, Bytes bytes) const {
+  const Cycles start = ready > busy_until_ ? ready : busy_until_;
+  return start + service_cycles(bytes);
+}
+
+Cycles Resource::occupy(Cycles start, Bytes bytes) {
+  util::check(start >= busy_until_, "Resource::occupy start precedes busy horizon");
+  const Cycles service = service_cycles(bytes);
+  busy_until_ = start + service;
+  total_bytes_ += bytes;
+  busy_cycles_ += service;
+  ++num_transfers_;
+  return busy_until_;
+}
+
+Cycles Resource::transfer(Cycles ready, Bytes bytes) {
+  const Cycles start = ready > busy_until_ ? ready : busy_until_;
+  const Cycles service = service_cycles(bytes);
+  busy_until_ = start + service;
+  total_bytes_ += bytes;
+  busy_cycles_ += service;
+  ++num_transfers_;
+  return busy_until_;
+}
+
+void Resource::reset() {
+  busy_until_ = 0;
+  total_bytes_ = 0;
+  busy_cycles_ = 0;
+  num_transfers_ = 0;
+}
+
+}  // namespace distmcu::sim

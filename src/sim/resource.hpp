@@ -1,0 +1,69 @@
+#ifndef DISTMCU_SIM_RESOURCE_HPP
+#define DISTMCU_SIM_RESOURCE_HPP
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace distmcu::sim {
+
+/// A bandwidth-limited, FIFO-arbitrated shared resource: a DMA port, an
+/// off-chip memory interface, or a chip-to-chip link lane.
+///
+/// A transfer of B bytes requested at cycle `ready` starts when the
+/// resource frees up, pays a fixed `setup_cycles` (transaction/protocol
+/// overhead, e.g. MIPI packetization), then occupies the resource for
+/// ceil(B / bandwidth) cycles. Serialization of competing requesters —
+/// e.g. three group members reducing into one leader's ingress port —
+/// emerges from the shared `busy_until_` state rather than from any
+/// scheduling logic in the callers, mirroring how interconnect contention
+/// arises in GVSoC.
+class Resource {
+ public:
+  /// `bandwidth_bytes_per_cycle` must be > 0.
+  Resource(std::string name, double bandwidth_bytes_per_cycle, Cycles setup_cycles);
+
+  /// Reserve the resource for a transfer of `bytes` that is ready to
+  /// start at `ready`. Returns the completion cycle and advances the
+  /// internal busy horizon. `bytes == 0` still pays the setup cost.
+  Cycles transfer(Cycles ready, Bytes bytes);
+
+  /// Completion time a transfer WOULD have, without reserving.
+  [[nodiscard]] Cycles peek_completion(Cycles ready, Bytes bytes) const;
+
+  /// Earliest cycle a transfer ready at `ready` could start.
+  [[nodiscard]] Cycles earliest_start(Cycles ready) const {
+    return ready > busy_until_ ? ready : busy_until_;
+  }
+
+  /// Occupy the resource for a transfer with an externally chosen start
+  /// (used when a hop must reserve two ports — sender egress and receiver
+  /// ingress — atomically). `start` must be >= busy_until().
+  Cycles occupy(Cycles start, Bytes bytes);
+
+  /// Pure service time (setup + serialization) excluding queueing.
+  [[nodiscard]] Cycles service_cycles(Bytes bytes) const;
+
+  [[nodiscard]] Cycles busy_until() const { return busy_until_; }
+  [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
+  [[nodiscard]] Cycles busy_cycles() const { return busy_cycles_; }
+  [[nodiscard]] std::uint64_t num_transfers() const { return num_transfers_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+
+  /// Reset occupancy and counters (new measurement window).
+  void reset();
+
+ private:
+  std::string name_;
+  double bandwidth_;
+  Cycles setup_cycles_;
+  Cycles busy_until_ = 0;
+  Bytes total_bytes_ = 0;
+  Cycles busy_cycles_ = 0;
+  std::uint64_t num_transfers_ = 0;
+};
+
+}  // namespace distmcu::sim
+
+#endif  // DISTMCU_SIM_RESOURCE_HPP

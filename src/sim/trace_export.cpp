@@ -1,0 +1,53 @@
+#include "sim/trace_export.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace distmcu::sim {
+
+namespace {
+/// Minimal JSON string escaping for span labels (quotes and backslashes
+/// only — labels are library-generated identifiers).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) {
+  const double cycles_to_us = 1e6 / freq_hz;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : tracer.spans()) {
+    if (!first) os << ",";
+    first = false;
+    const double ts = static_cast<double>(span.begin) * cycles_to_us;
+    const double dur = static_cast<double>(span.duration()) * cycles_to_us;
+    os << "{\"name\":\"" << escape(span.label.empty() ? category_name(span.category)
+                                                      : span.label)
+       << "\",\"cat\":\"" << category_name(span.category) << "\",\"ph\":\"X\""
+       << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"pid\":" << span.chip
+       << ",\"tid\":" << static_cast<int>(span.category)
+       << ",\"args\":{\"bytes\":" << span.bytes << "}}";
+  }
+  // Process/thread names so Perfetto shows "chip N" / category labels.
+  int max_chip = -1;
+  for (const auto& span : tracer.spans()) max_chip = std::max(max_chip, span.chip);
+  for (int chip = 0; chip <= max_chip; ++chip) {
+    os << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << chip
+       << ",\"args\":{\"name\":\"chip " << chip << "\"}}";
+    for (int cat = 0; cat < static_cast<int>(kNumCategories); ++cat) {
+      os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << chip
+         << ",\"tid\":" << cat << ",\"args\":{\"name\":\""
+         << category_name(static_cast<Category>(cat)) << "\"}}";
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace distmcu::sim

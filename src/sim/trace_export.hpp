@@ -1,0 +1,20 @@
+#ifndef DISTMCU_SIM_TRACE_EXPORT_HPP
+#define DISTMCU_SIM_TRACE_EXPORT_HPP
+
+#include <iosfwd>
+
+#include "sim/tracer.hpp"
+
+namespace distmcu::sim {
+
+/// Export a tracer's spans as Chrome-tracing JSON (chrome://tracing /
+/// Perfetto "traceEvents" format): one process per chip, one track per
+/// activity category, microsecond timestamps derived from the cluster
+/// clock. This is the visual counterpart of GVSoC's VCD traces — load
+/// the file in Perfetto to see the two-synchronization block structure,
+/// the DMA/compute overlap, and the prefetch racing the block.
+void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os);
+
+}  // namespace distmcu::sim
+
+#endif  // DISTMCU_SIM_TRACE_EXPORT_HPP

@@ -1,0 +1,61 @@
+#include "sim/tracer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace distmcu::sim {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::compute: return "Computation";
+    case Category::dma_l3_l2: return "DMA L3<->L2";
+    case Category::dma_l2_l1: return "DMA L2<->L1";
+    case Category::chip_to_chip: return "Chip-to-Chip";
+  }
+  return "?";
+}
+
+void Tracer::record(const Span& span) {
+  util::check(span.end >= span.begin, "Tracer span ends before it begins");
+  spans_.push_back(span);
+}
+
+void Tracer::record(int chip, Category cat, Cycles begin, Cycles end, Bytes bytes,
+                    std::string label) {
+  record(Span{chip, cat, begin, end, bytes, std::move(label)});
+}
+
+Cycles Tracer::total(int chip, Category cat) const {
+  Cycles sum = 0;
+  for (const auto& s : spans_) {
+    if (s.chip == chip && s.category == cat) sum += s.duration();
+  }
+  return sum;
+}
+
+Cycles Tracer::total(Category cat) const {
+  Cycles sum = 0;
+  for (const auto& s : spans_) {
+    if (s.category == cat) sum += s.duration();
+  }
+  return sum;
+}
+
+Bytes Tracer::total_bytes(Category cat) const {
+  Bytes sum = 0;
+  for (const auto& s : spans_) {
+    if (s.category == cat) sum += s.bytes;
+  }
+  return sum;
+}
+
+Cycles Tracer::makespan() const {
+  Cycles m = 0;
+  for (const auto& s : spans_) m = std::max(m, s.end);
+  return m;
+}
+
+void Tracer::clear() { spans_.clear(); }
+
+}  // namespace distmcu::sim

@@ -1,0 +1,73 @@
+#ifndef DISTMCU_SIM_TRACER_HPP
+#define DISTMCU_SIM_TRACER_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace distmcu::sim {
+
+/// Activity categories matching the runtime-breakdown legend of the
+/// paper's Fig. 4: computation, off-chip DMA (L3<->L2), on-chip tile DMA
+/// (L2<->L1), and the chip-to-chip link.
+enum class Category : std::uint8_t {
+  compute = 0,
+  dma_l3_l2 = 1,
+  dma_l2_l1 = 2,
+  chip_to_chip = 3,
+};
+
+inline constexpr std::size_t kNumCategories = 4;
+
+[[nodiscard]] const char* category_name(Category c);
+
+/// One traced activity interval on one chip.
+struct Span {
+  int chip = 0;
+  Category category = Category::compute;
+  Cycles begin = 0;
+  Cycles end = 0;
+  Bytes bytes = 0;
+  std::string label;
+
+  [[nodiscard]] Cycles duration() const { return end - begin; }
+};
+
+/// Records spans emitted by the timed simulation and aggregates them into
+/// per-chip / per-category totals. Totals are *occupancy* sums; the
+/// runtime report separately derives critical-path attribution (where
+/// overlapped compute/DMA count once) — both views are kept because the
+/// paper's stacked bars show attributed time while energy needs raw
+/// occupancy and byte counts.
+class Tracer {
+ public:
+  void record(const Span& span);
+  void record(int chip, Category cat, Cycles begin, Cycles end, Bytes bytes,
+              std::string label = {});
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+
+  /// Sum of span durations for one chip/category.
+  [[nodiscard]] Cycles total(int chip, Category cat) const;
+
+  /// Sum of span durations for a category over all chips.
+  [[nodiscard]] Cycles total(Category cat) const;
+
+  /// Sum of bytes moved for a category over all chips.
+  [[nodiscard]] Bytes total_bytes(Category cat) const;
+
+  /// Latest end time over all spans (0 when empty).
+  [[nodiscard]] Cycles makespan() const;
+
+  void clear();
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace distmcu::sim
+
+#endif  // DISTMCU_SIM_TRACER_HPP

@@ -1,0 +1,42 @@
+#ifndef DISTMCU_UTIL_CHECK_HPP
+#define DISTMCU_UTIL_CHECK_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace distmcu {
+
+/// Base error type for all library failures (invalid configurations,
+/// planner infeasibility, numeric misuse). Follows the Core Guidelines
+/// preference for exceptions over error codes at construction/validation
+/// boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a requested configuration cannot be deployed (e.g. a tensor
+/// does not fit in on-chip memory and no streaming fallback is allowed).
+class PlanError : public Error {
+ public:
+  explicit PlanError(const std::string& what) : Error(what) {}
+};
+
+namespace util {
+
+/// Precondition check: throws distmcu::Error with `msg` when `cond` is
+/// false. Used for user-facing API contract violations (not for internal
+/// logic bugs, which use assert).
+inline void check(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+/// Planner-specific check; throws PlanError.
+inline void check_plan(bool cond, const std::string& msg) {
+  if (!cond) throw PlanError(msg);
+}
+
+}  // namespace util
+}  // namespace distmcu
+
+#endif  // DISTMCU_UTIL_CHECK_HPP

@@ -1,0 +1,20 @@
+#include "util/logging.hpp"
+
+#include <array>
+#include <iostream>
+
+namespace distmcu::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static constexpr std::array<const char*, 4> names{"DEBUG", "INFO", "WARN", "ERROR"};
+  const auto idx = static_cast<std::size_t>(level);
+  if (idx >= names.size()) return;
+  std::cerr << "[distmcu:" << names[idx] << "] " << message << '\n';
+}
+
+}  // namespace distmcu::util

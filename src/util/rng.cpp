@@ -1,0 +1,65 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace distmcu::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+float Rng::normal() {
+  // Box-Muller; clamp u1 away from 0 to keep log finite.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(r * std::cos(2.0 * std::numbers::pi * u2));
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  // Rejection-free modulo is fine here: n is always tiny (vocab, chip
+  // counts) relative to 2^64, so bias is negligible for test purposes.
+  return next_u64() % n;
+}
+
+}  // namespace distmcu::util

@@ -1,0 +1,40 @@
+#ifndef DISTMCU_UTIL_RNG_HPP
+#define DISTMCU_UTIL_RNG_HPP
+
+#include <cstdint>
+
+namespace distmcu::util {
+
+/// Deterministic xoshiro256** pseudo-random generator, seeded via
+/// SplitMix64. Used for reproducible weight/activation initialization:
+/// all experiments in this repository are data-independent, but tests
+/// compare distributed numerics against a reference and therefore need
+/// stable inputs across runs and platforms (no std::mt19937 distribution
+/// portability caveats).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Uniform float in [lo, hi).
+  [[nodiscard]] float uniform(float lo, float hi);
+
+  /// Standard normal via Box-Muller (no cached second value; keeps the
+  /// stream position deterministic per call).
+  [[nodiscard]] float normal();
+
+  /// Uniform integer in [0, n) for n > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace distmcu::util
+
+#endif  // DISTMCU_UTIL_RNG_HPP

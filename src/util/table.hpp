@@ -1,0 +1,44 @@
+#ifndef DISTMCU_UTIL_TABLE_HPP
+#define DISTMCU_UTIL_TABLE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace distmcu::util {
+
+/// Column-aligned ASCII table used by the benchmark harnesses to print
+/// paper-style result rows, plus a CSV emitter so series can be replotted.
+/// Cells are stored as strings; numeric helpers format with fixed
+/// precision so bench output is diff-stable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent `add*` calls fill it left to right.
+  Table& row();
+
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::uint64_t value);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with a header rule and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  /// Emit RFC-4180-ish CSV (no quoting needed for our cell contents).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace distmcu::util
+
+#endif  // DISTMCU_UTIL_TABLE_HPP

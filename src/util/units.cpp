@@ -1,0 +1,40 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace distmcu::util {
+
+std::string format_bytes(Bytes bytes) {
+  constexpr std::array<const char*, 5> suffixes{"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < suffixes.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, suffixes[idx]);
+  }
+  return buf;
+}
+
+std::string format_si(double value, int precision) {
+  constexpr std::array<const char*, 5> suffixes{"", "K", "M", "G", "T"};
+  double magnitude = std::fabs(value);
+  std::size_t idx = 0;
+  while (magnitude >= 1000.0 && idx + 1 < suffixes.size()) {
+    magnitude /= 1000.0;
+    value /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, value, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace distmcu::util

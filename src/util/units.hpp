@@ -1,0 +1,47 @@
+#ifndef DISTMCU_UTIL_UNITS_HPP
+#define DISTMCU_UTIL_UNITS_HPP
+
+#include <cstdint>
+#include <string>
+
+/// Common strong-ish unit aliases and conversion helpers used across the
+/// library. All simulated time is kept in integer clock cycles of the
+/// cluster clock; energy is kept in picojoules (double) to avoid rounding
+/// of the per-byte energy constants from the paper.
+namespace distmcu {
+
+using Cycles = std::uint64_t;
+using Bytes = std::uint64_t;
+using PicoJoules = double;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+
+namespace util {
+
+/// Convert cycles at a given clock frequency to milliseconds.
+[[nodiscard]] constexpr double cycles_to_ms(Cycles cycles, double freq_hz) {
+  return static_cast<double>(cycles) / freq_hz * 1e3;
+}
+
+/// Convert cycles at a given clock frequency to seconds.
+[[nodiscard]] constexpr double cycles_to_s(Cycles cycles, double freq_hz) {
+  return static_cast<double>(cycles) / freq_hz;
+}
+
+/// Convert picojoules to millijoules.
+[[nodiscard]] constexpr double pj_to_mj(PicoJoules pj) { return pj * 1e-9; }
+
+/// Convert picojoules to microjoules.
+[[nodiscard]] constexpr double pj_to_uj(PicoJoules pj) { return pj * 1e-6; }
+
+/// Human-readable byte count, e.g. "768.0 KiB".
+[[nodiscard]] std::string format_bytes(Bytes bytes);
+
+/// Human-readable cycle count with SI suffix, e.g. "6.9M".
+[[nodiscard]] std::string format_si(double value, int precision = 2);
+
+}  // namespace util
+}  // namespace distmcu
+
+#endif  // DISTMCU_UTIL_UNITS_HPP

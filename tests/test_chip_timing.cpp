@@ -1,0 +1,156 @@
+// Unit and property tests for the cluster kernel-timing model: scaling
+// behaviour, overhead-driven utilization loss (the paper's sub-linear
+// kernel scaling), and traffic accounting.
+#include <gtest/gtest.h>
+
+#include "chip/chip_config.hpp"
+#include "chip/kernel_timing.hpp"
+#include "util/check.hpp"
+
+using namespace distmcu;
+using chip::ChipConfig;
+using chip::KernelCost;
+using chip::KernelTiming;
+using chip::Precision;
+using chip::TimingConfig;
+
+namespace {
+KernelTiming default_timing() { return KernelTiming(ChipConfig::siracusa().timing); }
+}  // namespace
+
+TEST(ChipConfig, SiracusaMatchesPaperConstants) {
+  const ChipConfig c = ChipConfig::siracusa();
+  EXPECT_EQ(c.timing.cores, 8);
+  EXPECT_DOUBLE_EQ(c.freq_hz, 500e6);
+  EXPECT_EQ(c.l1_size, 256u * 1024);
+  EXPECT_EQ(c.l2_size, 2u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(c.core_power_mw, 13.0);
+  EXPECT_DOUBLE_EQ(c.active_power_mw(), 104.0);
+  EXPECT_DOUBLE_EQ(c.e_l3_pj_per_byte, 100.0);
+  EXPECT_DOUBLE_EQ(c.e_l2_pj_per_byte, 2.0);
+  EXPECT_LT(c.l2_usable(), c.l2_size);
+}
+
+TEST(ChipConfig, PrecisionBytes) {
+  EXPECT_EQ(chip::precision_bytes(Precision::int8), 1u);
+  EXPECT_EQ(chip::precision_bytes(Precision::int16), 2u);
+  EXPECT_EQ(chip::precision_bytes(Precision::fp32), 4u);
+  EXPECT_STREQ(chip::precision_name(Precision::int16), "int16");
+}
+
+TEST(KernelTiming, GemmComputeScalesWithMacs) {
+  const auto t = default_timing();
+  const auto small = t.gemm(64, 64, 64, Precision::int16, 2, 1);
+  const auto big = t.gemm(64, 64, 512, Precision::int16, 2, 1);
+  // 8x the MACs (K scaled 8x) -> compute should grow close to 8x (same
+  // row overheads).
+  const double ratio = static_cast<double>(big.compute_cycles) /
+                       static_cast<double>(small.compute_cycles);
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 8.5);
+}
+
+TEST(KernelTiming, Int8TwiceAsFastAsInt16) {
+  const auto t = default_timing();
+  const auto i8 = t.gemm(128, 512, 512, Precision::int8, 1, 1);
+  const auto i16 = t.gemm(128, 512, 512, Precision::int16, 2, 1);
+  const double ratio = static_cast<double>(i16.compute_cycles) /
+                       static_cast<double>(i8.compute_cycles);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(KernelTiming, GemvParallelizesOverOutputChannels) {
+  // M=1: work must spread across cores via the N dimension, so an
+  // 8-core cluster should run the same GEMV ~8x faster than 1 core.
+  TimingConfig one_core = ChipConfig::siracusa().timing;
+  one_core.cores = 1;
+  const auto single = KernelTiming(one_core).gemm(1, 512, 512, Precision::int16, 2, 1);
+  const auto octa = default_timing().gemm(1, 512, 512, Precision::int16, 2, 1);
+  const double speedup = static_cast<double>(single.compute_cycles) /
+                         static_cast<double>(octa.compute_cycles);
+  EXPECT_GT(speedup, 7.0);
+  EXPECT_LE(speedup, 8.5);
+}
+
+TEST(KernelTiming, SmallKernelsLoseUtilization) {
+  const auto t = default_timing();
+  // The paper: "the runtime of a GEMM kernel does not scale down
+  // linearly as the overall kernel size is reduced". Halving N eight
+  // times must yield less than 8x speedup once overheads dominate.
+  const auto full = t.gemm(16, 512, 512, Precision::int16, 2, 1);
+  const auto eighth = t.gemm(16, 64, 512, Precision::int16, 2, 1);
+  const double speedup =
+      static_cast<double>(full.compute_cycles + full.overhead_cycles) /
+      static_cast<double>(eighth.compute_cycles + eighth.overhead_cycles);
+  EXPECT_LT(speedup, 8.0);
+  EXPECT_GT(speedup, 2.0);
+}
+
+TEST(KernelTiming, TrafficCountsOperands) {
+  const auto t = default_timing();
+  const auto c = t.gemm(4, 16, 32, Precision::int16, 2, 1);
+  // weights: 16*32*2 = 1024, input: 4*32*1 = 128, output: 4*16*1 = 64.
+  EXPECT_EQ(c.l1_in_bytes, 1024u + 128u);
+  EXPECT_EQ(c.l1_out_bytes, 64u);
+  EXPECT_EQ(c.l1_bytes(), 1216u);
+}
+
+TEST(KernelTiming, RejectsNonPositiveDims) {
+  const auto t = default_timing();
+  EXPECT_THROW(t.gemm(0, 1, 1, Precision::int8, 1, 1), Error);
+  EXPECT_THROW(t.softmax(1, 0, 1), Error);
+  EXPECT_THROW(t.norm(-1, 4, 1), Error);
+  EXPECT_THROW(t.elementwise(0, 1), Error);
+}
+
+TEST(KernelTiming, SoftmaxScalesWithRows) {
+  const auto t = default_timing();
+  const auto one = t.softmax(8, 128, 1);
+  const auto four = t.softmax(32, 128, 1);
+  const double ratio =
+      static_cast<double>(four.compute_cycles) / static_cast<double>(one.compute_cycles);
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(KernelTiming, NormAndElementwiseHaveOverheads) {
+  const auto t = default_timing();
+  const auto n = t.norm(1, 64, 1);
+  const auto e = t.elementwise(512, 1);
+  EXPECT_GT(n.overhead_cycles, 0u);
+  EXPECT_GT(e.overhead_cycles, 0u);
+  // For tiny workloads the fixed overhead dominates compute.
+  EXPECT_GT(n.overhead_cycles, n.compute_cycles);
+  EXPECT_GT(e.overhead_cycles, e.compute_cycles);
+}
+
+TEST(KernelTiming, AccumulateCheaperThanKernelLaunch) {
+  const auto t = default_timing();
+  const auto acc = t.accumulate(512, 1);
+  EXPECT_LT(acc.overhead_cycles, t.config().kernel_call_overhead);
+}
+
+TEST(KernelTiming, RopeScalesWithElements) {
+  const auto t = default_timing();
+  const auto small = t.rope(8, 64, 1);
+  const auto large = t.rope(8, 512, 1);
+  EXPECT_GT(large.compute_cycles, small.compute_cycles * 6);
+}
+
+// Property sweep: compute cycles are monotone in each GEMM dimension.
+class GemmMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmMonotoneTest, MonotoneInEachDimension) {
+  const auto t = default_timing();
+  const int d = GetParam();
+  const auto base = t.gemm(d, d, d, Precision::int16, 2, 1);
+  const auto more_m = t.gemm(2 * d, d, d, Precision::int16, 2, 1);
+  const auto more_n = t.gemm(d, 2 * d, d, Precision::int16, 2, 1);
+  const auto more_k = t.gemm(d, d, 2 * d, Precision::int16, 2, 1);
+  EXPECT_GE(more_m.compute_cycles, base.compute_cycles);
+  EXPECT_GE(more_n.compute_cycles, base.compute_cycles);
+  EXPECT_GE(more_k.compute_cycles, base.compute_cycles);
+  EXPECT_GT(more_k.l1_in_bytes, base.l1_in_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GemmMonotoneTest, ::testing::Values(8, 16, 64, 128, 256));

@@ -1,0 +1,298 @@
+// Numeric tests for the functional kernels: hand-checked small cases plus
+// algebraic properties (softmax normalization, norm invariances, RoPE
+// isometry, attention limits).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/attention.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/ops.hpp"
+#include "kernels/rope.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+using namespace distmcu;
+namespace k = distmcu::kernels;
+
+TEST(Gemm, HandComputed2x2) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]]
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4);
+  k::gemm(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, BiasBroadcastsOverRows) {
+  const std::vector<float> a{1, 0, 0, 1};  // identity
+  const std::vector<float> b{2, 3, 4, 5};
+  const std::vector<float> bias{10, 20};
+  std::vector<float> c(4);
+  k::gemm(a, b, c, 2, 2, 2, bias);
+  EXPECT_FLOAT_EQ(c[0], 12);
+  EXPECT_FLOAT_EQ(c[1], 23);
+  EXPECT_FLOAT_EQ(c[2], 14);
+  EXPECT_FLOAT_EQ(c[3], 25);
+}
+
+TEST(Gemm, NtMatchesExplicitTranspose) {
+  util::Rng rng(3);
+  const int m = 5, n = 7, p = 9;
+  std::vector<float> a(static_cast<std::size_t>(m * p));
+  std::vector<float> bt(static_cast<std::size_t>(n * p));  // B^T stored [n,p]
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : bt) v = rng.uniform(-1, 1);
+  // Build B [p,n] explicitly.
+  std::vector<float> b(static_cast<std::size_t>(p * n));
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b[static_cast<std::size_t>(i * n + j)] = bt[static_cast<std::size_t>(j * p + i)];
+    }
+  }
+  std::vector<float> c1(static_cast<std::size_t>(m * n));
+  std::vector<float> c2(static_cast<std::size_t>(m * n));
+  k::gemm(a, b, c1, m, n, p);
+  k::gemm_nt(a, bt, c2, m, n, p);
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5);
+}
+
+TEST(Gemm, GemvEqualsSingleRowGemm) {
+  util::Rng rng(5);
+  const int n = 16, kk = 24;
+  std::vector<float> x(static_cast<std::size_t>(kk)), b(static_cast<std::size_t>(kk * n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<float> o1(static_cast<std::size_t>(n)), o2(static_cast<std::size_t>(n));
+  k::gemv(x, b, o1, n, kk);
+  k::gemm(x, b, o2, 1, n, kk);
+  for (int i = 0; i < n; ++i) EXPECT_FLOAT_EQ(o1[static_cast<std::size_t>(i)], o2[static_cast<std::size_t>(i)]);
+}
+
+TEST(Gemm, SizeMismatchThrows) {
+  std::vector<float> a(4), b(4), c(3);
+  EXPECT_THROW(k::gemm(a, b, c, 2, 2, 2), Error);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng(7);
+  const int rows = 6, cols = 33;
+  std::vector<float> x(static_cast<std::size_t>(rows * cols));
+  for (auto& v : x) v = rng.uniform(-4, 4);
+  k::softmax_rows(x, rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    float sum = 0;
+    for (int c = 0; c < cols; ++c) sum += x[static_cast<std::size_t>(r * cols + c)];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(Softmax, StableForLargeInputs) {
+  std::vector<float> x{1000.0f, 1000.0f, 1000.0f, 999.0f};
+  k::softmax_rows(x, 1, 4);
+  for (const float v : x) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(x[0], x[3]);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  std::vector<float> a{0.5f, -1.0f, 2.0f};
+  std::vector<float> b{10.5f, 9.0f, 12.0f};  // a + 10
+  k::softmax_rows(a, 1, 3);
+  k::softmax_rows(b, 1, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-6);
+}
+
+TEST(RmsNorm, UnitGammaGivesUnitRms) {
+  util::Rng rng(9);
+  const int cols = 64;
+  std::vector<float> x(cols), gamma(cols, 1.0f), out(cols);
+  for (auto& v : x) v = rng.uniform(-3, 3);
+  k::rmsnorm_rows(x, gamma, out, 1, cols, 1e-6f);
+  float ss = 0;
+  for (const float v : out) ss += v * v;
+  EXPECT_NEAR(std::sqrt(ss / cols), 1.0f, 1e-3);
+}
+
+TEST(RmsNorm, ScaleInvariance) {
+  const int cols = 8;
+  std::vector<float> x{1, 2, 3, 4, -1, -2, -3, -4};
+  std::vector<float> x2(x);
+  for (auto& v : x2) v *= 7.0f;
+  std::vector<float> gamma(cols, 1.0f), o1(cols), o2(cols);
+  k::rmsnorm_rows(x, gamma, o1, 1, cols, 0.0f);
+  k::rmsnorm_rows(x2, gamma, o2, 1, cols, 0.0f);
+  for (int i = 0; i < cols; ++i) EXPECT_NEAR(o1[static_cast<std::size_t>(i)], o2[static_cast<std::size_t>(i)], 1e-5);
+}
+
+TEST(LayerNorm, ZeroMeanUnitVar) {
+  util::Rng rng(11);
+  const int cols = 128;
+  std::vector<float> x(cols), gamma(cols, 1.0f), beta(cols, 0.0f), out(cols);
+  for (auto& v : x) v = rng.uniform(0, 10);
+  k::layernorm_rows(x, gamma, beta, out, 1, cols, 1e-6f);
+  float mean = 0;
+  for (const float v : out) mean += v;
+  mean /= cols;
+  float var = 0;
+  for (const float v : out) var += (v - mean) * (v - mean);
+  var /= cols;
+  EXPECT_NEAR(mean, 0.0f, 1e-4);
+  EXPECT_NEAR(var, 1.0f, 1e-3);
+}
+
+TEST(LayerNorm, BetaShifts) {
+  const int cols = 4;
+  std::vector<float> x{1, 2, 3, 4}, gamma(cols, 1.0f), beta(cols, 5.0f), out(cols);
+  k::layernorm_rows(x, gamma, beta, out, 1, cols, 1e-6f);
+  float mean = 0;
+  for (const float v : out) mean += v;
+  EXPECT_NEAR(mean / cols, 5.0f, 1e-4);
+}
+
+TEST(Activations, GeluKnownValues) {
+  std::vector<float> x{0.0f, 100.0f, -100.0f, 1.0f};
+  k::gelu(x);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_NEAR(x[1], 100.0f, 1e-3);
+  EXPECT_NEAR(x[2], 0.0f, 1e-3);
+  EXPECT_NEAR(x[3], 0.8413447f, 1e-4);  // x * Phi(1)
+}
+
+TEST(Activations, SiluKnownValues) {
+  std::vector<float> x{0.0f, 100.0f};
+  k::silu(x);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_NEAR(x[1], 100.0f, 1e-3);
+}
+
+TEST(Activations, ReluClampsNegatives) {
+  std::vector<float> x{-1.0f, 0.0f, 2.5f};
+  k::relu(x);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[2], 2.5f);
+}
+
+TEST(Elementwise, AddAndMul) {
+  std::vector<float> out{1, 2, 3};
+  const std::vector<float> x{10, 20, 30};
+  k::add_inplace(out, x);
+  EXPECT_FLOAT_EQ(out[1], 22);
+  k::mul_inplace(out, x);
+  EXPECT_FLOAT_EQ(out[2], 990);
+}
+
+TEST(Rope, PositionZeroIsIdentity) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> orig(x);
+  k::rope_apply(x, 1, 4, 0, 10000.0f);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(x[static_cast<std::size_t>(i)], orig[static_cast<std::size_t>(i)], 1e-6);
+}
+
+TEST(Rope, PreservesPairNorms) {
+  util::Rng rng(13);
+  const int dim = 64;
+  std::vector<float> x(dim);
+  for (auto& v : x) v = rng.uniform(-2, 2);
+  const std::vector<float> orig(x);
+  k::rope_apply(x, 1, dim, 37, 10000.0f);
+  for (int j = 0; j < dim; j += 2) {
+    const float n0 = orig[static_cast<std::size_t>(j)] * orig[static_cast<std::size_t>(j)] +
+                     orig[static_cast<std::size_t>(j + 1)] * orig[static_cast<std::size_t>(j + 1)];
+    const float n1 = x[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)] +
+                     x[static_cast<std::size_t>(j + 1)] * x[static_cast<std::size_t>(j + 1)];
+    EXPECT_NEAR(n0, n1, 1e-4);
+  }
+}
+
+TEST(Rope, RelativePhaseProperty) {
+  // Rotating the same vector at positions p and p+d: the dot product
+  // between the two depends only on d (relative encoding).
+  const int dim = 8;
+  std::vector<float> base(dim, 0.5f);
+  auto rotated = [&](int pos) {
+    std::vector<float> v(base);
+    k::rope_apply(v, 1, dim, pos, 10000.0f);
+    return v;
+  };
+  auto dot = [&](const std::vector<float>& a, const std::vector<float>& b) {
+    float s = 0;
+    for (int i = 0; i < dim; ++i) s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    return s;
+  };
+  const float d1 = dot(rotated(3), rotated(7));
+  const float d2 = dot(rotated(20), rotated(24));
+  EXPECT_NEAR(d1, d2, 1e-4);
+}
+
+TEST(Rope, OddHeadDimRejected) {
+  std::vector<float> x(3);
+  EXPECT_THROW(k::rope_apply(x, 1, 3, 0, 10000.0f), Error);
+}
+
+TEST(Attention, UniformScoresAverageValues) {
+  // Q orthogonal to all keys -> uniform probabilities -> output is the
+  // mean of V rows.
+  const int p = 4, s_kv = 3;
+  const std::vector<float> q(p, 0.0f);
+  std::vector<float> kmat(static_cast<std::size_t>(s_kv * p));
+  std::vector<float> vmat{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3};
+  util::Rng rng(17);
+  for (auto& v : kmat) v = rng.uniform(-1, 1);
+  std::vector<float> out(p);
+  k::attention_head_ar(q, kmat, vmat, out, s_kv, p);
+  for (const float v : out) EXPECT_NEAR(v, 2.0f, 1e-5);
+}
+
+TEST(Attention, SharpScoresSelectValue) {
+  const int p = 2, s_kv = 2;
+  const std::vector<float> q{100.0f, 0.0f};
+  const std::vector<float> kmat{1.0f, 0.0f, -1.0f, 0.0f};  // key0 aligned, key1 anti
+  const std::vector<float> vmat{7.0f, 8.0f, -5.0f, -6.0f};
+  std::vector<float> out(p);
+  k::attention_head_ar(q, kmat, vmat, out, s_kv, p);
+  EXPECT_NEAR(out[0], 7.0f, 1e-3);
+  EXPECT_NEAR(out[1], 8.0f, 1e-3);
+}
+
+TEST(Attention, CausalMaskBlocksFuture) {
+  // Two queries, two keys; causal: row 0 may only see key 0.
+  const int p = 2, s = 2;
+  const std::vector<float> q{1.0f, 0.0f, 1.0f, 0.0f};
+  const std::vector<float> kmat{1.0f, 0.0f, 100.0f, 0.0f};  // key1 would dominate
+  const std::vector<float> vmat{1.0f, 1.0f, 9.0f, 9.0f};
+  std::vector<float> out(static_cast<std::size_t>(s * p));
+  k::attention_head(q, kmat, vmat, out, s, s, p, /*causal=*/true, /*pos_offset=*/0);
+  // Row 0 can only attend to key 0 -> exactly v0.
+  EXPECT_NEAR(out[0], 1.0f, 1e-5);
+  EXPECT_NEAR(out[1], 1.0f, 1e-5);
+  // Row 1 sees both; key1 dominates -> close to v1.
+  EXPECT_GT(out[2], 5.0f);
+}
+
+TEST(Attention, BidirectionalSeesAll) {
+  const int p = 2, s = 2;
+  const std::vector<float> q{1.0f, 0.0f, 1.0f, 0.0f};
+  const std::vector<float> kmat{1.0f, 0.0f, 100.0f, 0.0f};
+  const std::vector<float> vmat{1.0f, 1.0f, 9.0f, 9.0f};
+  std::vector<float> out(static_cast<std::size_t>(s * p));
+  k::attention_head(q, kmat, vmat, out, s, s, p, /*causal=*/false, /*pos_offset=*/0);
+  EXPECT_GT(out[0], 5.0f);  // row 0 now also dominated by key 1
+}
+
+TEST(Attention, PosOffsetExtendsVisibility) {
+  // With pos_offset=1, query row 0 is absolute position 1 and may see
+  // keys 0 and 1.
+  const int p = 2;
+  const std::vector<float> q{1.0f, 0.0f};
+  const std::vector<float> kmat{1.0f, 0.0f, 100.0f, 0.0f};
+  const std::vector<float> vmat{1.0f, 1.0f, 9.0f, 9.0f};
+  std::vector<float> out(p);
+  k::attention_head(q, kmat, vmat, out, 1, 2, p, /*causal=*/true, /*pos_offset=*/1);
+  EXPECT_GT(out[0], 5.0f);
+}

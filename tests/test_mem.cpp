@@ -1,0 +1,106 @@
+// Unit tests for the memory substrate: arena fit accounting (the basis of
+// the residency planner), alignment, high-water marks, traffic counters.
+#include <gtest/gtest.h>
+
+#include "mem/arena.hpp"
+#include "mem/memory_level.hpp"
+#include "mem/traffic.hpp"
+#include "util/check.hpp"
+
+using namespace distmcu;
+using mem::Arena;
+using mem::TrafficCounter;
+
+TEST(Arena, AllocatesAndTracksUsage) {
+  Arena a("L2", 2_MiB);
+  const auto alloc = a.allocate("weights", 786432);
+  EXPECT_EQ(alloc.offset, 0u);
+  EXPECT_EQ(alloc.size, 786432u);
+  EXPECT_EQ(a.used(), 786432u);
+  EXPECT_EQ(a.remaining(), 2_MiB - 786432u);
+}
+
+TEST(Arena, AlignsAllocations) {
+  Arena a("L1", 1024, 16);
+  a.allocate("x", 5);
+  const auto second = a.allocate("y", 5);
+  EXPECT_EQ(second.offset, 16u);
+}
+
+TEST(Arena, TryAllocateFailsWithoutSideEffects) {
+  Arena a("L2", 100);
+  EXPECT_TRUE(a.try_allocate("a", 60));
+  const Bytes used_before = a.used();
+  EXPECT_FALSE(a.try_allocate("b", 60));
+  EXPECT_EQ(a.used(), used_before);
+  EXPECT_EQ(a.allocations().size(), 1u);
+}
+
+TEST(Arena, AllocateThrowsPlanErrorWhenFull) {
+  Arena a("L2", 100);
+  a.allocate("a", 90);
+  EXPECT_THROW(a.allocate("b", 90), PlanError);
+}
+
+TEST(Arena, HighWaterSurvivesReset) {
+  Arena a("L2", 1000);
+  a.allocate("a", 800);
+  a.reset();
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.high_water(), 800u);
+  a.allocate("b", 100);
+  EXPECT_EQ(a.high_water(), 800u);
+}
+
+TEST(Arena, ExactFitSucceeds) {
+  Arena a("L2", 256, 8);
+  EXPECT_TRUE(a.try_allocate("exact", 256));
+  EXPECT_EQ(a.remaining(), 0u);
+}
+
+TEST(Arena, MemoryMapListsAllocations) {
+  Arena a("L2", 1_MiB);
+  a.allocate("wq_shard", 128_KiB);
+  a.allocate("kv_cache", 32_KiB);
+  const std::string map = a.memory_map();
+  EXPECT_NE(map.find("wq_shard"), std::string::npos);
+  EXPECT_NE(map.find("kv_cache"), std::string::npos);
+  EXPECT_NE(map.find("L2"), std::string::npos);
+}
+
+TEST(Arena, NonPowerOfTwoAlignmentRejected) {
+  EXPECT_THROW(Arena("bad", 100, 24), Error);
+}
+
+TEST(MemoryLevel, TierNames) {
+  EXPECT_STREQ(mem::tier_name(mem::Tier::l1), "L1");
+  EXPECT_STREQ(mem::tier_name(mem::Tier::l2), "L2");
+  EXPECT_STREQ(mem::tier_name(mem::Tier::l3), "L3");
+}
+
+TEST(MemoryLevel, HoldsPaperEnergyConstants) {
+  const mem::MemoryLevel l3{mem::Tier::l3, 0, 100.0};
+  const mem::MemoryLevel l2{mem::Tier::l2, 2_MiB, 2.0};
+  EXPECT_DOUBLE_EQ(l3.energy_pj_per_byte, 100.0);
+  EXPECT_DOUBLE_EQ(l2.energy_pj_per_byte, 2.0);
+  EXPECT_EQ(l2.name(), "L2");
+}
+
+TEST(Traffic, AccumulatesComponentwise) {
+  TrafficCounter a{100, 200, 300};
+  const TrafficCounter b{1, 2, 3};
+  a += b;
+  EXPECT_EQ(a.l3_l2, 101u);
+  EXPECT_EQ(a.l2_l1, 202u);
+  EXPECT_EQ(a.c2c, 303u);
+  const TrafficCounter c = a + b;
+  EXPECT_EQ(c.l3_l2, 102u);
+}
+
+TEST(Traffic, EqualityComparison) {
+  const TrafficCounter a{1, 2, 3};
+  const TrafficCounter b{1, 2, 3};
+  EXPECT_EQ(a, b);
+  const TrafficCounter c{1, 2, 4};
+  EXPECT_FALSE(a == c);
+}

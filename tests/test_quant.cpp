@@ -1,0 +1,171 @@
+// Tests for the quantized execution path: round-trip error bounds,
+// integer GEMM vs float reference, requantization, and the key
+// distributed-systems property — int32 accumulation makes the
+// hierarchical all-reduce bit-exact regardless of tree shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/gemm.hpp"
+#include "noc/collectives.hpp"
+#include "noc/topology.hpp"
+#include "quant/int_kernels.hpp"
+#include "quant/quantize.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+using namespace distmcu;
+namespace q = distmcu::quant;
+
+namespace {
+std::vector<float> random_vec(std::size_t n, float scale, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(-scale, scale);
+  return v;
+}
+}  // namespace
+
+TEST(Quantize, RoundTripWithinHalfLsb) {
+  const auto data = random_vec(1000, 3.0f, 1);
+  for (int bits : {8, 16}) {
+    const auto p = q::choose_params(data, bits);
+    std::vector<float> restored(data.size());
+    if (bits == 8) {
+      const auto qd = q::quantize_i8(data, p);
+      q::dequantize(qd, p, restored);
+    } else {
+      const auto qd = q::quantize_i16(data, p);
+      q::dequantize(qd, p, restored);
+    }
+    const float bound = q::max_quant_error(p) * 1.001f;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_LE(std::fabs(restored[i] - data[i]), bound) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Quantize, SixteenBitsMuchTighterThanEight) {
+  const auto data = random_vec(100, 1.0f, 2);
+  const auto p8 = q::choose_params(data, 8);
+  const auto p16 = q::choose_params(data, 16);
+  EXPECT_GT(q::max_quant_error(p8), 100.0f * q::max_quant_error(p16));
+}
+
+TEST(Quantize, SaturatesOutOfRange) {
+  const q::QuantParams p{0.1f};  // representable range: +-12.7 at int8
+  const std::vector<float> data{100.0f, -100.0f};
+  const auto qd = q::quantize_i8(data, p);
+  EXPECT_EQ(qd[0], 127);
+  EXPECT_EQ(qd[1], -128);
+}
+
+TEST(Quantize, ZeroTensorGetsUnitScale) {
+  const std::vector<float> zeros(16, 0.0f);
+  const auto p = q::choose_params(zeros, 8);
+  EXPECT_FLOAT_EQ(p.scale, 1.0f);
+}
+
+TEST(Quantize, RejectsBadBits) {
+  EXPECT_THROW((void)q::QuantParams::from_absmax(1.0f, 12), Error);
+}
+
+TEST(IntGemm, MatchesFloatReferenceWithinQuantError) {
+  const int m = 6, n = 10, k = 32;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 1.0f, 3);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 0.2f, 4);
+  const auto pa = q::choose_params(a, 8);
+  const auto pb = q::choose_params(b, 8);
+  const auto qa = q::quantize_i8(a, pa);
+  const auto qb = q::quantize_i8(b, pb);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(m * n));
+  q::gemm_i8_i32(qa, qb, acc, m, n, k);
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n));
+  kernels::gemm(a, b, c_ref, m, n, k);
+  // Error bound: k * (|a|max * eb + |b|max * ea) ~ loose analytic bound.
+  const float bound = static_cast<float>(k) *
+                      (1.0f * q::max_quant_error(pb) + 0.2f * q::max_quant_error(pa)) *
+                      2.0f;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const float deq = static_cast<float>(acc[i]) * pa.scale * pb.scale;
+    ASSERT_NEAR(deq, c_ref[i], bound);
+  }
+}
+
+TEST(IntGemm, I16MoreAccurateThanI8) {
+  const int m = 4, n = 4, k = 64;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 1.0f, 5);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 1.0f, 6);
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n));
+  kernels::gemm(a, b, c_ref, m, n, k);
+
+  auto max_err = [&](int bits) {
+    const auto pa = q::choose_params(a, bits);
+    const auto pb = q::choose_params(b, bits);
+    std::vector<double> deq(static_cast<std::size_t>(m * n));
+    if (bits == 8) {
+      std::vector<std::int32_t> acc(deq.size());
+      q::gemm_i8_i32(q::quantize_i8(a, pa), q::quantize_i8(b, pb), acc, m, n, k);
+      for (std::size_t i = 0; i < acc.size(); ++i) deq[i] = static_cast<double>(acc[i]);
+    } else {
+      std::vector<std::int64_t> acc(deq.size());
+      q::gemm_i16_i64(q::quantize_i16(a, pa), q::quantize_i16(b, pb), acc, m, n, k);
+      for (std::size_t i = 0; i < acc.size(); ++i) deq[i] = static_cast<double>(acc[i]);
+    }
+    float err = 0.0f;
+    for (std::size_t i = 0; i < deq.size(); ++i) {
+      err = std::max(err, std::fabs(static_cast<float>(deq[i] * pa.scale * pb.scale) -
+                                    c_ref[i]));
+    }
+    return err;
+  };
+  EXPECT_LT(max_err(16) * 50.0f, max_err(8));
+}
+
+TEST(Requant, RoundsAndClamps) {
+  const std::vector<std::int32_t> acc{1000, -1000, 1000000, -1000000, 3};
+  std::vector<std::int8_t> out(acc.size());
+  // mult/2^shift = 1/16.
+  q::requant_i32_i8(acc, 1, 4, out);
+  EXPECT_EQ(out[0], 63);    // 1000/16 = 62.5 -> 63 (round half up)
+  EXPECT_EQ(out[1], -62);   // -1000/16 = -62.5 -> -62 (arithmetic shift w/ rounding)
+  EXPECT_EQ(out[2], 127);   // clamped
+  EXPECT_EQ(out[3], -128);  // clamped
+  EXPECT_EQ(out[4], 0);
+}
+
+// The distributed-inference property: integer partial sums reduce to the
+// SAME result for any topology (float would drift with tree shape).
+class IntReduceOrderInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntReduceOrderInvariance, AnyTopologySameBits) {
+  const int n_chips = GetParam();
+  const std::size_t len = 128;
+  auto make_buffers = [&] {
+    std::vector<std::vector<std::int32_t>> bufs(static_cast<std::size_t>(n_chips));
+    util::Rng rng(77);
+    for (auto& b : bufs) {
+      b.resize(len);
+      for (auto& v : b) {
+        v = static_cast<std::int32_t>(rng.next_below(200000)) - 100000;
+      }
+    }
+    return bufs;
+  };
+  auto reduce_with = [&](const noc::Topology& topo) {
+    auto bufs = make_buffers();
+    std::vector<std::span<std::int32_t>> views;
+    for (auto& b : bufs) views.emplace_back(b);
+    noc::reduce_numeric(topo, views);
+    return bufs[0];
+  };
+  const auto hier4 = reduce_with(noc::Topology::hierarchical(n_chips, 4));
+  const auto hier2 = reduce_with(noc::Topology::hierarchical(n_chips, 2));
+  const auto flat = reduce_with(noc::Topology::flat(n_chips));
+  EXPECT_EQ(hier4, hier2);
+  EXPECT_EQ(hier4, flat);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipCounts, IntReduceOrderInvariance,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));

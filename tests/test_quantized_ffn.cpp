@@ -1,0 +1,135 @@
+// Tests for the int8 distributed FFN: accuracy against the float
+// reference, and the deployment-critical property that int32 partial-sum
+// reduction is bit-exact for every topology and chip count (float
+// reductions drift with tree shape; integers do not).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/gemm.hpp"
+#include "kernels/ops.hpp"
+#include "model/weights.hpp"
+#include "noc/topology.hpp"
+#include "partition/plan.hpp"
+#include "partition/sharder.hpp"
+#include "quant/quantized_ffn.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+using namespace distmcu;
+using model::Tensor;
+using model::TransformerConfig;
+using model::Weights;
+using quant::QuantizedDistributedFfn;
+
+namespace {
+
+TransformerConfig ffn_config() {
+  TransformerConfig cfg = TransformerConfig::tiny_llama_42m();
+  cfg.embed_dim = 64;
+  cfg.ffn_dim = 128;
+  cfg.num_heads = 8;
+  cfg.head_dim = 8;
+  cfg.num_layers = 1;
+  cfg.prompt_len = 4;
+  cfg.act = model::Activation::relu;  // quantization-friendly
+  cfg.validate();
+  return cfg;
+}
+
+/// Float reference of the FFN sublayer (no skip/norm).
+Tensor float_ffn(const TransformerConfig& cfg, const Weights& w, const Tensor& x) {
+  Tensor hidden(x.rows(), cfg.ffn_dim);
+  kernels::gemm(x.span(), w.layer(0).w1.span(), hidden.span(), x.rows(), cfg.ffn_dim,
+                cfg.embed_dim);
+  kernels::relu(hidden.span());
+  Tensor out(x.rows(), cfg.embed_dim);
+  kernels::gemm(hidden.span(), w.layer(0).w2.span(), out.span(), x.rows(),
+                cfg.embed_dim, cfg.ffn_dim);
+  return out;
+}
+
+Tensor random_input(const TransformerConfig& cfg, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor x(cfg.prompt_len, cfg.embed_dim);
+  x.random_init(rng, 1.0f);
+  return x;
+}
+
+}  // namespace
+
+class QuantFfnAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantFfnAccuracy, CloseToFloatReference) {
+  const int n = GetParam();
+  const auto cfg = ffn_config();
+  const Weights w(cfg, 42);
+  const auto plan = partition::PartitionPlan::create(cfg, n);
+  const partition::ShardedWeights shards(w, plan);
+  const auto topo = noc::Topology::hierarchical(n, 4);
+  const QuantizedDistributedFfn qffn(cfg, shards, plan, topo);
+
+  const Tensor x = random_input(cfg, 5);
+  const Tensor y_q = qffn.forward(x);
+  const Tensor y_f = float_ffn(cfg, w, x);
+
+  // Relative accuracy: int8 with dynamic activation scales should stay
+  // within a few percent of the float output range.
+  float range = 0.0f;
+  for (const float v : y_f.span()) range = std::max(range, std::fabs(v));
+  EXPECT_LE(Tensor::max_abs_diff(y_q, y_f), 0.05f * range) << "chips=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipCounts, QuantFfnAccuracy, ::testing::Values(1, 2, 4, 8));
+
+TEST(QuantFfn, BitExactAcrossTopologies) {
+  // The int32 reduce makes the distributed result independent of tree
+  // shape AND chip count-induced reduction order, bit for bit — the
+  // property float partials cannot offer.
+  const auto cfg = ffn_config();
+  const Weights w(cfg, 7);
+  const Tensor x = random_input(cfg, 9);
+
+  const auto plan = partition::PartitionPlan::create(cfg, 8);
+  const partition::ShardedWeights shards(w, plan);
+
+  std::vector<std::vector<std::int32_t>> raws;
+  for (const auto& topo : {noc::Topology::hierarchical(8, 4),
+                           noc::Topology::hierarchical(8, 2), noc::Topology::flat(8)}) {
+    const QuantizedDistributedFfn qffn(cfg, shards, plan, topo);
+    float scale = 0.0f;
+    raws.push_back(qffn.forward_raw(x, &scale));
+    EXPECT_GT(scale, 0.0f);
+  }
+  EXPECT_EQ(raws[0], raws[1]);
+  EXPECT_EQ(raws[0], raws[2]);
+}
+
+TEST(QuantFfn, SingleChipMatchesMultiChipBits) {
+  // Zero-duplication sharding + int32 accumulation: the 8-chip partial
+  // sums must reproduce the 1-chip accumulator exactly (same products,
+  // different order only).
+  const auto cfg = ffn_config();
+  const Weights w(cfg, 11);
+  const Tensor x = random_input(cfg, 13);
+
+  auto run = [&](int n) {
+    const auto plan = partition::PartitionPlan::create(cfg, n);
+    const partition::ShardedWeights shards(w, plan);
+    const auto topo = noc::Topology::hierarchical(n, 4);
+    const QuantizedDistributedFfn qffn(cfg, shards, plan, topo);
+    float scale = 0.0f;
+    return qffn.forward_raw(x, &scale);
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(QuantFfn, RejectsSwiglu) {
+  auto cfg = ffn_config();
+  cfg.ffn = model::FfnKind::swiglu;
+  const Weights w(cfg, 1);
+  const auto plan = partition::PartitionPlan::create(cfg, 2);
+  const partition::ShardedWeights shards(w, plan);
+  const auto topo = noc::Topology::hierarchical(2, 4);
+  EXPECT_THROW(QuantizedDistributedFfn(cfg, shards, plan, topo), Error);
+}

@@ -1,0 +1,103 @@
+// Unit tests for the event-driven engine: ordering, determinism,
+// same-cycle FIFO semantics, and run_until behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+using distmcu::Cycles;
+using distmcu::sim::Engine;
+
+TEST(Engine, StartsAtCycleZeroAndIdle) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameCycleEventsFireFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CallbackMaySchedule) {
+  Engine e;
+  Cycles fired_at = 0;
+  e.schedule_at(10, [&] {
+    e.schedule_in(15, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 25u);
+}
+
+TEST(Engine, ChainOfEventsAdvancesTime) {
+  Engine e;
+  int count = 0;
+  std::function<void()> step = [&] {
+    if (++count < 100) e.schedule_in(7, step);
+  };
+  e.schedule_at(0, step);
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(e.now(), 99u * 7u);
+  EXPECT_EQ(e.events_executed(), 100u);
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine e;
+  e.schedule_at(50, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 50u);
+  EXPECT_THROW(e.schedule_at(10, [] {}), distmcu::Error);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(20, [&] { ++fired; });
+  e.schedule_at(30, [&] { ++fired; });
+  e.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 20u);
+  EXPECT_FALSE(e.idle());
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesTimeWhenQueueDrains) {
+  Engine e;
+  e.run_until(1000);
+  EXPECT_EQ(e.now(), 1000u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto simulate = [] {
+    Engine e;
+    std::vector<Cycles> log;
+    for (Cycles t : {40u, 10u, 10u, 25u}) {
+      e.schedule_at(t, [&log, &e] { log.push_back(e.now()); });
+    }
+    e.run();
+    return log;
+  };
+  EXPECT_EQ(simulate(), simulate());
+}

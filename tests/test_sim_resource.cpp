@@ -1,0 +1,115 @@
+// Unit tests for the bandwidth-arbitrated Resource: service times, FIFO
+// serialization (the mechanism behind C2C ingress contention in the
+// hierarchical all-reduce), counters, and the tracer.
+#include <gtest/gtest.h>
+
+#include "sim/resource.hpp"
+#include "sim/tracer.hpp"
+#include "util/check.hpp"
+
+using distmcu::Bytes;
+using distmcu::Cycles;
+using distmcu::sim::Category;
+using distmcu::sim::Resource;
+using distmcu::sim::Tracer;
+
+TEST(Resource, ServiceTimeIsSetupPlusSerialization) {
+  Resource r("link", 1.0, 500);  // MIPI-like: 1 B/cycle + 500-cycle setup
+  EXPECT_EQ(r.service_cycles(1024), 1524u);
+  EXPECT_EQ(r.service_cycles(0), 500u);
+}
+
+TEST(Resource, FractionalBandwidthRoundsUp) {
+  Resource r("slow", 0.4, 0);
+  // ceil(10 / 0.4) = 25 cycles.
+  EXPECT_EQ(r.service_cycles(10), 25u);
+}
+
+TEST(Resource, WideBandwidth) {
+  Resource r("dma", 8.0, 16);
+  EXPECT_EQ(r.service_cycles(4096), 16u + 512u);
+}
+
+TEST(Resource, ZeroBandwidthRejected) {
+  EXPECT_THROW(Resource("bad", 0.0, 0), distmcu::Error);
+}
+
+TEST(Resource, BackToBackTransfersSerialize) {
+  Resource r("ingress", 1.0, 100);
+  // Three senders into one ingress port, all ready at cycle 0 — the
+  // group-of-4 reduce pattern.
+  const Cycles c1 = r.transfer(0, 1000);
+  const Cycles c2 = r.transfer(0, 1000);
+  const Cycles c3 = r.transfer(0, 1000);
+  EXPECT_EQ(c1, 1100u);
+  EXPECT_EQ(c2, 2200u);
+  EXPECT_EQ(c3, 3300u);
+  EXPECT_EQ(r.total_bytes(), 3000u);
+  EXPECT_EQ(r.num_transfers(), 3u);
+}
+
+TEST(Resource, LateArrivalStartsWhenReady) {
+  Resource r("link", 2.0, 10);
+  r.transfer(0, 100);  // busy until 60
+  const Cycles done = r.transfer(200, 100);
+  EXPECT_EQ(done, 260u);
+}
+
+TEST(Resource, PeekDoesNotReserve) {
+  Resource r("link", 1.0, 0);
+  EXPECT_EQ(r.peek_completion(0, 50), 50u);
+  EXPECT_EQ(r.peek_completion(0, 50), 50u);
+  EXPECT_EQ(r.busy_until(), 0u);
+}
+
+TEST(Resource, BusyCyclesAccumulateServiceTime) {
+  Resource r("link", 1.0, 5);
+  r.transfer(0, 10);
+  r.transfer(100, 10);
+  EXPECT_EQ(r.busy_cycles(), 30u);
+}
+
+TEST(Resource, ResetClearsState) {
+  Resource r("link", 1.0, 5);
+  r.transfer(0, 10);
+  r.reset();
+  EXPECT_EQ(r.busy_until(), 0u);
+  EXPECT_EQ(r.total_bytes(), 0u);
+  EXPECT_EQ(r.num_transfers(), 0u);
+  EXPECT_EQ(r.busy_cycles(), 0u);
+}
+
+TEST(Tracer, AggregatesPerChipAndCategory) {
+  Tracer t;
+  t.record(0, Category::compute, 0, 100, 0, "gemv");
+  t.record(0, Category::dma_l2_l1, 50, 250, 800, "tile");
+  t.record(1, Category::compute, 0, 70, 0, "gemv");
+  t.record(0, Category::chip_to_chip, 250, 300, 64, "reduce");
+  EXPECT_EQ(t.total(0, Category::compute), 100u);
+  EXPECT_EQ(t.total(1, Category::compute), 70u);
+  EXPECT_EQ(t.total(Category::compute), 170u);
+  EXPECT_EQ(t.total(Category::dma_l2_l1), 200u);
+  EXPECT_EQ(t.total_bytes(Category::dma_l2_l1), 800u);
+  EXPECT_EQ(t.total_bytes(Category::chip_to_chip), 64u);
+  EXPECT_EQ(t.makespan(), 300u);
+}
+
+TEST(Tracer, RejectsNegativeSpan) {
+  Tracer t;
+  EXPECT_THROW(t.record(0, Category::compute, 10, 5, 0), distmcu::Error);
+}
+
+TEST(Tracer, ClearEmptiesEverything) {
+  Tracer t;
+  t.record(0, Category::compute, 0, 10, 0);
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.makespan(), 0u);
+}
+
+TEST(Tracer, CategoryNamesMatchPaperLegend) {
+  EXPECT_STREQ(category_name(Category::compute), "Computation");
+  EXPECT_STREQ(category_name(Category::dma_l3_l2), "DMA L3<->L2");
+  EXPECT_STREQ(category_name(Category::dma_l2_l1), "DMA L2<->L1");
+  EXPECT_STREQ(category_name(Category::chip_to_chip), "Chip-to-Chip");
+}

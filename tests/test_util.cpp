@@ -1,0 +1,152 @@
+// Unit tests for the util layer: formatting, RNG determinism and
+// statistical sanity, table rendering, and the check helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace du = distmcu::util;
+using namespace distmcu;
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(256_KiB, 262144u);
+}
+
+TEST(Units, CyclesToMs) {
+  // 500 MHz: 500k cycles = 1 ms.
+  EXPECT_DOUBLE_EQ(du::cycles_to_ms(500000, 500e6), 1.0);
+  EXPECT_DOUBLE_EQ(du::cycles_to_s(500e6, 500e6), 1.0);
+}
+
+TEST(Units, PjConversions) {
+  EXPECT_DOUBLE_EQ(du::pj_to_mj(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(du::pj_to_uj(1e6), 1.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(du::format_bytes(512), "512 B");
+  EXPECT_EQ(du::format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(du::format_bytes(2u * 1024 * 1024), "2.0 MiB");
+}
+
+TEST(Units, FormatSi) {
+  EXPECT_EQ(du::format_si(6900000.0, 1), "6.9M");
+  EXPECT_EQ(du::format_si(123.0, 0), "123");
+}
+
+TEST(Check, ThrowsOnFailure) {
+  EXPECT_NO_THROW(du::check(true, "ok"));
+  EXPECT_THROW(du::check(false, "boom"), distmcu::Error);
+  EXPECT_THROW(du::check_plan(false, "plan"), distmcu::PlanError);
+}
+
+TEST(Check, PlanErrorIsError) {
+  // PlanError must be catchable as the base library error.
+  try {
+    du::check_plan(false, "does not fit");
+    FAIL() << "expected throw";
+  } catch (const distmcu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("does not fit"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  du::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  du::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  du::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  du::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform(-0.25f, 0.75f);
+    ASSERT_GE(v, -0.25f);
+    ASSERT_LT(v, 0.75f);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  du::Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowInRange) {
+  du::Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(8);
+    ASSERT_LT(v, 8u);
+    seen.insert(v);
+  }
+  // All 8 buckets should be hit in 1000 draws.
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  du::Table t({"Chips", "Runtime", "Speedup"});
+  t.row().add(1).add(std::uint64_t{6900000}).add(1.0, 2);
+  t.row().add(8).add(std::uint64_t{264000}).add(26.1, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Chips"), std::string::npos);
+  EXPECT_NE(out.find("26.10"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  du::Table t({"a", "b"});
+  t.row().add(1).add(2.5, 1);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  du::Table t({"only"});
+  t.row().add(1);
+  EXPECT_THROW(t.add(2), distmcu::Error);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  du::Table t({"x"});
+  EXPECT_THROW(t.add(1), distmcu::Error);
+}

@@ -1,0 +1,79 @@
+// Serving-throughput bench: aggregate tokens/s, energy per token, and
+// mean per-request latency of the batched engine at batch sizes
+// B in {1, 2, 4, 8}, against the B=1 (sequential serving) baseline.
+// Continuous batching shares each decode step's block-weight streaming
+// across the batch, so throughput grows with B even though compute and
+// synchronization scale per request.
+#include <iostream>
+#include <vector>
+
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+#include "util/table.hpp"
+
+using namespace distmcu;
+
+namespace {
+
+/// Full-width TinyLlama blocks with the layer count and vocabulary cut
+/// so the functional numerics stay quick. At 4 chips this deployment
+/// streams block weights from L3 on every decode step — the regime
+/// where continuous batching buys throughput.
+model::TransformerConfig bench_model() {
+  auto cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.num_layers = 4;
+  cfg.vocab_size = 512;
+  cfg.ar_context = 64;
+  cfg.prompt_len = 8;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = bench_model();
+  const int n_chips = 4;
+  const int decode_tokens = 12;
+  const double freq_hz = 500e6;
+  const runtime::InferenceSession session(cfg, n_chips);
+
+  std::cout << "Batched serving throughput — " << cfg.name << " on " << n_chips
+            << " chips, " << decode_tokens << " decode tokens per request\n\n";
+
+  util::Table table({"batch", "requests", "steps", "agg_tok_per_s",
+                     "speedup_vs_b1", "mean_req_latency_ms", "mj_per_token"});
+  double base_tok_s = 0.0;
+  for (const int batch : {1, 2, 4, 8}) {
+    runtime::BatchedEngine engine(session,
+                                  {.max_batch = batch, .max_pending = 64});
+    for (int i = 0; i < batch; ++i) {
+      // Distinct prompts so the streams differ per request.
+      (void)*engine.submit({1 + i, 7 + i, 3}, decode_tokens);
+    }
+    const auto results = engine.run_to_completion();
+
+    double latency_ms_sum = 0.0;
+    for (const auto& r : results) {
+      // Residence time in the batch — grows with contention, unlike the
+      // attributed cost share in r.gen.
+      latency_ms_sum += util::cycles_to_ms(r.latency_cycles(), freq_hz);
+    }
+    const auto& stats = engine.stats();
+    const double tok_s = stats.aggregate_tokens_per_s(freq_hz);
+    if (base_tok_s == 0.0) base_tok_s = tok_s;
+
+    table.row()
+        .add(batch)
+        .add(static_cast<int>(results.size()))
+        .add(stats.steps)
+        .add(tok_s, 1)
+        .add(tok_s / base_tok_s, 2)
+        .add(latency_ms_sum / static_cast<double>(results.size()), 3)
+        .add(stats.mj_per_token(), 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.write_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Batched serving walkthrough: submit a handful of generation requests
+// with mixed prompt lengths to one deployed (model, chip-count) system,
+// let them share the batch with continuous admission, and show that
+// every stream matches what a dedicated InferenceSession::generate call
+// would have produced — while the aggregate cost is lower than serving
+// them one after another.
+#include <iostream>
+#include <vector>
+
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+
+using namespace distmcu;
+
+namespace {
+
+/// Full-width TinyLlama blocks (layer count and vocabulary cut for a
+/// quick demo); at 4 chips the weights stream from L3 every decode
+/// step, so sharing them across the batch shows up in the aggregate.
+model::TransformerConfig demo_model() {
+  auto cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.num_layers = 2;
+  cfg.vocab_size = 100;
+  cfg.ar_context = 32;
+  cfg.prompt_len = 4;
+  cfg.validate();
+  return cfg;
+}
+
+void print_tokens(const std::vector<int>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::cout << (i == 0 ? "" : " ") << tokens[i];
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = demo_model();
+  const double freq_hz = 500e6;
+  const runtime::InferenceSession session(cfg, 4);
+
+  // Two KV slots serving three requests: the third waits in the queue
+  // and joins the batch when the short request finishes.
+  runtime::BatchedEngine engine(session, {.max_batch = 2, .max_pending = 8});
+  struct Job {
+    runtime::RequestId id;
+    std::vector<int> prompt;
+    int new_tokens;
+  };
+  std::vector<Job> jobs;
+  for (const auto& [prompt, n] :
+       std::vector<std::pair<std::vector<int>, int>>{
+           {{1, 2, 3}, 8}, {{9}, 3}, {{4, 7, 7, 2}, 6}}) {
+    const auto id = engine.submit(prompt, n);
+    if (!id) {
+      std::cout << "request rejected (queue full)\n";
+      continue;
+    }
+    jobs.push_back({*id, prompt, n});
+  }
+
+  const auto results = engine.run_to_completion();
+  const auto& stats = engine.stats();
+
+  std::cout << "KV pool: " << engine.kv_arena().memory_map() << "\n";
+  Cycles sequential_cycles = 0;
+  for (const auto& r : results) {
+    for (const auto& job : jobs) {
+      if (job.id != r.id) continue;
+      const auto solo = session.generate(job.prompt, job.new_tokens);
+      sequential_cycles += solo.total_cycles;
+      std::cout << "request " << r.id << " (admitted step " << r.admitted_step
+                << ", finished step " << r.finished_step << ")\n  tokens: ";
+      print_tokens(r.gen.tokens);
+      std::cout << "\n  matches dedicated generate(): "
+                << (r.gen.tokens == solo.tokens ? "yes" : "NO") << "\n";
+    }
+  }
+
+  std::cout << "\naggregate: " << stats.total_generated << " tokens in "
+            << stats.steps << " steps, "
+            << stats.aggregate_tokens_per_s(freq_hz) << " tok/s, "
+            << stats.mj_per_token() << " mJ/token\n";
+  std::cout << "batched cycles: " << stats.total_cycles
+            << " vs sequential serving: " << sequential_cycles << "\n";
+  return 0;
+}

@@ -12,9 +12,7 @@ Arena::Arena(std::string name, Bytes capacity, Bytes alignment)
               "Arena alignment must be a power of two");
 }
 
-Bytes Arena::aligned(Bytes size) const {
-  return (size + alignment_ - 1) & ~(alignment_ - 1);
-}
+Bytes Arena::aligned(Bytes size) const { return align_up(size, alignment_); }
 
 bool Arena::try_allocate(const std::string& name, Bytes size) {
   const Bytes padded = aligned(size);
@@ -48,6 +46,38 @@ std::string Arena::memory_map() const {
        << util::format_bytes(a.size) << ")\n";
   }
   return os.str();
+}
+
+SlotArena::SlotArena(Arena& arena, const std::string& name, int n_slots,
+                     Bytes slot_bytes)
+    : name_(name), slot_bytes_(slot_bytes) {
+  util::check(n_slots > 0, "SlotArena: slot count must be positive");
+  util::check(slot_bytes > 0, "SlotArena: slot size must be positive");
+  in_use_.assign(static_cast<std::size_t>(n_slots), false);
+  for (int i = 0; i < n_slots; ++i) {
+    (void)arena.allocate(name + "." + std::to_string(i), slot_bytes);
+  }
+}
+
+std::optional<int> SlotArena::acquire() {
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      ++n_in_use_;
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void SlotArena::release(int slot) {
+  util::check(slot >= 0 && slot < capacity(),
+              "SlotArena '" + name_ + "': release of out-of-range slot");
+  util::check(in_use_[static_cast<std::size_t>(slot)],
+              "SlotArena '" + name_ + "': double release of slot " +
+                  std::to_string(slot));
+  in_use_[static_cast<std::size_t>(slot)] = false;
+  --n_in_use_;
 }
 
 }  // namespace distmcu::mem

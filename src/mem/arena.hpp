@@ -2,6 +2,7 @@
 #define DISTMCU_MEM_ARENA_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,7 +28,16 @@ struct Allocation {
 /// residency regimes cheaply.
 class Arena {
  public:
-  Arena(std::string name, Bytes capacity, Bytes alignment = 8);
+  static constexpr Bytes kDefaultAlignment = 8;
+
+  /// Round `size` up to a multiple of `alignment` (power of two) — the
+  /// padding every allocation in an arena with that alignment consumes,
+  /// exposed so callers can size an arena to fit N allocations exactly.
+  [[nodiscard]] static constexpr Bytes align_up(Bytes size, Bytes alignment) {
+    return (size + alignment - 1) & ~(alignment - 1);
+  }
+
+  Arena(std::string name, Bytes capacity, Bytes alignment = kDefaultAlignment);
 
   /// Attempt an allocation; returns false (and leaves the arena
   /// unchanged) when it would exceed capacity.
@@ -58,6 +68,41 @@ class Arena {
   Bytes used_ = 0;
   Bytes high_water_ = 0;
   std::vector<Allocation> allocations_;
+};
+
+/// Fixed-count, fixed-size slot pool carved out of an Arena — the shape
+/// multi-request serving needs: the bump arena reserves the whole pool
+/// up front (so the fit accounting stays a single high-water number),
+/// while slots are acquired and released per request. Acquisition is
+/// lowest-free-index, so slot assignment is deterministic and
+/// independent of release order history length.
+class SlotArena {
+ public:
+  /// Reserves `n_slots * slot_bytes` from `arena` immediately (throws
+  /// PlanError via the arena when the pool does not fit).
+  SlotArena(Arena& arena, const std::string& name, int n_slots, Bytes slot_bytes);
+
+  /// Lowest free slot index, or nullopt when the pool is exhausted —
+  /// callers reject or queue, never overrun.
+  [[nodiscard]] std::optional<int> acquire();
+
+  /// Return a previously acquired slot to the pool.
+  void release(int slot);
+
+  [[nodiscard]] int capacity() const { return static_cast<int>(in_use_.size()); }
+  [[nodiscard]] int in_use() const { return n_in_use_; }
+  [[nodiscard]] int free() const { return capacity() - n_in_use_; }
+  [[nodiscard]] Bytes slot_bytes() const { return slot_bytes_; }
+  [[nodiscard]] Bytes pool_bytes() const {
+    return static_cast<Bytes>(capacity()) * slot_bytes_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Bytes slot_bytes_;
+  std::vector<bool> in_use_;
+  int n_in_use_ = 0;
 };
 
 }  // namespace distmcu::mem

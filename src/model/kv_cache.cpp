@@ -42,4 +42,31 @@ Tensor KvCache::v_slice(int c0, int c1) const {
   return v_store_.slice_rows(0, length_).slice_cols(c0, c1);
 }
 
+KvCachePool::KvCachePool(int n_slots, const std::function<CacheSet()>& build_set) {
+  util::check(n_slots > 0, "KvCachePool: slot count must be positive");
+  slots_.reserve(static_cast<std::size_t>(n_slots));
+  for (int i = 0; i < n_slots; ++i) slots_.push_back(build_set());
+  util::check(!slots_.front().empty() && !slots_.front().front().empty(),
+              "KvCachePool: builder produced an empty cache set");
+}
+
+KvCachePool::CacheSet& KvCachePool::slot(int i) {
+  util::check(i >= 0 && i < capacity(), "KvCachePool: slot index out of range");
+  return slots_[static_cast<std::size_t>(i)];
+}
+
+void KvCachePool::reset_slot(int i) {
+  for (auto& per_chip : slot(i)) {
+    for (auto& cache : per_chip) cache.reset();
+  }
+}
+
+Bytes KvCachePool::set_capacity_bytes(Bytes elem_bytes) const {
+  Bytes sum = 0;
+  for (const auto& per_chip : slots_.front()) {
+    for (const auto& cache : per_chip) sum += cache.capacity_bytes(elem_bytes);
+  }
+  return sum;
+}
+
 }  // namespace distmcu::model

@@ -1,6 +1,7 @@
 #ifndef DISTMCU_MODEL_KV_CACHE_HPP
 #define DISTMCU_MODEL_KV_CACHE_HPP
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -48,6 +49,34 @@ class KvCache {
   int length_ = 0;
   Tensor k_store_;
   Tensor v_store_;
+};
+
+/// Pre-built pool of per-request cache sets for multi-request serving.
+/// One "set" is everything a single generation stream needs across the
+/// whole deployment — indexed [chip][layer], the shape
+/// partition::DistributedBlock::make_chip_caches produces. The pool
+/// builds every set once at construction (no allocation during serving)
+/// and recycles sets between requests via reset; slot bookkeeping (who
+/// owns which set, exhaustion) lives with the caller's mem::SlotArena so
+/// the byte accounting and the tensors cannot drift apart.
+class KvCachePool {
+ public:
+  using CacheSet = std::vector<std::vector<KvCache>>;
+
+  KvCachePool(int n_slots, const std::function<CacheSet()>& build_set);
+
+  [[nodiscard]] int capacity() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] CacheSet& slot(int i);
+
+  /// Empty every cache in a set before handing it to a new request.
+  void reset_slot(int i);
+
+  /// Bytes one set reserves at full capacity (all chips, all layers) —
+  /// what the serving engine's arena charges per slot.
+  [[nodiscard]] Bytes set_capacity_bytes(Bytes elem_bytes) const;
+
+ private:
+  std::vector<CacheSet> slots_;
 };
 
 }  // namespace distmcu::model

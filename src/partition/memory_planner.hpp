@@ -63,6 +63,16 @@ struct MemoryPlan {
     return stream_buffer_bytes + kv_cache_bytes + activation_bytes;
   }
 
+  /// Bytes the selected residency regime requires.
+  [[nodiscard]] Bytes need() const {
+    switch (residency) {
+      case Residency::streamed: return need_streamed();
+      case Residency::double_buffered: return need_double_buffered();
+      case Residency::fully_resident: return need_fully_resident();
+    }
+    return need_streamed();
+  }
+
   /// Multi-line fit report (used by the partition_inspector example).
   [[nodiscard]] std::string describe() const;
 };

@@ -1,0 +1,253 @@
+#include "runtime/batched_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace distmcu::runtime {
+
+namespace {
+
+/// Re-check one mode's memory plan with max_batch KV sets resident: the
+/// memory planner validated a single request's KV against the
+/// worst-case chip's L2, so scale its KV term by max_batch.
+void check_pool_fits(const partition::MemoryPlan& mp, int max_batch,
+                     const char* mode) {
+  const Bytes extra_kv = mp.kv_cache_bytes * static_cast<Bytes>(max_batch - 1);
+  util::check_plan(
+      mp.need() + extra_kv <= mp.l2_usable,
+      "BatchedEngine: " + std::to_string(max_batch) +
+          " pooled KV-cache sets need " +
+          util::format_bytes(mp.need() + extra_kv) + " of L2 in " + mode +
+          " mode but only " + util::format_bytes(mp.l2_usable) +
+          " is usable; lower max_batch or ar_context");
+}
+
+/// Validate the options and the pooled-KV fit for both serving phases
+/// BEFORE any cache tensors are allocated; returns max_batch so it can
+/// run in the constructor's init list ahead of the pool member.
+int checked_pool_slots(const BatchedEngine::Options& opts,
+                       const BlockResult& prompt_block,
+                       const BlockResult& ar_block) {
+  util::check(opts.max_batch > 0, "BatchedEngine: max_batch must be positive");
+  util::check(opts.max_pending >= 0, "BatchedEngine: max_pending must be >= 0");
+  check_pool_fits(prompt_block.memory, opts.max_batch, "prompt");
+  check_pool_fits(ar_block.memory, opts.max_batch, "autoregressive");
+  return opts.max_batch;
+}
+
+}  // namespace
+
+BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
+                             sim::Tracer* tracer)
+    : session_(session),
+      opts_(opts),
+      tracer_(tracer),
+      prompt_block_(session.run_block(model::Mode::prompt)),
+      ar_block_(session.run_block(model::Mode::autoregressive)),
+      kv_pool_(checked_pool_slots(opts, prompt_block_, ar_block_),
+               [&session] {
+                 return session.block_executor().make_chip_caches(
+                     session.config().ar_context);
+               }),
+      kv_set_bytes_(
+          kv_pool_.set_capacity_bytes(session.system().precision.kv_bytes)),
+      // Size the arena for max_batch aligned slot reservations exactly.
+      kv_arena_("l2.kv_pool",
+                static_cast<Bytes>(opts.max_batch) *
+                    mem::Arena::align_up(kv_set_bytes_,
+                                         mem::Arena::kDefaultAlignment)),
+      kv_slots_(kv_arena_, "kv_set", opts.max_batch, kv_set_bytes_) {
+  const auto layers = static_cast<Cycles>(session_.config().num_layers);
+
+  prompt_cycles_ = prompt_block_.report.block_cycles * layers;
+  prompt_energy_mj_ = prompt_block_.energy_mj() * static_cast<double>(layers);
+
+  // Decode-step decomposition: the L3->L2 portion is block-weight
+  // streaming, fetched once per layer no matter how many requests are in
+  // the batch; everything else scales with the batch.
+  ar_shared_cycles_ = ar_block_.report.breakdown.dma_l3_l2 * layers;
+  ar_per_req_cycles_ =
+      (ar_block_.report.block_cycles - ar_block_.report.breakdown.dma_l3_l2) *
+      layers;
+  ar_shared_energy_mj_ =
+      util::pj_to_mj(ar_block_.energy.l3) * static_cast<double>(layers);
+  ar_per_req_energy_mj_ =
+      util::pj_to_mj(ar_block_.energy.core + ar_block_.energy.l2 +
+                     ar_block_.energy.c2c) *
+      static_cast<double>(layers);
+}
+
+std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
+                                               int new_tokens) {
+  util::check(!prompt.empty(), "submit: prompt must not be empty");
+  util::check(new_tokens >= 0, "submit: new_tokens must be >= 0");
+  util::check(static_cast<int>(prompt.size()) + new_tokens <=
+                  session_.config().ar_context,
+              "submit: sequence exceeds the model's context length");
+  // Prefill cost and the construction-time L2 fit were both derived from
+  // the deployment's static prompt shape, so longer prompts would be
+  // silently under-charged and under-validated.
+  util::check(static_cast<int>(prompt.size()) <= session_.config().prompt_len,
+              "submit: prompt exceeds the deployment's prefill length (" +
+                  std::to_string(session_.config().prompt_len) + ")");
+
+  if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  Request r;
+  r.id = next_id_++;
+  r.prompt = std::move(prompt);
+  r.new_tokens = new_tokens;
+  const RequestId id = r.id;
+  pending_.push_back(std::move(r));
+  return id;
+}
+
+void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
+                           sim::Category cat, const char* label) {
+  r.cycles += cycles;
+  r.energy_mj += energy_mj;
+  if (tracer_ != nullptr) {
+    tracer_->set_request(r.id);
+    tracer_->record(0, cat, trace_cursor_, trace_cursor_ + cycles, 0, label);
+    tracer_->set_request(sim::kNoRequest);
+    trace_cursor_ += cycles;
+  }
+}
+
+void BatchedEngine::finish(Request& r, int step_idx,
+                           std::vector<std::size_t>& finished_now) {
+  kv_slots_.release(r.slot);
+  r.slot = -1;
+  RequestResult out;
+  out.id = r.id;
+  out.admitted_step = r.admitted_step;
+  out.finished_step = step_idx;
+  out.admitted_at = r.admitted_at;
+  // finished_at is stamped at the end of the step, once the step's full
+  // duration is known.
+  out.gen.tokens = std::move(r.tokens);
+  out.gen.generated = r.generated;
+  out.gen.total_cycles = r.cycles;
+  out.gen.total_energy_mj = r.energy_mj;
+  finished_now.push_back(finished_.size());
+  finished_.push_back(std::move(out));
+  ++stats_.completed;
+}
+
+void BatchedEngine::admit_pending(int step_idx, Cycles& step_cycles,
+                                  double& step_energy,
+                                  std::vector<std::size_t>& finished_now) {
+  const auto& emb = session_.embedding();
+  const auto& block = session_.block_executor();
+  const int layers = session_.config().num_layers;
+
+  while (!pending_.empty()) {
+    const auto slot = kv_slots_.acquire();
+    if (!slot.has_value()) break;
+    Request r = std::move(pending_.front());
+    pending_.pop_front();
+    r.slot = *slot;
+    r.admitted_step = step_idx;
+    r.admitted_at = stats_.total_cycles;  // engine timeline at step start
+    kv_pool_.reset_slot(r.slot);
+
+    model::Tensor h = emb.lookup(r.prompt);
+    for (int l = 0; l < layers; ++l) {
+      h = block.forward(h, l, &kv_pool_.slot(r.slot), 0);
+    }
+    r.tokens = r.prompt;
+    r.pos = static_cast<int>(r.prompt.size());
+    charge(r, prompt_cycles_, prompt_energy_mj_, sim::Category::compute,
+           "prefill");
+    step_cycles += prompt_cycles_;
+    step_energy += prompt_energy_mj_;
+
+    if (r.new_tokens == 0) {
+      finish(r, step_idx, finished_now);
+    } else {
+      r.next = emb.greedy_next(h);
+      active_.push_back(std::move(r));
+    }
+  }
+}
+
+bool BatchedEngine::step() {
+  if (pending_.empty() && active_.empty()) return false;
+  const int step_idx = stats_.steps;
+  Cycles step_cycles = 0;
+  double step_energy = 0.0;
+  std::vector<std::size_t> finished_now;
+
+  admit_pending(step_idx, step_cycles, step_energy, finished_now);
+  stats_.peak_batch =
+      std::max(stats_.peak_batch, static_cast<int>(active_.size()));
+
+  const auto& emb = session_.embedding();
+  const auto& block = session_.block_executor();
+  const int layers = session_.config().num_layers;
+
+  // Emit one token per active request; a request that emits its final
+  // token leaves without running another forward, mirroring
+  // InferenceSession::generate exactly.
+  std::vector<Request> still_active;
+  still_active.reserve(active_.size());
+  for (auto& r : active_) {
+    r.tokens.push_back(r.next);
+    ++r.generated;
+    ++stats_.total_generated;
+    if (r.generated == r.new_tokens) {
+      finish(r, step_idx, finished_now);
+      continue;
+    }
+    model::Tensor x = emb.lookup({r.next});
+    for (int l = 0; l < layers; ++l) {
+      x = block.forward(x, l, &kv_pool_.slot(r.slot), r.pos);
+    }
+    r.next = emb.greedy_next(x);
+    ++r.pos;
+    charge(r, ar_per_req_cycles_, ar_per_req_energy_mj_, sim::Category::compute,
+           "decode");
+    step_cycles += ar_per_req_cycles_;
+    step_energy += ar_per_req_energy_mj_;
+    still_active.push_back(std::move(r));
+  }
+  active_ = std::move(still_active);
+
+  // Shared weight streaming: one pass over the layer weights feeds every
+  // request that ran a forward this step. Attribute equal integer shares
+  // (remainder cycles to the earliest admitted) so per-request cycles
+  // sum to the aggregate exactly.
+  if (!active_.empty()) {
+    const auto b = static_cast<Cycles>(active_.size());
+    const Cycles share = ar_shared_cycles_ / b;
+    const Cycles rem = ar_shared_cycles_ % b;
+    const double e_share =
+        ar_shared_energy_mj_ / static_cast<double>(active_.size());
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const Cycles c = share + (static_cast<Cycles>(i) < rem ? 1 : 0);
+      charge(active_[i], c, e_share, sim::Category::dma_l3_l2,
+             "weights.shared");
+    }
+    step_cycles += ar_shared_cycles_;
+    step_energy += ar_shared_energy_mj_;
+  }
+
+  stats_.total_cycles += step_cycles;
+  stats_.total_energy_mj += step_energy;
+  ++stats_.steps;
+  for (const std::size_t idx : finished_now) {
+    finished_[idx].finished_at = stats_.total_cycles;
+  }
+  return !(pending_.empty() && active_.empty());
+}
+
+std::vector<RequestResult> BatchedEngine::run_to_completion() {
+  while (step()) {
+  }
+  return finished_;
+}
+
+}  // namespace distmcu::runtime

@@ -1,0 +1,185 @@
+#ifndef DISTMCU_RUNTIME_BATCHED_ENGINE_HPP
+#define DISTMCU_RUNTIME_BATCHED_ENGINE_HPP
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "model/kv_cache.hpp"
+#include "runtime/inference_session.hpp"
+#include "sim/tracer.hpp"
+
+namespace distmcu::runtime {
+
+using RequestId = int;
+
+/// Final outcome of one served request. `gen` carries the request's own
+/// token stream (bit-identical to an independent
+/// InferenceSession::generate call with the same prompt) plus the
+/// cycles/energy attributed to this request by the serving cost model.
+struct RequestResult {
+  RequestId id = -1;
+  GenerationResult gen;
+  int admitted_step = -1;
+  int finished_step = -1;
+  /// Engine-timeline timestamps: residence in the batch. The span covers
+  /// every step the request was in flight, so (unlike the attributed
+  /// cycles in `gen`) it grows with batch contention.
+  Cycles admitted_at = 0;
+  Cycles finished_at = 0;
+
+  [[nodiscard]] Cycles latency_cycles() const { return finished_at - admitted_at; }
+};
+
+/// Aggregate serving metrics across all requests the engine processed.
+/// total_cycles is the engine's simulated wall-clock; per-request
+/// attributed cycles sum to it exactly (the shared weight-streaming
+/// remainder is distributed deterministically).
+struct ServingStats {
+  Cycles total_cycles = 0;
+  double total_energy_mj = 0.0;
+  int total_generated = 0;
+  int steps = 0;
+  int peak_batch = 0;
+  int completed = 0;
+  int rejected = 0;
+
+  [[nodiscard]] double aggregate_tokens_per_s(double freq_hz) const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(total_generated) /
+                                   util::cycles_to_s(total_cycles, freq_hz);
+  }
+  [[nodiscard]] double mj_per_token() const {
+    return total_generated == 0 ? 0.0 : total_energy_mj / total_generated;
+  }
+};
+
+/// Batched serving runtime over one InferenceSession deployment:
+/// accepts many concurrent generation requests and multiplexes them
+/// over the shared partition::DistributedBlock executor with continuous
+/// batching — requests join and leave the running batch at token
+/// boundaries, never mid-block.
+///
+///   BatchedEngine engine(session, {.max_batch = 4});
+///   auto id = engine.submit({1, 17, 42}, 16);
+///   auto results = engine.run_to_completion();
+///
+/// Functional contract: every request decodes against its own pooled
+/// KV-cache set, so its token stream is bit-identical to an independent
+/// InferenceSession::generate call regardless of what else shares the
+/// batch.
+///
+/// Cost model (per engine step, from TimedBlockSimulation block
+/// reports): prefill is charged in full to the joining request; for the
+/// B requests decoding in a step, block-weight streaming (the L3->L2
+/// portion) is paid once and shared — the continuous-batching win on a
+/// weight-streaming MCU deployment — while compute, L2<->L1 tile DMA,
+/// and chip-to-chip synchronization are paid per request.
+///
+/// KV-cache sets come from a model::KvCachePool sized at construction;
+/// the byte reservation is charged to a mem::Arena through a
+/// mem::SlotArena, so admission beyond max_batch queues and submits
+/// beyond max_pending are rejected gracefully (nullopt, no UB).
+/// Construction throws PlanError when max_batch KV sets do not fit the
+/// deployment's L2 budget next to the single-request plan the memory
+/// planner already validated.
+class BatchedEngine {
+ public:
+  struct Options {
+    int max_batch = 4;    ///< concurrent KV-cache pool slots
+    int max_pending = 64; ///< admission queue bound; beyond it submits reject
+  };
+
+  /// `session` must outlive the engine. `tracer`, when non-null,
+  /// receives one span per charge with the owning request id tagged
+  /// (shared weight streaming is split into per-request shares).
+  explicit BatchedEngine(const InferenceSession& session, Options opts,
+                         sim::Tracer* tracer = nullptr);
+  explicit BatchedEngine(const InferenceSession& session)
+      : BatchedEngine(session, Options{}) {}
+
+  /// Queue a generation request. Throws distmcu::Error on contract
+  /// violations (empty prompt, context overflow, prompt longer than the
+  /// deployment's static prefill shape `prompt_len`) exactly like
+  /// InferenceSession::generate; returns nullopt when the pending queue
+  /// is full (graceful backpressure).
+  [[nodiscard]] std::optional<RequestId> submit(std::vector<int> prompt,
+                                                int new_tokens);
+
+  /// Advance one token boundary: admit pending requests into free KV
+  /// slots (running their prefill), then decode one token for every
+  /// active request. Returns false when no work remains.
+  bool step();
+
+  /// Drain the engine and return all finished requests (admit order of
+  /// completion).
+  [[nodiscard]] std::vector<RequestResult> run_to_completion();
+
+  [[nodiscard]] const ServingStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<RequestResult>& finished() const {
+    return finished_;
+  }
+  [[nodiscard]] int active_requests() const { return static_cast<int>(active_.size()); }
+  [[nodiscard]] int pending_requests() const { return static_cast<int>(pending_.size()); }
+  [[nodiscard]] const mem::Arena& kv_arena() const { return kv_arena_; }
+  [[nodiscard]] const mem::SlotArena& kv_slots() const { return kv_slots_; }
+
+ private:
+  struct Request {
+    RequestId id = -1;
+    std::vector<int> prompt;
+    int new_tokens = 0;
+    std::vector<int> tokens;
+    int generated = 0;
+    int pos = 0;        // absolute position of the next decoded token
+    int next = -1;      // pending token, emitted at the next boundary
+    int slot = -1;      // KV pool slot while active
+    Cycles cycles = 0;  // attributed simulated cost
+    double energy_mj = 0.0;
+    int admitted_step = -1;
+    Cycles admitted_at = 0;  // engine timeline at the admitting step's start
+  };
+
+  void admit_pending(int step_idx, Cycles& step_cycles, double& step_energy,
+                     std::vector<std::size_t>& finished_now);
+  void finish(Request& r, int step_idx, std::vector<std::size_t>& finished_now);
+  /// Charge `cycles`/`energy` to a request and, when tracing, lay a
+  /// tagged span on the engine's serialized timeline.
+  void charge(Request& r, Cycles cycles, double energy_mj, sim::Category cat,
+              const char* label);
+
+  const InferenceSession& session_;
+  Options opts_;
+  sim::Tracer* tracer_;
+
+  // Block-level measurements of this deployment, simulated once;
+  // declared ahead of the pool so the L2 fit check can gate pool
+  // construction.
+  BlockResult prompt_block_;
+  BlockResult ar_block_;
+
+  // Cost decomposition derived from the block reports.
+  Cycles prompt_cycles_ = 0;      // full prefill cost, all layers
+  double prompt_energy_mj_ = 0.0;
+  Cycles ar_shared_cycles_ = 0;   // weight streaming, shared across the batch
+  double ar_shared_energy_mj_ = 0.0;
+  Cycles ar_per_req_cycles_ = 0;  // compute + tile DMA + C2C, per request
+  double ar_per_req_energy_mj_ = 0.0;
+
+  model::KvCachePool kv_pool_;
+  Bytes kv_set_bytes_ = 0;  // one pooled set at full capacity
+  mem::Arena kv_arena_;
+  mem::SlotArena kv_slots_;
+
+  std::deque<Request> pending_;
+  std::vector<Request> active_;
+  std::vector<RequestResult> finished_;
+  ServingStats stats_;
+  RequestId next_id_ = 0;
+  Cycles trace_cursor_ = 0;
+};
+
+}  // namespace distmcu::runtime
+
+#endif  // DISTMCU_RUNTIME_BATCHED_ENGINE_HPP

@@ -33,7 +33,8 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
        << "\",\"cat\":\"" << category_name(span.category) << "\",\"ph\":\"X\""
        << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"pid\":" << span.chip
        << ",\"tid\":" << static_cast<int>(span.category)
-       << ",\"args\":{\"bytes\":" << span.bytes << "}}";
+       << ",\"args\":{\"bytes\":" << span.bytes << ",\"request\":" << span.request
+       << "}}";
   }
   // Process/thread names so Perfetto shows "chip N" / category labels.
   int max_chip = -1;

@@ -19,11 +19,12 @@ const char* category_name(Category c) {
 void Tracer::record(const Span& span) {
   util::check(span.end >= span.begin, "Tracer span ends before it begins");
   spans_.push_back(span);
+  if (spans_.back().request == kNoRequest) spans_.back().request = request_;
 }
 
 void Tracer::record(int chip, Category cat, Cycles begin, Cycles end, Bytes bytes,
                     std::string label) {
-  record(Span{chip, cat, begin, end, bytes, std::move(label)});
+  record(Span{chip, cat, begin, end, bytes, std::move(label), kNoRequest});
 }
 
 Cycles Tracer::total(int chip, Category cat) const {
@@ -56,6 +57,17 @@ Cycles Tracer::makespan() const {
   return m;
 }
 
-void Tracer::clear() { spans_.clear(); }
+Cycles Tracer::total_for_request(int request) const {
+  Cycles sum = 0;
+  for (const auto& s : spans_) {
+    if (s.request == request) sum += s.duration();
+  }
+  return sum;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  request_ = kNoRequest;
+}
 
 }  // namespace distmcu::sim

@@ -24,6 +24,11 @@ inline constexpr std::size_t kNumCategories = 4;
 
 [[nodiscard]] const char* category_name(Category c);
 
+/// Request id attached to spans recorded while no serving request is
+/// active (block-level simulation, shared work such as weight
+/// prefetch for a whole batch).
+inline constexpr int kNoRequest = -1;
+
 /// One traced activity interval on one chip.
 struct Span {
   int chip = 0;
@@ -32,6 +37,9 @@ struct Span {
   Cycles end = 0;
   Bytes bytes = 0;
   std::string label;
+  /// Serving request this span is attributed to (kNoRequest outside the
+  /// batched engine). Stamped by the tracer's active tag at record time.
+  int request = kNoRequest;
 
   [[nodiscard]] Cycles duration() const { return end - begin; }
 };
@@ -62,10 +70,22 @@ class Tracer {
   /// Latest end time over all spans (0 when empty).
   [[nodiscard]] Cycles makespan() const;
 
+  /// Tag every subsequently recorded span with a serving request id, so
+  /// block-level spans emitted deep inside the timed simulation can be
+  /// attributed to the request the batched engine ran them for. Reset
+  /// with set_request(kNoRequest).
+  void set_request(int request) { request_ = request; }
+  [[nodiscard]] int current_request() const { return request_; }
+
+  /// Sum of span durations attributed to one request, over all chips
+  /// and categories.
+  [[nodiscard]] Cycles total_for_request(int request) const;
+
   void clear();
 
  private:
   std::vector<Span> spans_;
+  int request_ = kNoRequest;
 };
 
 }  // namespace distmcu::sim

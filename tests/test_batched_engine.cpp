@@ -1,0 +1,461 @@
+// Tests for the batched serving runtime: continuous batching must keep
+// every request's token stream bit-identical to an independent
+// InferenceSession::generate call, aggregate cycle/energy accounting
+// must sum to the per-request parts, the KV-cache pool must reject
+// gracefully when exhausted, and the GenerationResult/BlockResult rate
+// metrics must survive their zero-input edge cases.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "model/kv_cache.hpp"
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+#include "sim/tracer.hpp"
+#include "util/check.hpp"
+
+using namespace distmcu;
+using model::TransformerConfig;
+using runtime::BatchedEngine;
+using runtime::GenerationResult;
+using runtime::InferenceSession;
+using runtime::RequestId;
+using runtime::RequestResult;
+
+namespace {
+
+constexpr double kFreqHz = 500e6;
+
+TransformerConfig small_llama() {
+  TransformerConfig cfg = TransformerConfig::tiny_llama_42m();
+  cfg.embed_dim = 32;
+  cfg.ffn_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 8;
+  cfg.num_layers = 2;
+  cfg.vocab_size = 100;
+  cfg.ar_context = 24;
+  cfg.prompt_len = 4;
+  cfg.validate();
+  return cfg;
+}
+
+/// Full-width TinyLlama blocks (only the layer count and vocab are cut
+/// for speed): at 4 chips this deployment is in the *streamed* regime,
+/// where block weights are fetched from L3 during every decode step —
+/// the case continuous batching exists for.
+TransformerConfig streamed_llama() {
+  TransformerConfig cfg = TransformerConfig::tiny_llama_42m();
+  cfg.num_layers = 2;
+  cfg.vocab_size = 200;
+  cfg.ar_context = 32;
+  cfg.prompt_len = 4;
+  cfg.validate();
+  return cfg;
+}
+
+/// Mixed workload: prompts of different lengths decoding different
+/// token counts, so requests finish at different steps.
+struct Workload {
+  std::vector<int> prompt;
+  int new_tokens;
+};
+
+std::vector<Workload> mixed_workloads() {
+  return {
+      {{1, 2, 3}, 6},
+      {{7}, 3},
+      {{4, 9, 2, 11}, 8},
+      {{5, 5}, 1},
+  };
+}
+
+const RequestResult& result_for(const std::vector<RequestResult>& results,
+                                RequestId id) {
+  for (const auto& r : results) {
+    if (r.id == id) return r;
+  }
+  throw Error("result_for: no such request id");
+}
+
+}  // namespace
+
+TEST(BatchedEngine, TokensIdenticalToSequentialGenerate) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  const auto workloads = mixed_workloads();
+
+  for (int batch = 1; batch <= 4; ++batch) {
+    BatchedEngine engine(session, {.max_batch = batch, .max_pending = 64});
+    std::vector<RequestId> ids;
+    for (const auto& w : workloads) {
+      const auto id = engine.submit(w.prompt, w.new_tokens);
+      ASSERT_TRUE(id.has_value());
+      ids.push_back(*id);
+    }
+    const auto results = engine.run_to_completion();
+    ASSERT_EQ(results.size(), workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const auto solo =
+          session.generate(workloads[i].prompt, workloads[i].new_tokens);
+      const auto& batched = result_for(results, ids[i]);
+      EXPECT_EQ(batched.gen.tokens, solo.tokens)
+          << "request " << i << " diverged at batch size " << batch;
+      EXPECT_EQ(batched.gen.generated, solo.generated);
+    }
+  }
+}
+
+TEST(BatchedEngine, RequestsFinishAtDifferentSteps) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  BatchedEngine engine(session, {.max_batch = 4, .max_pending = 64});
+  std::vector<RequestId> ids;
+  for (const auto& w : mixed_workloads()) ids.push_back(*engine.submit(w.prompt, w.new_tokens));
+  const auto results = engine.run_to_completion();
+  // All admitted together (batch covers the workload), so finish steps
+  // order by token count: 1 < 3 < 6 < 8.
+  EXPECT_LT(result_for(results, ids[3]).finished_step,
+            result_for(results, ids[1]).finished_step);
+  EXPECT_LT(result_for(results, ids[1]).finished_step,
+            result_for(results, ids[0]).finished_step);
+  EXPECT_LT(result_for(results, ids[0]).finished_step,
+            result_for(results, ids[2]).finished_step);
+  EXPECT_EQ(engine.stats().peak_batch, 4);
+  EXPECT_EQ(engine.stats().completed, 4);
+}
+
+TEST(BatchedEngine, AggregateAccountingSumsToPerRequestParts) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  BatchedEngine engine(session, {.max_batch = 3, .max_pending = 64});
+  for (const auto& w : mixed_workloads()) (void)*engine.submit(w.prompt, w.new_tokens);
+  const auto results = engine.run_to_completion();
+
+  Cycles cycle_sum = 0;
+  double energy_sum = 0.0;
+  int generated_sum = 0;
+  for (const auto& r : results) {
+    EXPECT_GT(r.gen.total_cycles, 0u);
+    EXPECT_GT(r.gen.total_energy_mj, 0.0);
+    cycle_sum += r.gen.total_cycles;
+    energy_sum += r.gen.total_energy_mj;
+    generated_sum += r.gen.generated;
+  }
+  // Cycles are attributed with integer remainder distribution: exact.
+  EXPECT_EQ(cycle_sum, engine.stats().total_cycles);
+  EXPECT_NEAR(energy_sum, engine.stats().total_energy_mj,
+              1e-9 * energy_sum);
+  EXPECT_EQ(generated_sum, engine.stats().total_generated);
+  EXPECT_GT(engine.stats().aggregate_tokens_per_s(kFreqHz), 0.0);
+
+  // Residence latency covers every step a request was in flight, so it
+  // is at least the request's own attributed cost and the spans stay
+  // inside the engine timeline.
+  for (const auto& r : results) {
+    EXPECT_GE(r.latency_cycles(), r.gen.total_cycles);
+    EXPECT_LE(r.finished_at, engine.stats().total_cycles);
+    EXPECT_GE(r.finished_at, r.admitted_at);
+  }
+}
+
+TEST(BatchedEngine, SingleRequestMatchesGenerateCosts) {
+  // At batch size 1 nothing is shared, so the serving cost model must
+  // collapse to exactly the sequential generate accounting.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  BatchedEngine engine(session, {.max_batch = 1, .max_pending = 4});
+  const std::vector<int> prompt{3, 1, 4};
+  const auto id = engine.submit(prompt, 5);
+  ASSERT_TRUE(id.has_value());
+  const auto results = engine.run_to_completion();
+  const auto solo = session.generate(prompt, 5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].gen.tokens, solo.tokens);
+  EXPECT_EQ(results[0].gen.total_cycles, solo.total_cycles);
+  EXPECT_NEAR(results[0].gen.total_energy_mj, solo.total_energy_mj,
+              1e-9 * solo.total_energy_mj);
+  // Alone in the batch, residence latency equals the attributed cost.
+  EXPECT_EQ(results[0].latency_cycles(), solo.total_cycles);
+}
+
+TEST(BatchedEngine, BatchingReducesAggregateCyclesVersusSequential) {
+  // The point of continuous batching on a weight-streaming deployment:
+  // B requests served together cost less than B independent runs,
+  // because block weights stream once per step instead of once per
+  // request.
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  // Precondition for the win: weight streaming must be on the decode
+  // latency path.
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  ASSERT_EQ(ar.report.residency, partition::Residency::streamed);
+  ASSERT_GT(ar.report.breakdown.dma_l3_l2, 0u);
+
+  const std::vector<int> prompt{1, 2, 3};
+  const int steps = 6;
+  const int batch = 4;
+
+  BatchedEngine engine(session, {.max_batch = batch, .max_pending = 64});
+  for (int i = 0; i < batch; ++i) (void)*engine.submit(prompt, steps);
+  (void)engine.run_to_completion();
+
+  const auto solo = session.generate(prompt, steps);
+  const Cycles sequential = solo.total_cycles * batch;
+  EXPECT_LT(engine.stats().total_cycles, sequential);
+  // The saving is exactly the de-duplicated weight streaming: every
+  // decode step fetches the block weights once instead of `batch`
+  // times, so the advantage must exceed one full streaming pass.
+  EXPECT_GT(sequential - engine.stats().total_cycles,
+            static_cast<Cycles>(cfg.num_layers) *
+                ar.report.breakdown.dma_l3_l2);
+}
+
+TEST(BatchedEngine, ContinuousAdmissionBackfillsFreedSlots) {
+  // More requests than slots: late requests wait in the queue and join
+  // the running batch as earlier ones finish (continuous batching, not
+  // static batches).
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  BatchedEngine engine(session, {.max_batch = 2, .max_pending = 64});
+  const auto workloads = mixed_workloads();
+  std::vector<RequestId> ids;
+  for (const auto& w : workloads) ids.push_back(*engine.submit(w.prompt, w.new_tokens));
+  EXPECT_EQ(engine.pending_requests(), 4);
+
+  const auto results = engine.run_to_completion();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(engine.stats().peak_batch, 2);
+  // The last two requests were admitted strictly after the first two.
+  EXPECT_GT(result_for(results, ids[2]).admitted_step, 0);
+  EXPECT_GT(result_for(results, ids[3]).admitted_step, 0);
+  // Equivalence still holds for requests that joined mid-flight.
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto solo =
+        session.generate(workloads[i].prompt, workloads[i].new_tokens);
+    EXPECT_EQ(result_for(results, ids[i]).gen.tokens, solo.tokens);
+  }
+}
+
+TEST(BatchedEngine, SubmitRejectsGracefullyWhenQueueFull) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  BatchedEngine engine(session, {.max_batch = 1, .max_pending = 1});
+  const auto a = engine.submit({1, 2}, 4);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(engine.step());  // admits A into the only KV slot
+  const auto b = engine.submit({3, 4}, 4);
+  ASSERT_TRUE(b.has_value());  // queue has room again
+  const auto c = engine.submit({5, 6}, 4);
+  EXPECT_FALSE(c.has_value());  // queue full: graceful reject, no throw
+  EXPECT_EQ(engine.stats().rejected, 1);
+
+  const auto results = engine.run_to_completion();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(result_for(results, *a).gen.tokens, session.generate({1, 2}, 4).tokens);
+  EXPECT_EQ(result_for(results, *b).gen.tokens, session.generate({3, 4}, 4).tokens);
+}
+
+TEST(BatchedEngine, SubmitValidatesLikeGenerate) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  BatchedEngine engine(session, {});
+  EXPECT_THROW((void)engine.submit({}, 1), Error);
+  EXPECT_THROW((void)engine.submit({1}, -1), Error);
+  EXPECT_THROW((void)engine.submit({1}, cfg.ar_context + 1), Error);
+  // Prefill cost/fit are derived from the static prompt shape, so
+  // prompts beyond prompt_len are rejected rather than under-charged.
+  const std::vector<int> long_prompt(
+      static_cast<std::size_t>(cfg.prompt_len) + 1, 1);
+  EXPECT_THROW((void)engine.submit(long_prompt, 1), Error);
+  // Bad options are rejected up front, before any pool construction.
+  EXPECT_THROW(BatchedEngine(session, {.max_batch = 0, .max_pending = 4}),
+               Error);
+  EXPECT_THROW(BatchedEngine(session, {.max_batch = 2, .max_pending = -1}),
+               Error);
+}
+
+TEST(BatchedEngine, ZeroNewTokensFinishesAfterPrefillOnly) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  BatchedEngine engine(session, {});
+  const auto id = engine.submit({1, 2, 3}, 0);
+  ASSERT_TRUE(id.has_value());
+  const auto results = engine.run_to_completion();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].gen.tokens, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(results[0].gen.generated, 0);
+  EXPECT_GT(results[0].gen.total_cycles, 0u);  // prefill is still charged
+  // Zero generated tokens must not divide by zero anywhere.
+  EXPECT_EQ(results[0].gen.mj_per_token(), 0.0);
+  EXPECT_GT(results[0].gen.tokens_per_s(kFreqHz), -1.0);
+}
+
+TEST(BatchedEngine, TracerAttributesChargesToRequests) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  sim::Tracer tracer;
+  BatchedEngine engine(session, {.max_batch = 2, .max_pending = 8}, &tracer);
+  const auto a = engine.submit({1, 2, 3}, 4);
+  const auto b = engine.submit({7, 8}, 2);
+  const auto results = engine.run_to_completion();
+
+  // Every span carries its owning request; traced time per request
+  // equals the attributed cycle accounting.
+  EXPECT_EQ(tracer.total_for_request(sim::kNoRequest), 0u);
+  EXPECT_EQ(tracer.total_for_request(*a),
+            result_for(results, *a).gen.total_cycles);
+  EXPECT_EQ(tracer.total_for_request(*b),
+            result_for(results, *b).gen.total_cycles);
+  EXPECT_EQ(tracer.makespan(), engine.stats().total_cycles);
+  // The tag resets after every engine charge.
+  EXPECT_EQ(tracer.current_request(), sim::kNoRequest);
+}
+
+// --- KV pool / slot arena -------------------------------------------------
+
+TEST(SlotArena, ExhaustionReturnsNulloptNotUB) {
+  mem::Arena arena("l2.kv_pool", 4096);
+  mem::SlotArena slots(arena, "kv_set", 2, 1024);
+  EXPECT_EQ(arena.used(), 2048u);
+
+  const auto s0 = slots.acquire();
+  const auto s1 = slots.acquire();
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_NE(*s0, *s1);
+  EXPECT_EQ(slots.free(), 0);
+
+  const auto s2 = slots.acquire();
+  EXPECT_FALSE(s2.has_value());  // graceful reject
+
+  slots.release(*s0);
+  const auto s3 = slots.acquire();
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_EQ(*s3, *s0);  // lowest-free-index policy
+
+  EXPECT_THROW(slots.release(*s1 + 5), Error);  // out of range
+  slots.release(*s1);
+  EXPECT_THROW(slots.release(*s1), Error);  // double release
+}
+
+TEST(SlotArena, PoolThatDoesNotFitThrowsPlanError) {
+  mem::Arena arena("l2.kv_pool", 1024);
+  EXPECT_THROW(mem::SlotArena(arena, "kv_set", 2, 1024), PlanError);
+}
+
+TEST(SlotArena, RejectsNonPositiveShapes) {
+  mem::Arena arena("l2.kv_pool", 1024);
+  EXPECT_THROW(mem::SlotArena(arena, "kv_set", -1, 64), Error);
+  EXPECT_THROW(mem::SlotArena(arena, "kv_set", 0, 64), Error);
+  EXPECT_THROW(mem::SlotArena(arena, "kv_set", 1, 0), Error);
+}
+
+TEST(BatchedEngine, PoolExceedingL2BudgetThrowsPlanError) {
+  // Full-capacity KV sets for every slot must fit the worst-case chip's
+  // L2 next to the single-request deployment plan; a batch that cannot
+  // physically hold its caches is rejected at construction, not served
+  // with fictitious memory.
+  auto cfg = small_llama();
+  cfg.ar_context = 24;
+  cfg.validate();
+  auto sys = runtime::SystemConfig::siracusa_system();
+  sys.chip.l2_size = 80 * 1024ull;  // tight: fits a handful of KV sets
+  const InferenceSession session(cfg, 4, sys);
+  // A modest batch fits...
+  BatchedEngine ok(session, {.max_batch = 2, .max_pending = 4});
+  // ...but an absurd one must throw instead of overcommitting L2.
+  EXPECT_THROW(BatchedEngine(session, {.max_batch = 10000, .max_pending = 4}),
+               PlanError);
+}
+
+TEST(BatchedEngine, PromptModePlanGatesThePoolToo) {
+  // Prefill activations scale with prompt_len, so a batch can fit the
+  // decode-mode plan while prefill cannot hold its caches: the fit
+  // check must gate on both modes.
+  auto cfg = small_llama();
+  cfg.prompt_len = 96;
+  cfg.ar_context = 128;
+  cfg.validate();
+  auto sys = runtime::SystemConfig::siracusa_system();
+  sys.chip.l2_size = 88 * 1024ull;  // 24 KiB usable
+  const InferenceSession session(cfg, 4, sys);
+
+  const auto ar_mp = session.run_block(model::Mode::autoregressive).memory;
+  const auto pr_mp = session.run_block(model::Mode::prompt).memory;
+  // Precondition: two KV sets fit next to the decode plan but not next
+  // to the prefill plan.
+  ASSERT_LE(ar_mp.need() + ar_mp.kv_cache_bytes, ar_mp.l2_usable);
+  ASSERT_GT(pr_mp.need() + pr_mp.kv_cache_bytes, pr_mp.l2_usable);
+
+  BatchedEngine ok(session, {.max_batch = 1, .max_pending = 4});
+  EXPECT_THROW(BatchedEngine(session, {.max_batch = 2, .max_pending = 4}),
+               PlanError);
+}
+
+TEST(KvCachePool, SlotsAreIndependentAndRecycled) {
+  model::KvCachePool pool(2, [] {
+    model::KvCachePool::CacheSet set(2);
+    for (auto& per_chip : set) per_chip.emplace_back(4, 8);
+    return set;
+  });
+  EXPECT_EQ(pool.capacity(), 2);
+  // One full set: 2 chips x 1 layer x (2 * 4 positions * 8 dims) bytes.
+  EXPECT_EQ(pool.set_capacity_bytes(1), 2u * 2u * 4u * 8u);
+
+  const std::vector<float> row(8, 1.0f);
+  pool.slot(0)[0][0].append(row, row);
+  EXPECT_EQ(pool.slot(0)[0][0].length(), 1);
+  EXPECT_EQ(pool.slot(1)[0][0].length(), 0);  // other slot untouched
+
+  pool.reset_slot(0);
+  EXPECT_EQ(pool.slot(0)[0][0].length(), 0);
+  EXPECT_THROW((void)pool.slot(2), Error);
+}
+
+// --- rate-metric edge cases (regressions) ---------------------------------
+
+TEST(GenerationResultEdgeCases, ZeroTokensAndZeroCyclesAreFinite) {
+  GenerationResult empty;
+  EXPECT_EQ(empty.tokens_per_s(kFreqHz), 0.0);
+  EXPECT_EQ(empty.mj_per_token(), 0.0);
+
+  GenerationResult no_cycles;
+  no_cycles.generated = 5;
+  EXPECT_EQ(no_cycles.tokens_per_s(kFreqHz), 0.0);  // guard, not inf
+
+  GenerationResult no_tokens;
+  no_tokens.total_cycles = 1000;
+  no_tokens.total_energy_mj = 3.0;
+  EXPECT_EQ(no_tokens.tokens_per_s(kFreqHz), 0.0);
+  EXPECT_EQ(no_tokens.mj_per_token(), 0.0);  // guard, not inf
+}
+
+TEST(GenerationResultEdgeCases, ServingStatsZeroGuards) {
+  runtime::ServingStats stats;
+  EXPECT_EQ(stats.aggregate_tokens_per_s(kFreqHz), 0.0);
+  EXPECT_EQ(stats.mj_per_token(), 0.0);
+}
+
+TEST(BlockResultEdgeCases, ZeroCyclesEdpIsZero) {
+  runtime::BlockResult block;  // default: zero cycles, zero energy
+  EXPECT_EQ(block.edp_mj_ms(kFreqHz), 0.0);
+  EXPECT_EQ(block.latency_ms(kFreqHz), 0.0);
+  block.energy.core = 1e9;  // 1 mJ with zero cycles: EDP stays zero
+  EXPECT_EQ(block.edp_mj_ms(kFreqHz), 0.0);
+}
+
+TEST(BatchedEngine, GenerateWithZeroNewTokensStaysConsistent) {
+  // Session-level regression for the same edge: generate(prompt, 0)
+  // must report zero generated tokens and finite rate metrics.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  const auto gen = session.generate({1, 2}, 0);
+  EXPECT_EQ(gen.generated, 0);
+  EXPECT_EQ(gen.tokens, (std::vector<int>{1, 2}));
+  EXPECT_EQ(gen.mj_per_token(), 0.0);
+  EXPECT_GT(gen.total_cycles, 0u);  // prefill cost
+}

@@ -84,5 +84,10 @@ int main() {
             << stats.mj_per_token() << " mJ/token\n";
   std::cout << "batched cycles: " << stats.total_cycles
             << " vs sequential serving: " << sequential_cycles << "\n";
+  std::cout << "prefetch overlap: " << stats.stream_cycles_hidden
+            << " stream cycles hidden behind compute, "
+            << stats.prefetch_stall_cycles
+            << " stalled (visible) across " << stats.decode_steps
+            << " decode steps\n";
   return 0;
 }

@@ -62,6 +62,7 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
 
   prompt_cycles_ = prompt_block_.report.block_cycles * layers;
   prompt_energy_mj_ = prompt_block_.energy_mj() * static_cast<double>(layers);
+  prompt_stream_cycles_ = prompt_block_.report.breakdown.dma_l3_l2 * layers;
 
   // Decode-step decomposition: the L3->L2 portion is block-weight
   // streaming, fetched once per layer no matter how many requests are in
@@ -76,6 +77,7 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
       util::pj_to_mj(ar_block_.energy.core + ar_block_.energy.l2 +
                      ar_block_.energy.c2c) *
       static_cast<double>(layers);
+  stream_bytes_per_step_ = ar_block_.report.traffic.l3_l2 * layers;
 }
 
 std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
@@ -92,7 +94,12 @@ std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
               "submit: prompt exceeds the deployment's prefill length (" +
                   std::to_string(session_.config().prompt_len) + ")");
 
-  if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
+  // max_pending bounds the *queue*: only the backlog beyond what the
+  // free KV slots can absorb at the next admission point counts against
+  // it, so an idle engine with a free slot admits even at
+  // max_pending == 0.
+  const int backlog = static_cast<int>(pending_.size()) - kv_slots_.free();
+  if (backlog >= opts_.max_pending) {
     ++stats_.rejected;
     return std::nullopt;
   }
@@ -106,19 +113,17 @@ std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
 }
 
 void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
-                           sim::Category cat, const char* label) {
+                           sim::Category cat, const char* label, Cycles begin) {
   r.cycles += cycles;
   r.energy_mj += energy_mj;
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr && cycles > 0) {
     tracer_->set_request(r.id);
-    tracer_->record(0, cat, trace_cursor_, trace_cursor_ + cycles, 0, label);
+    tracer_->record(0, cat, begin, begin + cycles, 0, label);
     tracer_->set_request(sim::kNoRequest);
-    trace_cursor_ += cycles;
   }
 }
 
-void BatchedEngine::finish(Request& r, int step_idx,
-                           std::vector<std::size_t>& finished_now) {
+void BatchedEngine::finish(Request& r, int step_idx) {
   kv_slots_.release(r.slot);
   r.slot = -1;
   RequestResult out;
@@ -126,20 +131,19 @@ void BatchedEngine::finish(Request& r, int step_idx,
   out.admitted_step = r.admitted_step;
   out.finished_step = step_idx;
   out.admitted_at = r.admitted_at;
-  // finished_at is stamped at the end of the step, once the step's full
-  // duration is known.
+  // The boundary at which the final token was committed: the request's
+  // own last completed work, not the end of a step other requests are
+  // still filling.
+  out.finished_at = r.work_done_at;
   out.gen.tokens = std::move(r.tokens);
   out.gen.generated = r.generated;
   out.gen.total_cycles = r.cycles;
   out.gen.total_energy_mj = r.energy_mj;
-  finished_now.push_back(finished_.size());
   finished_.push_back(std::move(out));
   ++stats_.completed;
 }
 
-void BatchedEngine::admit_pending(int step_idx, Cycles& step_cycles,
-                                  double& step_energy,
-                                  std::vector<std::size_t>& finished_now) {
+void BatchedEngine::admit_pending(int step_idx, double& step_energy) {
   const auto& emb = session_.embedding();
   const auto& block = session_.block_executor();
   const int layers = session_.config().num_layers;
@@ -151,7 +155,11 @@ void BatchedEngine::admit_pending(int step_idx, Cycles& step_cycles,
     pending_.pop_front();
     r.slot = *slot;
     r.admitted_step = step_idx;
-    r.admitted_at = stats_.total_cycles;  // engine timeline at step start
+    // The request's own position on the step timeline: prefills of
+    // requests admitted earlier this step have already advanced the
+    // pipeline, so their cycles never leak into this request's
+    // residence latency.
+    r.admitted_at = pipeline_.now();
     kv_pool_.reset_slot(r.slot);
 
     model::Tensor h = emb.lookup(r.prompt);
@@ -161,12 +169,16 @@ void BatchedEngine::admit_pending(int step_idx, Cycles& step_cycles,
     r.tokens = r.prompt;
     r.pos = static_cast<int>(r.prompt.size());
     charge(r, prompt_cycles_, prompt_energy_mj_, sim::Category::compute,
-           "prefill");
-    step_cycles += prompt_cycles_;
+           "prefill", r.admitted_at);
+    // Prefill advances the timeline without touching the staged decode
+    // weights; an in-flight stream prefetch keeps draining underneath,
+    // except while the prefill's own L3 streaming occupies the port.
+    pipeline_.advance_opaque(prompt_cycles_, prompt_stream_cycles_);
+    r.work_done_at = pipeline_.now();
     step_energy += prompt_energy_mj_;
 
     if (r.new_tokens == 0) {
-      finish(r, step_idx, finished_now);
+      finish(r, step_idx);
     } else {
       r.next = emb.greedy_next(h);
       active_.push_back(std::move(r));
@@ -177,11 +189,9 @@ void BatchedEngine::admit_pending(int step_idx, Cycles& step_cycles,
 bool BatchedEngine::step() {
   if (pending_.empty() && active_.empty()) return false;
   const int step_idx = stats_.steps;
-  Cycles step_cycles = 0;
   double step_energy = 0.0;
-  std::vector<std::size_t> finished_now;
 
-  admit_pending(step_idx, step_cycles, step_energy, finished_now);
+  admit_pending(step_idx, step_energy);
   stats_.peak_batch =
       std::max(stats_.peak_batch, static_cast<int>(active_.size()));
 
@@ -199,7 +209,7 @@ bool BatchedEngine::step() {
     ++r.generated;
     ++stats_.total_generated;
     if (r.generated == r.new_tokens) {
-      finish(r, step_idx, finished_now);
+      finish(r, step_idx);
       continue;
     }
     model::Tensor x = emb.lookup({r.next});
@@ -208,39 +218,69 @@ bool BatchedEngine::step() {
     }
     r.next = emb.greedy_next(x);
     ++r.pos;
-    charge(r, ar_per_req_cycles_, ar_per_req_energy_mj_, sim::Category::compute,
-           "decode");
-    step_cycles += ar_per_req_cycles_;
-    step_energy += ar_per_req_energy_mj_;
     still_active.push_back(std::move(r));
   }
   active_ = std::move(still_active);
 
-  // Shared weight streaming: one pass over the layer weights feeds every
-  // request that ran a forward this step. Attribute equal integer shares
+  // Decode phase: the batch's serialized forwards race the weight stream
+  // the previous decode step prefetched, and the prefetch for the NEXT
+  // step is issued the moment this one starts. Only the unhidden stall
+  // lands on the step; it is attributed in equal integer shares
   // (remainder cycles to the earliest admitted) so per-request cycles
-  // sum to the aggregate exactly.
+  // still sum to the aggregate exactly. Streaming energy is charged in
+  // full regardless of overlap — the DMA runs either way.
   if (!active_.empty()) {
     const auto b = static_cast<Cycles>(active_.size());
-    const Cycles share = ar_shared_cycles_ / b;
-    const Cycles rem = ar_shared_cycles_ % b;
+    const Cycles compute = b * ar_per_req_cycles_;
+    // Skip the speculative fetch when this is provably the last step.
+    const bool work_remains = !pending_.empty() ||
+                              std::any_of(active_.begin(), active_.end(),
+                                          [](const Request& r) {
+                                            return r.generated + 1 < r.new_tokens;
+                                          });
+    const Bytes next_stream =
+        work_remains ? static_cast<Bytes>(ar_shared_cycles_) : Bytes{0};
+    const auto span = pipeline_.advance(compute, next_stream);
+
+    // Trace the stream DMA this step consumed (issued during an earlier
+    // step, so it overlaps whatever ran since) and remember the one just
+    // issued for the step that will consume it.
+    if (tracer_ != nullptr && pending_fetch_ready_ > pending_fetch_issue_) {
+      tracer_->record(0, sim::Category::dma_l3_l2, pending_fetch_issue_,
+                      pending_fetch_ready_, stream_bytes_per_step_,
+                      "weights.prefetch");
+    }
+    pending_fetch_issue_ = span.fetch_issue;
+    pending_fetch_ready_ = span.fetch_ready;
+
+    // Per-request decode compute at its serialized slot on the step
+    // timeline; the stall shares all sit in the wait window at the
+    // start of the phase, overlapping across the requests' trace lanes.
+    const Cycles share = span.stall / b;
+    const Cycles rem = span.stall % b;
     const double e_share =
         ar_shared_energy_mj_ / static_cast<double>(active_.size());
     for (std::size_t i = 0; i < active_.size(); ++i) {
+      charge(active_[i], ar_per_req_cycles_, ar_per_req_energy_mj_,
+             sim::Category::compute, "decode",
+             span.start + static_cast<Cycles>(i) * ar_per_req_cycles_);
       const Cycles c = share + (static_cast<Cycles>(i) < rem ? 1 : 0);
       charge(active_[i], c, e_share, sim::Category::dma_l3_l2,
-             "weights.shared");
+             "weights.stall", span.begin);
+      // Tokens commit at phase boundaries: every participant's work
+      // extends to the phase end, whichever serialized slot it ran in.
+      active_[i].work_done_at = span.end;
     }
-    step_cycles += ar_shared_cycles_;
-    step_energy += ar_shared_energy_mj_;
+    step_energy += static_cast<double>(b) * ar_per_req_energy_mj_ +
+                   ar_shared_energy_mj_;
+    ++stats_.decode_steps;
+    stats_.prefetch_stall_cycles += span.stall;
+    stats_.stream_cycles_hidden += ar_shared_cycles_ - span.stall;
   }
 
-  stats_.total_cycles += step_cycles;
+  stats_.total_cycles = pipeline_.now();
   stats_.total_energy_mj += step_energy;
   ++stats_.steps;
-  for (const std::size_t idx : finished_now) {
-    finished_[idx].finished_at = stats_.total_cycles;
-  }
   return !(pending_.empty() && active_.empty());
 }
 

@@ -8,6 +8,7 @@
 #include "mem/arena.hpp"
 #include "model/kv_cache.hpp"
 #include "runtime/inference_session.hpp"
+#include "runtime/prefetch_pipeline.hpp"
 #include "sim/tracer.hpp"
 
 namespace distmcu::runtime {
@@ -23,9 +24,14 @@ struct RequestResult {
   GenerationResult gen;
   int admitted_step = -1;
   int finished_step = -1;
-  /// Engine-timeline timestamps: residence in the batch. The span covers
-  /// every step the request was in flight, so (unlike the attributed
-  /// cycles in `gen`) it grows with batch contention.
+  /// Engine-timeline timestamps: residence in the batch, from the
+  /// request's own admission point (after earlier same-step prefills) to
+  /// the boundary at which its final token was committed — its own
+  /// prefill end for new_tokens == 0, otherwise the end of its last
+  /// decode phase. Other requests' work outside that span (later
+  /// same-step prefills, the final step's decode) is never charged to
+  /// it. Unlike the attributed cycles in `gen`, the span grows with
+  /// batch contention.
   Cycles admitted_at = 0;
   Cycles finished_at = 0;
 
@@ -34,16 +40,29 @@ struct RequestResult {
 
 /// Aggregate serving metrics across all requests the engine processed.
 /// total_cycles is the engine's simulated wall-clock; per-request
-/// attributed cycles sum to it exactly (the shared weight-streaming
-/// remainder is distributed deterministically).
+/// attributed cycles sum to it exactly (the visible remainder of the
+/// shared weight stream is distributed deterministically).
 struct ServingStats {
   Cycles total_cycles = 0;
   double total_energy_mj = 0.0;
   int total_generated = 0;
   int steps = 0;
+  /// Steps in which at least one request ran a decode forward (and the
+  /// batch consumed one shared block-weight stream).
+  int decode_steps = 0;
   int peak_batch = 0;
   int completed = 0;
   int rejected = 0;
+  /// Decode cycles the batch spent waiting for the next step's weight
+  /// prefetch to land — nonzero only when the batch's compute cannot
+  /// cover the stream. Per step: max(0, stream - compute).
+  Cycles prefetch_stall_cycles = 0;
+  /// Serial stream cycles hidden behind compute by the prefetch overlap;
+  /// `total_cycles + stream_cycles_hidden` is what the serial-charging
+  /// cost model (compute + stream per step) would have reported.
+  /// Invariant: prefetch_stall_cycles + stream_cycles_hidden ==
+  /// decode_steps * per-step serial stream cycles.
+  Cycles stream_cycles_hidden = 0;
 
   [[nodiscard]] double aggregate_tokens_per_s(double freq_hz) const {
     return total_cycles == 0 ? 0.0
@@ -77,18 +96,33 @@ struct ServingStats {
 /// weight-streaming MCU deployment — while compute, L2<->L1 tile DMA,
 /// and chip-to-chip synchronization are paid per request.
 ///
+/// The shared stream is further overlapped with compute: each step's
+/// weight stream is an asynchronous DMA on a runtime::PrefetchPipeline
+/// L3 port, issued as the previous step's decode starts (the same
+/// double-buffering race SteadyStateSimulation models for single-stream
+/// passes). A step therefore costs max(compute, prefetch_ready) rather
+/// than compute + stream; only the unhidden remainder — reported as
+/// ServingStats::prefetch_stall_cycles — lands on the batch, split into
+/// per-request shares exactly like the serial stream used to be. The
+/// first stream of a serving window is staged ahead of time (the paper's
+/// steady-state setup), and streaming *energy* is charged in full per
+/// consumed step: overlap hides time, not DMA activity.
+///
 /// KV-cache sets come from a model::KvCachePool sized at construction;
 /// the byte reservation is charged to a mem::Arena through a
 /// mem::SlotArena, so admission beyond max_batch queues and submits
-/// beyond max_pending are rejected gracefully (nullopt, no UB).
+/// beyond the queue bound are rejected gracefully (nullopt, no UB).
 /// Construction throws PlanError when max_batch KV sets do not fit the
 /// deployment's L2 budget next to the single-request plan the memory
 /// planner already validated.
 class BatchedEngine {
  public:
   struct Options {
-    int max_batch = 4;    ///< concurrent KV-cache pool slots
-    int max_pending = 64; ///< admission queue bound; beyond it submits reject
+    int max_batch = 4;  ///< concurrent KV-cache pool slots
+    /// Bound on the *queue* — the backlog beyond what the free KV slots
+    /// can absorb at the next admission point. max_pending == 0 still
+    /// accepts submits an idle engine can admit directly.
+    int max_pending = 64;
   };
 
   /// `session` must outlive the engine. `tracer`, when non-null,
@@ -102,8 +136,9 @@ class BatchedEngine {
   /// Queue a generation request. Throws distmcu::Error on contract
   /// violations (empty prompt, context overflow, prompt longer than the
   /// deployment's static prefill shape `prompt_len`) exactly like
-  /// InferenceSession::generate; returns nullopt when the pending queue
-  /// is full (graceful backpressure).
+  /// InferenceSession::generate; returns nullopt when the queue backlog
+  /// beyond the free KV slots reaches max_pending (graceful
+  /// backpressure).
   [[nodiscard]] std::optional<RequestId> submit(std::vector<int> prompt,
                                                 int new_tokens);
 
@@ -138,16 +173,25 @@ class BatchedEngine {
     Cycles cycles = 0;  // attributed simulated cost
     double energy_mj = 0.0;
     int admitted_step = -1;
-    Cycles admitted_at = 0;  // engine timeline at the admitting step's start
+    /// Engine timeline at the request's own admission point — after the
+    /// prefills of requests admitted earlier in the same step, so
+    /// latency_cycles() never charges it their cycles.
+    Cycles admitted_at = 0;
+    /// Timeline at the request's last completed work (prefill end, then
+    /// each decode phase end); finished_at is stamped from it so a
+    /// request that merely commits its final token is not charged the
+    /// rest of the step.
+    Cycles work_done_at = 0;
   };
 
-  void admit_pending(int step_idx, Cycles& step_cycles, double& step_energy,
-                     std::vector<std::size_t>& finished_now);
-  void finish(Request& r, int step_idx, std::vector<std::size_t>& finished_now);
+  void admit_pending(int step_idx, double& step_energy);
+  void finish(Request& r, int step_idx);
   /// Charge `cycles`/`energy` to a request and, when tracing, lay a
-  /// tagged span on the engine's serialized timeline.
+  /// tagged span at [begin, begin + cycles] on the engine timeline —
+  /// spans of different requests get their own trace lanes and may
+  /// overlap within a step.
   void charge(Request& r, Cycles cycles, double energy_mj, sim::Category cat,
-              const char* label);
+              const char* label, Cycles begin);
 
   const InferenceSession& session_;
   Options opts_;
@@ -162,6 +206,7 @@ class BatchedEngine {
   // Cost decomposition derived from the block reports.
   Cycles prompt_cycles_ = 0;      // full prefill cost, all layers
   double prompt_energy_mj_ = 0.0;
+  Cycles prompt_stream_cycles_ = 0;  // prefill's own L3 port occupancy
   Cycles ar_shared_cycles_ = 0;   // weight streaming, shared across the batch
   double ar_shared_energy_mj_ = 0.0;
   Cycles ar_per_req_cycles_ = 0;  // compute + tile DMA + C2C, per request
@@ -177,7 +222,18 @@ class BatchedEngine {
   std::vector<RequestResult> finished_;
   ServingStats stats_;
   RequestId next_id_ = 0;
-  Cycles trace_cursor_ = 0;
+
+  /// Step timeline: decode compute races the next step's weight-stream
+  /// DMA. The port is normalized (1 byte == 1 cycle of the measured
+  /// serial stream, no extra setup) because ar_shared_cycles_ already
+  /// includes the per-tile DMA setup costs the timed simulation charged.
+  PrefetchPipeline pipeline_{1.0, 0};
+  Bytes stream_bytes_per_step_ = 0;  // real L3 bytes, for trace fidelity
+  /// The in-flight stream DMA the next decode step will consume; traced
+  /// at consumption time so speculative fetches never appear. Zero-width
+  /// before the first decode step (weights staged).
+  Cycles pending_fetch_issue_ = 0;
+  Cycles pending_fetch_ready_ = 0;
 };
 
 }  // namespace distmcu::runtime

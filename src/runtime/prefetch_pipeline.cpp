@@ -1,0 +1,48 @@
+#include "runtime/prefetch_pipeline.hpp"
+
+#include <algorithm>
+
+namespace distmcu::runtime {
+
+PrefetchPipeline::PrefetchPipeline(double bandwidth_bytes_per_cycle,
+                                   Cycles dma_setup)
+    : port_("l3_prefetch", bandwidth_bytes_per_cycle, dma_setup) {}
+
+PrefetchPipeline::Span PrefetchPipeline::advance(Cycles compute,
+                                                 Bytes next_bytes) {
+  Span span;
+  span.begin = engine_.now();
+  span.start = std::max(span.begin, weights_ready_);
+  span.stall = span.start - span.begin;
+  stall_total_ += span.stall;
+
+  // The prefetch for the following span is programmed the moment this
+  // span's compute starts; the FIFO port serializes it behind any DMA
+  // still in flight.
+  span.fetch_issue = span.start;
+  if (next_bytes > 0) {
+    span.fetch_ready = port_.transfer(span.start, next_bytes);
+    weights_ready_ = span.fetch_ready;
+  } else {
+    span.fetch_ready = span.start;
+    weights_ready_ = span.start;  // staged weights remain resident
+  }
+
+  span.end = span.start + compute;
+  engine_.schedule_at(span.end, [] {});
+  engine_.run();
+  return span;
+}
+
+void PrefetchPipeline::advance_opaque(Cycles compute, Cycles port_cycles) {
+  // The opaque span's own port traffic preempts an in-flight fetch for
+  // exactly the cycles it occupies; with nothing in flight (or weights
+  // already staged) the port is free and nothing moves.
+  if (port_cycles > 0 && weights_ready_ > engine_.now()) {
+    weights_ready_ += port_cycles;
+  }
+  engine_.schedule_at(engine_.now() + compute, [] {});
+  engine_.run();
+}
+
+}  // namespace distmcu::runtime

@@ -1,0 +1,70 @@
+#ifndef DISTMCU_RUNTIME_PREFETCH_PIPELINE_HPP
+#define DISTMCU_RUNTIME_PREFETCH_PIPELINE_HPP
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace distmcu::runtime {
+
+/// The double-buffering race the paper's steady-state analysis hinges on,
+/// factored out of SteadyStateSimulation so the serving engine shares the
+/// exact same timeline semantics: a chain of compute spans on one
+/// sim::Engine timeline, where the weight shard consumed by span i+1 is an
+/// asynchronous DMA on a single sim::Resource L3 port racing span i's
+/// compute. A span stalls only for the part of the stream its predecessor's
+/// compute could not cover, so the chain's cost is
+/// max(compute, prefetch_ready) per span instead of compute + stream.
+///
+/// The first consuming span's weights are staged before the window opens
+/// (the paper's setup for block 0), so a pipeline reports nonzero stall
+/// cycles only when compute cannot cover the stream.
+class PrefetchPipeline {
+ public:
+  /// One advanced compute span on the pipeline timeline.
+  struct Span {
+    Cycles begin = 0;  ///< timeline when the span was requested
+    Cycles start = 0;  ///< compute start: begin + stall
+    Cycles end = 0;    ///< start + compute
+    Cycles stall = 0;  ///< cycles spent waiting for the staged weights
+    /// The next span's prefetch DMA, issued as this span starts
+    /// (fetch_ready == fetch_issue when nothing was issued).
+    Cycles fetch_issue = 0;
+    Cycles fetch_ready = 0;
+  };
+
+  /// `bandwidth_bytes_per_cycle` / `dma_setup` configure the L3 port every
+  /// prefetch serializes on (FIFO, shared busy horizon).
+  PrefetchPipeline(double bandwidth_bytes_per_cycle, Cycles dma_setup);
+
+  /// Advance by one compute span of `compute` cycles that consumes the
+  /// currently staged weights (stalling until they are ready), and issue
+  /// the DMA of `next_bytes` for the following span at this span's start.
+  /// `next_bytes == 0` issues nothing: whatever is staged stays staged,
+  /// so the next consuming span starts stall-free.
+  Span advance(Cycles compute, Bytes next_bytes);
+
+  /// Advance the timeline by a span that does not touch the staged
+  /// weights (e.g. a prefill charged in full): any in-flight prefetch
+  /// keeps draining underneath it. `port_cycles` declares how long the
+  /// opaque span itself occupies the shared port (its own streaming,
+  /// already inside `compute`); an in-flight fetch is pushed back by
+  /// that occupancy since the port serializes. Must satisfy
+  /// port_cycles <= compute so a later consuming span never stalls
+  /// longer than one full stream.
+  void advance_opaque(Cycles compute, Cycles port_cycles = 0);
+
+  [[nodiscard]] Cycles now() const { return engine_.now(); }
+  [[nodiscard]] Cycles stall_total() const { return stall_total_; }
+  [[nodiscard]] const sim::Resource& port() const { return port_; }
+  [[nodiscard]] const sim::Engine& engine() const { return engine_; }
+
+ private:
+  sim::Engine engine_;
+  sim::Resource port_;
+  Cycles weights_ready_ = 0;  // readiness of the next consuming span's weights
+  Cycles stall_total_ = 0;
+};
+
+}  // namespace distmcu::runtime
+
+#endif  // DISTMCU_RUNTIME_PREFETCH_PIPELINE_HPP

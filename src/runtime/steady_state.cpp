@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "partition/memory_planner.hpp"
-#include "sim/engine.hpp"
-#include "sim/resource.hpp"
+#include "runtime/prefetch_pipeline.hpp"
 #include "util/check.hpp"
 
 namespace distmcu::runtime {
@@ -36,44 +34,21 @@ SteadyStateReport SteadyStateSimulation::run(const partition::PartitionPlan& pla
   // Double-buffered: every chip prefetches its next-block shard on its
   // own L3 DMA concurrently with compute. Worst-case chip 0 gates the
   // system (largest shard); all chips advance in lock-step through the
-  // block's two synchronizations, so one event chain per block suffices.
+  // block's two synchronizations, so one pipeline chain suffices. Block 0
+  // is staged before the pass begins (the paper's setup); block 1..L-1
+  // arrive by DMA issued as the previous block starts.
   const Bytes shard =
       plan.max_chip_block_weight_elems() * sys_.precision.weight_bytes;
 
-  sim::Engine engine;
-  sim::Resource l3_port("l3_dma[chip0]", sys_.chip.bw_l3_l2, sys_.chip.dma_setup_l3);
+  PrefetchPipeline pipeline(sys_.chip.bw_l3_l2, sys_.chip.dma_setup_l3);
+  for (int b = 0; b < out.blocks; ++b) {
+    const Bytes next_shard = b + 1 < out.blocks ? shard : Bytes{0};
+    (void)pipeline.advance(block.block_cycles, next_shard);
+  }
 
-  std::vector<Cycles> weights_ready(static_cast<std::size_t>(out.blocks), 0);
-  // Block 0 is staged before the pass begins (the paper's setup);
-  // block 1..L-1 arrive by DMA issued when the previous block starts.
-  Cycles stall_total = 0;
-  Cycles finish = 0;
-  int next_block = 0;
-
-  // Issue the first prefetch at t=0 (block 1 loads while block 0 runs).
-  std::function<void()> start_next_block = [&]() {
-    const int b = next_block++;
-    if (b >= out.blocks) return;
-    const Cycles now = engine.now();
-    // Prefetch for the following block is programmed as this block
-    // starts.
-    if (b + 1 < out.blocks) {
-      weights_ready[static_cast<std::size_t>(b + 1)] = l3_port.transfer(now, shard);
-    }
-    const Cycles ready = weights_ready[static_cast<std::size_t>(b)];
-    const Cycles start = std::max(now, ready);
-    stall_total += start - now;
-    engine.schedule_at(start + block.block_cycles, [&]() {
-      finish = engine.now();
-      start_next_block();
-    });
-  };
-  engine.schedule_at(0, start_next_block);
-  engine.run();
-
-  out.total_cycles = finish;
-  out.prefetch_stall_cycles = stall_total;
-  out.per_block_sustained = finish / static_cast<Cycles>(out.blocks);
+  out.total_cycles = pipeline.now();
+  out.prefetch_stall_cycles = pipeline.stall_total();
+  out.per_block_sustained = out.total_cycles / static_cast<Cycles>(out.blocks);
   return out;
 }
 

@@ -19,12 +19,13 @@ struct SteadyStateReport {
   partition::Residency residency = partition::Residency::streamed;
 };
 
-/// Event-driven simulation of all `num_layers` blocks back-to-back on the
-/// sim::Engine: in the double-buffered regime each block's weight shard
-/// prefetch is an asynchronous DMA event racing the previous block's
-/// compute — exposing the gap between the paper's isolated single-block
-/// latency and the sustained latency of a full forward pass (ablation
-/// A2 in DESIGN.md).
+/// Event-driven simulation of all `num_layers` blocks back-to-back: in
+/// the double-buffered regime each block's weight shard prefetch is an
+/// asynchronous DMA racing the previous block's compute (the shared
+/// runtime::PrefetchPipeline chain, which BatchedEngine reuses per
+/// decode step) — exposing the gap between the paper's isolated
+/// single-block latency and the sustained latency of a full forward
+/// pass (ablation A2 in DESIGN.md).
 class SteadyStateSimulation {
  public:
   explicit SteadyStateSimulation(SystemConfig sys);

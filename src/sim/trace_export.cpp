@@ -17,6 +17,15 @@ std::string escape(const std::string& s) {
   }
   return out;
 }
+
+int lane_tid(const Span& span) {
+  // Block-level spans keep one track per activity category; serving
+  // spans tagged with a request id get their own lane above those, so
+  // concurrent batch members render as overlapping rows instead of one
+  // serialized track.
+  if (span.request == kNoRequest) return static_cast<int>(span.category);
+  return static_cast<int>(kNumCategories) + span.request;
+}
 }  // namespace
 
 void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) {
@@ -32,13 +41,18 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
                                                       : span.label)
        << "\",\"cat\":\"" << category_name(span.category) << "\",\"ph\":\"X\""
        << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"pid\":" << span.chip
-       << ",\"tid\":" << static_cast<int>(span.category)
+       << ",\"tid\":" << lane_tid(span)
        << ",\"args\":{\"bytes\":" << span.bytes << ",\"request\":" << span.request
        << "}}";
   }
-  // Process/thread names so Perfetto shows "chip N" / category labels.
+  // Process/thread names so Perfetto shows "chip N" / category labels /
+  // "request N" serving lanes.
   int max_chip = -1;
-  for (const auto& span : tracer.spans()) max_chip = std::max(max_chip, span.chip);
+  int max_request = kNoRequest;
+  for (const auto& span : tracer.spans()) {
+    max_chip = std::max(max_chip, span.chip);
+    max_request = std::max(max_request, span.request);
+  }
   for (int chip = 0; chip <= max_chip; ++chip) {
     os << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << chip
        << ",\"args\":{\"name\":\"chip " << chip << "\"}}";
@@ -46,6 +60,11 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
       os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << chip
          << ",\"tid\":" << cat << ",\"args\":{\"name\":\""
          << category_name(static_cast<Category>(cat)) << "\"}}";
+    }
+    for (int req = 0; req <= max_request; ++req) {
+      os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << chip
+         << ",\"tid\":" << static_cast<int>(kNumCategories) + req
+         << ",\"args\":{\"name\":\"request " << req << "\"}}";
     }
   }
   os << "]}";

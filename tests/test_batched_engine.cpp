@@ -163,8 +163,10 @@ TEST(BatchedEngine, AggregateAccountingSumsToPerRequestParts) {
 }
 
 TEST(BatchedEngine, SingleRequestMatchesGenerateCosts) {
-  // At batch size 1 nothing is shared, so the serving cost model must
-  // collapse to exactly the sequential generate accounting.
+  // At batch size 1 on a fully resident deployment nothing is shared
+  // and nothing streams, so the serving cost model must collapse to
+  // exactly the sequential generate accounting (the streamed overlap
+  // case is covered by SingleStreamOverlapHidesStreamBehindCompute).
   const auto cfg = small_llama();
   const InferenceSession session(cfg, 4);
   BatchedEngine engine(session, {.max_batch = 1, .max_pending = 4});
@@ -206,12 +208,179 @@ TEST(BatchedEngine, BatchingReducesAggregateCyclesVersusSequential) {
   const auto solo = session.generate(prompt, steps);
   const Cycles sequential = solo.total_cycles * batch;
   EXPECT_LT(engine.stats().total_cycles, sequential);
-  // The saving is exactly the de-duplicated weight streaming: every
+  // The saving has two parts: the de-duplicated weight streaming (each
   // decode step fetches the block weights once instead of `batch`
-  // times, so the advantage must exceed one full streaming pass.
+  // times) plus whatever of the remaining single stream the prefetch
+  // overlap hid behind compute — so the advantage must exceed the
+  // de-duplication alone: (batch-1) streams per decode step.
+  const Cycles stream =
+      static_cast<Cycles>(cfg.num_layers) * ar.report.breakdown.dma_l3_l2;
   EXPECT_GT(sequential - engine.stats().total_cycles,
-            static_cast<Cycles>(cfg.num_layers) *
-                ar.report.breakdown.dma_l3_l2);
+            static_cast<Cycles>(batch - 1) *
+                static_cast<Cycles>(engine.stats().decode_steps) * stream);
+}
+
+// --- prefetch overlap (tentpole) ------------------------------------------
+
+TEST(BatchedEngine, PrefetchOverlapConservation) {
+  // The event-driven step timeline races the next step's weight
+  // prefetch against the batch's compute: per decode step the engine
+  // pays max(compute, stream) instead of compute + stream. Every cycle
+  // of the serial stream must be accounted as either hidden behind
+  // compute or as a visible stall, and per-request attribution must
+  // still sum exactly to the aggregate.
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  ASSERT_EQ(ar.report.residency, partition::Residency::streamed);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  const Cycles stream = ar.report.breakdown.dma_l3_l2 * layers;
+  const Cycles per_req =
+      (ar.report.block_cycles - ar.report.breakdown.dma_l3_l2) * layers;
+  const Cycles prefill =
+      session.run_block(model::Mode::prompt).report.block_cycles * layers;
+  ASSERT_GT(stream, 0u);
+
+  const int batch = 3;
+  const int steps = 5;
+  BatchedEngine engine(session, {.max_batch = batch, .max_pending = 64});
+  std::vector<RequestId> ids;
+  for (int i = 0; i < batch; ++i) {
+    ids.push_back(*engine.submit({1 + i, 9 - i}, steps));
+  }
+  const auto results = engine.run_to_completion();
+  const auto& stats = engine.stats();
+
+  // Stream conservation: stall + hidden == one serial stream per
+  // consuming step.
+  EXPECT_EQ(stats.prefetch_stall_cycles + stats.stream_cycles_hidden,
+            static_cast<Cycles>(stats.decode_steps) * stream);
+  // All requests are admitted together and decode in lock-step, so the
+  // serial-charging model is exactly reconstructible: total + hidden.
+  EXPECT_EQ(stats.decode_steps, steps - 1);
+  const Cycles serial =
+      static_cast<Cycles>(batch) * prefill +
+      static_cast<Cycles>(steps - 1) *
+          (static_cast<Cycles>(batch) * per_req + stream);
+  EXPECT_EQ(stats.total_cycles + stats.stream_cycles_hidden, serial);
+  // First stream is staged; later steps stall only for the part of the
+  // stream that batch compute cannot cover.
+  const Cycles batch_compute = static_cast<Cycles>(batch) * per_req;
+  const Cycles per_step_stall =
+      stream > batch_compute ? stream - batch_compute : 0;
+  EXPECT_EQ(stats.prefetch_stall_cycles,
+            static_cast<Cycles>(steps - 2) * per_step_stall);
+
+  // Exact-attribution invariant survives the overlap: per-request
+  // cycles/energy sum to the aggregate.
+  Cycles cycle_sum = 0;
+  double energy_sum = 0.0;
+  for (const auto& r : results) {
+    cycle_sum += r.gen.total_cycles;
+    energy_sum += r.gen.total_energy_mj;
+  }
+  EXPECT_EQ(cycle_sum, stats.total_cycles);
+  EXPECT_NEAR(energy_sum, stats.total_energy_mj, 1e-9 * energy_sum);
+
+  // Token streams stay bit-identical to dedicated generate calls.
+  for (int i = 0; i < batch; ++i) {
+    const auto solo = session.generate({1 + i, 9 - i}, steps);
+    EXPECT_EQ(result_for(results, ids[i]).gen.tokens, solo.tokens);
+  }
+}
+
+TEST(BatchedEngine, MidServingAdmissionKeepsConservation) {
+  // A request admitted while a stream prefetch is in flight contends
+  // with it for the L3 port (the prefill's own streaming pushes the
+  // fetch back), so stalls can grow — but every conservation invariant
+  // must survive the mixed prefill/decode regime.
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  ASSERT_EQ(ar.report.residency, partition::Residency::streamed);
+  const Cycles stream = ar.report.breakdown.dma_l3_l2 *
+                        static_cast<Cycles>(cfg.num_layers);
+
+  BatchedEngine engine(session, {.max_batch = 2, .max_pending = 8});
+  std::vector<RequestId> ids;
+  ids.push_back(*engine.submit({1, 2}, 6));
+  ids.push_back(*engine.submit({3}, 2));
+  ids.push_back(*engine.submit({4, 5}, 4));  // joins mid-serving
+  const auto results = engine.run_to_completion();
+  const auto& stats = engine.stats();
+  ASSERT_GT(result_for(results, ids[2]).admitted_step, 0);
+
+  EXPECT_EQ(stats.prefetch_stall_cycles + stats.stream_cycles_hidden,
+            static_cast<Cycles>(stats.decode_steps) * stream);
+  Cycles cycle_sum = 0;
+  for (const auto& r : results) cycle_sum += r.gen.total_cycles;
+  EXPECT_EQ(cycle_sum, stats.total_cycles);
+  const std::vector<std::vector<int>> prompts{{1, 2}, {3}, {4, 5}};
+  const std::vector<int> lens{6, 2, 4};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(result_for(results, ids[i]).gen.tokens,
+              session.generate(prompts[i], lens[i]).tokens);
+  }
+}
+
+TEST(BatchedEngine, SingleStreamOverlapHidesStreamBehindCompute) {
+  // B=1 on a streamed deployment: the engine's overlap model beats the
+  // serial charging InferenceSession::generate uses, by exactly the
+  // hidden stream cycles — while tokens and energy stay identical.
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  ASSERT_EQ(ar.report.residency, partition::Residency::streamed);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  const Cycles stream = ar.report.breakdown.dma_l3_l2 * layers;
+  const Cycles per_req =
+      (ar.report.block_cycles - ar.report.breakdown.dma_l3_l2) * layers;
+  // Precondition for visible stalls: one request's compute cannot cover
+  // the stream.
+  ASSERT_GT(stream, per_req);
+
+  const std::vector<int> prompt{2, 4, 6};
+  const int steps = 6;
+  BatchedEngine engine(session, {.max_batch = 1, .max_pending = 4});
+  const auto id = engine.submit(prompt, steps);
+  ASSERT_TRUE(id.has_value());
+  const auto results = engine.run_to_completion();
+  const auto solo = session.generate(prompt, steps);
+  const auto& stats = engine.stats();
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].gen.tokens, solo.tokens);
+  EXPECT_NEAR(results[0].gen.total_energy_mj, solo.total_energy_mj,
+              1e-9 * solo.total_energy_mj);
+  EXPECT_GT(stats.stream_cycles_hidden, 0u);
+  EXPECT_EQ(stats.total_cycles, solo.total_cycles - stats.stream_cycles_hidden);
+  // Staged first stream stalls nothing; each later step stalls for the
+  // uncovered remainder.
+  EXPECT_EQ(stats.prefetch_stall_cycles,
+            static_cast<Cycles>(steps - 2) * (stream - per_req));
+  EXPECT_EQ(results[0].latency_cycles(), stats.total_cycles);
+}
+
+TEST(BatchedEngine, NoStallWhenBatchComputeCoversStream) {
+  // Acceptance property: prefetch_stall_cycles is nonzero ONLY when the
+  // batch's compute cannot cover the stream. streamed_llama at 4 chips
+  // has stream < 3x per-request compute, so B=3 decodes stall-free.
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  const Cycles stream = ar.report.breakdown.dma_l3_l2 * layers;
+  const Cycles per_req =
+      (ar.report.block_cycles - ar.report.breakdown.dma_l3_l2) * layers;
+  ASSERT_GT(stream, 0u);
+  ASSERT_LE(stream, 3 * per_req);
+
+  BatchedEngine engine(session, {.max_batch = 3, .max_pending = 8});
+  for (int i = 0; i < 3; ++i) (void)*engine.submit({1 + i}, 5);
+  (void)engine.run_to_completion();
+  EXPECT_EQ(engine.stats().prefetch_stall_cycles, 0u);
+  EXPECT_EQ(engine.stats().stream_cycles_hidden,
+            static_cast<Cycles>(engine.stats().decode_steps) * stream);
 }
 
 TEST(BatchedEngine, ContinuousAdmissionBackfillsFreedSlots) {
@@ -257,6 +426,111 @@ TEST(BatchedEngine, SubmitRejectsGracefullyWhenQueueFull) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(result_for(results, *a).gen.tokens, session.generate({1, 2}, 4).tokens);
   EXPECT_EQ(result_for(results, *b).gen.tokens, session.generate({3, 4}, 4).tokens);
+}
+
+TEST(BatchedEngine, MaxPendingZeroStillAdmitsUpToFreeSlots) {
+  // Regression: max_pending bounds the QUEUE, not total submits. With
+  // max_pending == 0 an idle engine must still accept whatever its free
+  // KV slots can admit at the next step; only requests that would have
+  // to wait behind a full batch are rejected.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  BatchedEngine engine(session, {.max_batch = 2, .max_pending = 0});
+
+  const auto a = engine.submit({1, 2}, 2);
+  const auto b = engine.submit({3}, 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // A third submit exceeds what the free slots can absorb: rejected.
+  EXPECT_FALSE(engine.submit({5}, 1).has_value());
+  EXPECT_EQ(engine.stats().rejected, 1);
+
+  EXPECT_TRUE(engine.step());  // both admitted, batch now full
+  EXPECT_FALSE(engine.submit({6}, 1).has_value());  // queue bound is 0
+
+  auto results = engine.run_to_completion();
+  EXPECT_EQ(results.size(), 2u);
+  // Drained: free slots absorb submits again.
+  const auto e = engine.submit({7}, 1);
+  ASSERT_TRUE(e.has_value());
+  (void)engine.run_to_completion();
+  EXPECT_EQ(engine.stats().completed, 3);
+  EXPECT_EQ(result_for(engine.finished(), *a).gen.tokens,
+            session.generate({1, 2}, 2).tokens);
+}
+
+TEST(BatchedEngine, AdmittedAtExcludesEarlierSameStepPrefills) {
+  // Regression: a request admitted after other requests' prefills in the
+  // same step used to be stamped at the step START, charging it their
+  // prefill cycles in latency_cycles(). It must be stamped at its own
+  // position on the step timeline.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  const Cycles prefill =
+      session.run_block(model::Mode::prompt).report.block_cycles *
+      static_cast<Cycles>(cfg.num_layers);
+  ASSERT_GT(prefill, 0u);
+
+  BatchedEngine engine(session, {.max_batch = 3, .max_pending = 8});
+  const auto a = engine.submit({1, 2}, 3);
+  const auto b = engine.submit({3, 4}, 3);
+  const auto c = engine.submit({5, 6}, 3);
+  const auto results = engine.run_to_completion();
+
+  const auto& ra = result_for(results, *a);
+  const auto& rb = result_for(results, *b);
+  const auto& rc = result_for(results, *c);
+  // All joined at step 0, each at its own prefill position.
+  EXPECT_EQ(ra.admitted_step, 0);
+  EXPECT_EQ(rb.admitted_step, 0);
+  EXPECT_EQ(ra.admitted_at, 0u);
+  EXPECT_EQ(rb.admitted_at, prefill);
+  EXPECT_EQ(rc.admitted_at, 2 * prefill);
+  // Same workloads finish together, so the later-admitted request's
+  // residence latency is strictly shorter by the earlier prefills.
+  EXPECT_EQ(rb.finished_at, ra.finished_at);
+  EXPECT_EQ(ra.latency_cycles() - rb.latency_cycles(), prefill);
+}
+
+TEST(BatchedEngine, FinishedAtExcludesWorkAfterFinalTokenCommit) {
+  // Mirror of the admitted_at fix on the finish side: a request that
+  // merely commits its final token at a step boundary must not be
+  // charged that step's prefills/decode in latency_cycles().
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  const Cycles per_req =
+      (ar.report.block_cycles - ar.report.breakdown.dma_l3_l2) * layers;
+  const Cycles prefill =
+      session.run_block(model::Mode::prompt).report.block_cycles * layers;
+
+  BatchedEngine engine(session, {.max_batch = 2, .max_pending = 8});
+  (void)*engine.submit({1, 2}, 5);  // A keeps decoding past B's finish
+  const auto b = engine.submit({3, 4}, 2);
+  const auto c = engine.submit({5, 6}, 2);
+  const auto results = engine.run_to_completion();
+
+  // B commits its final token at the step-1 boundary; its residence
+  // ends at step 0's end (two prefills + one 2-wide stall-free staged
+  // decode phase), not at step 1's end where A keeps decoding.
+  const auto& rb = result_for(results, *b);
+  EXPECT_EQ(rb.finished_step, 1);
+  EXPECT_EQ(rb.finished_at, 2 * prefill + 2 * per_req);
+  // C only joins once B's slot frees at the next admission point.
+  EXPECT_EQ(result_for(results, *c).admitted_step, 2);
+
+  // Prefill-only requests end at their own prefill, even when another
+  // request's prefill follows in the same step.
+  BatchedEngine engine2(session, {.max_batch = 2, .max_pending = 8});
+  const auto d = engine2.submit({7}, 0);
+  const auto e = engine2.submit({8}, 0);
+  const auto results2 = engine2.run_to_completion();
+  EXPECT_EQ(result_for(results2, *d).finished_at, prefill);
+  EXPECT_EQ(result_for(results2, *e).admitted_at, prefill);
+  EXPECT_EQ(result_for(results2, *e).finished_at, 2 * prefill);
+  EXPECT_EQ(result_for(results2, *d).latency_cycles(),
+            result_for(results2, *e).latency_cycles());
 }
 
 TEST(BatchedEngine, SubmitValidatesLikeGenerate) {
@@ -313,6 +587,64 @@ TEST(BatchedEngine, TracerAttributesChargesToRequests) {
   EXPECT_EQ(tracer.makespan(), engine.stats().total_cycles);
   // The tag resets after every engine charge.
   EXPECT_EQ(tracer.current_request(), sim::kNoRequest);
+}
+
+TEST(BatchedEngine, TracerLaysSpansOnPerRequestLanesWithOverlap) {
+  // Regression: charges used to be serialized on one global cursor, so
+  // concurrent batch members rendered strictly sequentially. Spans must
+  // sit at their true engine-timeline positions, tagged per request, and
+  // genuinely overlap within a step: the shared stream prefetch races
+  // the batch's compute, and stall shares cover the same wait window.
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  sim::Tracer tracer;
+  BatchedEngine engine(session, {.max_batch = 2, .max_pending = 8}, &tracer);
+  const auto a = engine.submit({1, 2}, 4);
+  const auto b = engine.submit({7}, 4);
+  const auto results = engine.run_to_completion();
+  const auto& stats = engine.stats();
+  // Precondition: two-request compute cannot cover the stream, so every
+  // non-staged step stalls.
+  ASSERT_GT(stats.prefetch_stall_cycles, 0u);
+
+  // Attribution still matches the trace exactly, per request.
+  EXPECT_EQ(tracer.total_for_request(*a),
+            result_for(results, *a).gen.total_cycles);
+  EXPECT_EQ(tracer.total_for_request(*b),
+            result_for(results, *b).gen.total_cycles);
+  EXPECT_EQ(tracer.makespan(), stats.total_cycles);
+
+  // Untagged spans are exactly the consumed stream prefetches (the
+  // first stream is staged, the final step issues none).
+  int prefetch_spans = 0;
+  for (const auto& span : tracer.spans()) {
+    if (span.request != sim::kNoRequest) continue;
+    EXPECT_EQ(span.category, sim::Category::dma_l3_l2);
+    EXPECT_EQ(span.label, "weights.prefetch");
+    ++prefetch_spans;
+  }
+  EXPECT_EQ(prefetch_spans, stats.decode_steps - 1);
+
+  // Overlap 1: every prefetch DMA races request-tagged compute.
+  // Overlap 2: both requests' stall shares sit in the same wait window.
+  bool prefetch_overlaps_compute = false;
+  bool stalls_overlap = false;
+  const auto& spans = tracer.spans();
+  for (const auto& s1 : spans) {
+    for (const auto& s2 : spans) {
+      const bool overlap = s1.begin < s2.end && s2.begin < s1.end;
+      if (!overlap) continue;
+      if (s1.request == sim::kNoRequest && s2.request != sim::kNoRequest) {
+        prefetch_overlaps_compute = true;
+      }
+      if (s1.request == *a && s2.request == *b &&
+          s1.label == "weights.stall" && s2.label == "weights.stall") {
+        stalls_overlap = true;
+      }
+    }
+  }
+  EXPECT_TRUE(prefetch_overlaps_compute);
+  EXPECT_TRUE(stalls_overlap);
 }
 
 // --- KV pool / slot arena -------------------------------------------------

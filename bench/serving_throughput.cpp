@@ -7,6 +7,13 @@
 // prefetch with the batch's compute, so a step costs
 // max(compute, stream) — prefetch_stall_cycles is the remainder the
 // batch could not hide and shrinks to zero as B grows.
+//
+// The second table sweeps the chunked-prefill step model on the same
+// default workload: prompts split into fixed-size chunks, co-scheduled
+// with decodes, the chunks' own weight streaming racing the step's
+// compute on the shared L3 port. prompt_mcyc — what the engine actually
+// charges for the prompt phase — must drop strictly below the serial
+// model's (chunk 0) charge once chunking is on.
 #include <iostream>
 #include <vector>
 
@@ -87,7 +94,58 @@ int main() {
   std::cout << "\nstall_mcyc is nonzero only while the batch's compute cannot\n"
                "cover the shared weight stream; overlap_gain compares against\n"
                "the serial-charging model (compute + stream per step).\n";
+
+  // --- chunked prefill sweep --------------------------------------------
+  // Continuous arrivals (more requests than KV slots, half-length
+  // prompts) so prompt chunks genuinely co-schedule with decode steps.
+  std::cout << "\nChunked prefill — " << 2 * 4
+            << " requests of 4-token prompts through 4 KV slots, chunk "
+               "size swept (0 = serial prefill model):\n\n";
+  util::Table chunk_table({"chunk", "steps", "prefill_steps", "prompt_mcyc",
+                           "prompt_gain", "hidden_mcyc", "tail_mcyc",
+                           "total_mcyc", "agg_tok_per_s"});
+  double serial_prompt_mcyc = 0.0;
+  Cycles serial_prompt_cycles = 0;
+  for (const int chunk : {0, 2, 4, 8}) {
+    runtime::BatchedEngine engine(
+        session,
+        {.max_batch = 4, .max_pending = 64, .prefill_chunk_tokens = chunk});
+    for (int i = 0; i < 8; ++i) {
+      (void)*engine.submit({1 + i, 9 - i, 3, 7}, decode_tokens);
+    }
+    (void)engine.run_to_completion();
+    const auto& stats = engine.stats();
+    const double prompt_mcyc =
+        static_cast<double>(stats.prefill_cycles) / 1e6;
+    if (chunk == 0) {
+      serial_prompt_mcyc = prompt_mcyc;
+      serial_prompt_cycles = stats.prefill_cycles;
+    }
+    chunk_table.row()
+        .add(chunk)
+        .add(stats.steps)
+        .add(stats.prefill_steps)
+        .add(prompt_mcyc, 2)
+        .add(serial_prompt_mcyc / prompt_mcyc, 2)
+        .add(static_cast<double>(stats.prefill_cycles_hidden) / 1e6, 2)
+        .add(static_cast<double>(stats.prefill_stall_cycles) / 1e6, 2)
+        .add(static_cast<double>(stats.total_cycles) / 1e6, 2)
+        .add(stats.aggregate_tokens_per_s(freq_hz), 1);
+    if (chunk > 0 && stats.prefill_cycles >= serial_prompt_cycles) {
+      std::cout << "WARNING: chunk " << chunk
+                << " did not beat the serial prompt charge\n";
+    }
+  }
+  chunk_table.print(std::cout);
+  std::cout << "\nprompt_mcyc is the prompt-phase charge (chunk compute + "
+               "visible stream\ntails); its drop versus chunk 0 is the "
+               "chunked model's win — the chunk\nstreams' port windows "
+               "(service + FIFO queueing) hide behind batch compute\n"
+               "(hidden_mcyc) and short prompts stop paying the full "
+               "static prefill shape.\n";
+
   std::cout << "\nCSV:\n";
   table.write_csv(std::cout);
+  chunk_table.write_csv(std::cout);
   return 0;
 }

@@ -25,15 +25,48 @@ void check_pool_fits(const partition::MemoryPlan& mp, int max_batch,
 
 /// Validate the options and the pooled-KV fit for both serving phases
 /// BEFORE any cache tensors are allocated; returns max_batch so it can
-/// run in the constructor's init list ahead of the pool member.
+/// run in the constructor's init list ahead of the pool member. With
+/// chunking enabled the prompt phase materializes chunk-shaped
+/// activations only, so its fit is checked at the chunk shape.
 int checked_pool_slots(const BatchedEngine::Options& opts,
-                       const BlockResult& prompt_block,
-                       const BlockResult& ar_block) {
+                       const std::optional<BlockResult>& prompt_block,
+                       const BlockResult& ar_block,
+                       const std::vector<BlockResult>& chunk_blocks) {
   util::check(opts.max_batch > 0, "BatchedEngine: max_batch must be positive");
   util::check(opts.max_pending >= 0, "BatchedEngine: max_pending must be >= 0");
-  check_pool_fits(prompt_block.memory, opts.max_batch, "prompt");
+  if (chunk_blocks.empty()) {
+    check_pool_fits(prompt_block->memory, opts.max_batch, "prompt");
+  } else {
+    check_pool_fits(chunk_blocks.front().memory, opts.max_batch,
+                    "chunked-prompt");
+  }
   check_pool_fits(ar_block.memory, opts.max_batch, "autoregressive");
   return opts.max_batch;
+}
+
+/// Effective chunk size: clamped to the deployment's static prompt
+/// shape, 0 when chunking is disabled.
+int effective_chunk_tokens(const BatchedEngine::Options& opts, int prompt_len) {
+  util::check(opts.prefill_chunk_tokens >= 0,
+              "BatchedEngine: prefill_chunk_tokens must be >= 0");
+  if (opts.prefill_chunk_tokens == 0) return 0;
+  return std::min(opts.prefill_chunk_tokens, prompt_len);
+}
+
+/// One chunk-shaped block measurement per chunk position of the padded
+/// static prompt: chunk i processes C rows attending to (i+1)*C cached
+/// positions (capped at the full prompt shape).
+std::vector<BlockResult> build_chunk_blocks(const InferenceSession& session,
+                                            int chunk_tokens) {
+  if (chunk_tokens <= 0) return {};
+  const int prompt_len = session.config().prompt_len;
+  const int n = (prompt_len + chunk_tokens - 1) / chunk_tokens;
+  std::vector<int> spans;
+  spans.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    spans.push_back(std::min((i + 1) * chunk_tokens, prompt_len));
+  }
+  return session.run_prompt_chunks(chunk_tokens, spans);
 }
 
 }  // namespace
@@ -43,13 +76,22 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
     : session_(session),
       opts_(opts),
       tracer_(tracer),
-      prompt_block_(session.run_block(model::Mode::prompt)),
+      chunk_tokens_(effective_chunk_tokens(opts, session.config().prompt_len)),
+      // The full prompt shape is only planned and measured in serial
+      // mode: chunked serving must stay constructible on deployments
+      // whose full-prompt activations cannot fit L2 at all.
+      prompt_block_(chunk_tokens_ > 0
+                        ? std::nullopt
+                        : std::optional<BlockResult>(
+                              session.run_block(model::Mode::prompt))),
       ar_block_(session.run_block(model::Mode::autoregressive)),
-      kv_pool_(checked_pool_slots(opts, prompt_block_, ar_block_),
-               [&session] {
-                 return session.block_executor().make_chip_caches(
-                     session.config().ar_context);
-               }),
+      chunk_blocks_(build_chunk_blocks(session, chunk_tokens_)),
+      kv_pool_(
+          checked_pool_slots(opts, prompt_block_, ar_block_, chunk_blocks_),
+          [&session] {
+            return session.block_executor().make_chip_caches(
+                session.config().ar_context);
+          }),
       kv_set_bytes_(
           kv_pool_.set_capacity_bytes(session.system().precision.kv_bytes)),
       // Size the arena for max_batch aligned slot reservations exactly.
@@ -60,9 +102,12 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
       kv_slots_(kv_arena_, "kv_set", opts.max_batch, kv_set_bytes_) {
   const auto layers = static_cast<Cycles>(session_.config().num_layers);
 
-  prompt_cycles_ = prompt_block_.report.block_cycles * layers;
-  prompt_energy_mj_ = prompt_block_.energy_mj() * static_cast<double>(layers);
-  prompt_stream_cycles_ = prompt_block_.report.breakdown.dma_l3_l2 * layers;
+  if (prompt_block_.has_value()) {
+    prompt_cycles_ = prompt_block_->report.block_cycles * layers;
+    prompt_energy_mj_ =
+        prompt_block_->energy_mj() * static_cast<double>(layers);
+    prompt_stream_cycles_ = prompt_block_->report.breakdown.dma_l3_l2 * layers;
+  }
 
   // Decode-step decomposition: the L3->L2 portion is block-weight
   // streaming, fetched once per layer no matter how many requests are in
@@ -78,6 +123,24 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
                      ar_block_.energy.c2c) *
       static_cast<double>(layers);
   stream_bytes_per_step_ = ar_block_.report.traffic.l3_l2 * layers;
+
+  // Chunk decomposition mirrors the decode one: the chunk's own L3 share
+  // becomes asynchronous port occupancy racing the step, the rest is
+  // serialized compute.
+  chunk_costs_.reserve(chunk_blocks_.size());
+  for (const auto& cb : chunk_blocks_) {
+    ChunkCost cc;
+    cc.stream = cb.report.breakdown.dma_l3_l2 * layers;
+    cc.compute =
+        (cb.report.block_cycles - cb.report.breakdown.dma_l3_l2) * layers;
+    cc.energy_mj = cb.energy_mj() * static_cast<double>(layers);
+    cc.l3_bytes = cb.report.traffic.l3_l2 * layers;
+    chunk_costs_.push_back(cc);
+  }
+  // The raw chunk reports are fully consumed (pool fit check above,
+  // per-chunk costs here); only the compact decomposition serves steps.
+  chunk_blocks_.clear();
+  chunk_blocks_.shrink_to_fit();
 }
 
 std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
@@ -143,11 +206,26 @@ void BatchedEngine::finish(Request& r, int step_idx) {
   ++stats_.completed;
 }
 
-void BatchedEngine::admit_pending(int step_idx, double& step_energy) {
-  const auto& emb = session_.embedding();
-  const auto& block = session_.block_executor();
-  const int layers = session_.config().num_layers;
+// --------------------------------------------------------------------------
+// Serial-prefill compatibility mode (prefill_chunk_tokens == 0): a joining
+// request's whole prompt is charged in full at admission.
+// --------------------------------------------------------------------------
 
+model::Tensor BatchedEngine::forward_tokens(const Request& r,
+                                            const std::vector<int>& toks,
+                                            int pos_offset) {
+  const auto& block = session_.block_executor();
+  model::Tensor h = session_.embedding().lookup(toks);
+  for (int l = 0; l < session_.config().num_layers; ++l) {
+    h = block.forward(h, l, &kv_pool_.slot(r.slot), pos_offset);
+  }
+  return h;
+}
+
+int BatchedEngine::admit_pending_serial(int step_idx, double& step_energy) {
+  const auto& emb = session_.embedding();
+
+  int admitted = 0;
   while (!pending_.empty()) {
     const auto slot = kv_slots_.acquire();
     if (!slot.has_value()) break;
@@ -162,20 +240,20 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy) {
     r.admitted_at = pipeline_.now();
     kv_pool_.reset_slot(r.slot);
 
-    model::Tensor h = emb.lookup(r.prompt);
-    for (int l = 0; l < layers; ++l) {
-      h = block.forward(h, l, &kv_pool_.slot(r.slot), 0);
-    }
+    const model::Tensor h = forward_tokens(r, r.prompt, 0);
     r.tokens = r.prompt;
+    r.prefill_pos = static_cast<int>(r.prompt.size());
     r.pos = static_cast<int>(r.prompt.size());
     charge(r, prompt_cycles_, prompt_energy_mj_, sim::Category::compute,
            "prefill", r.admitted_at);
+    stats_.prefill_cycles += prompt_cycles_;
     // Prefill advances the timeline without touching the staged decode
     // weights; an in-flight stream prefetch keeps draining underneath,
     // except while the prefill's own L3 streaming occupies the port.
     pipeline_.advance_opaque(prompt_cycles_, prompt_stream_cycles_);
     r.work_done_at = pipeline_.now();
     step_energy += prompt_energy_mj_;
+    ++admitted;
 
     if (r.new_tokens == 0) {
       finish(r, step_idx);
@@ -184,20 +262,19 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy) {
       active_.push_back(std::move(r));
     }
   }
+  return admitted;
 }
 
-bool BatchedEngine::step() {
+bool BatchedEngine::step_serial() {
   if (pending_.empty() && active_.empty()) return false;
   const int step_idx = stats_.steps;
   double step_energy = 0.0;
 
-  admit_pending(step_idx, step_energy);
+  if (admit_pending_serial(step_idx, step_energy) > 0) ++stats_.prefill_steps;
   stats_.peak_batch =
       std::max(stats_.peak_batch, static_cast<int>(active_.size()));
 
   const auto& emb = session_.embedding();
-  const auto& block = session_.block_executor();
-  const int layers = session_.config().num_layers;
 
   // Emit one token per active request; a request that emits its final
   // token leaves without running another forward, mirroring
@@ -212,11 +289,7 @@ bool BatchedEngine::step() {
       finish(r, step_idx);
       continue;
     }
-    model::Tensor x = emb.lookup({r.next});
-    for (int l = 0; l < layers; ++l) {
-      x = block.forward(x, l, &kv_pool_.slot(r.slot), r.pos);
-    }
-    r.next = emb.greedy_next(x);
+    r.next = emb.greedy_next(forward_tokens(r, {r.next}, r.pos));
     ++r.pos;
     still_active.push_back(std::move(r));
   }
@@ -245,12 +318,14 @@ bool BatchedEngine::step() {
     // Trace the stream DMA this step consumed (issued during an earlier
     // step, so it overlaps whatever ran since) and remember the one just
     // issued for the step that will consume it.
-    if (tracer_ != nullptr && pending_fetch_ready_ > pending_fetch_issue_) {
-      tracer_->record(0, sim::Category::dma_l3_l2, pending_fetch_issue_,
+    if (tracer_ != nullptr && pending_fetch_ready_ > pending_fetch_start_) {
+      tracer_->record(0, sim::Category::dma_l3_l2, pending_fetch_start_,
                       pending_fetch_ready_, stream_bytes_per_step_,
                       "weights.prefetch");
     }
-    pending_fetch_issue_ = span.fetch_issue;
+    // Serial mode is the port's only consumer, so service starts at the
+    // issue point.
+    pending_fetch_start_ = span.fetch_issue;
     pending_fetch_ready_ = span.fetch_ready;
 
     // Per-request decode compute at its serialized slot on the step
@@ -282,6 +357,238 @@ bool BatchedEngine::step() {
   stats_.total_energy_mj += step_energy;
   ++stats_.steps;
   return !(pending_.empty() && active_.empty());
+}
+
+// --------------------------------------------------------------------------
+// Chunked-prefill mode (prefill_chunk_tokens > 0): heterogeneous steps.
+// --------------------------------------------------------------------------
+
+void BatchedEngine::admit_pending_chunked(int step_idx) {
+  while (!pending_.empty()) {
+    const auto slot = kv_slots_.acquire();
+    if (!slot.has_value()) break;
+    Request r = std::move(pending_.front());
+    pending_.pop_front();
+    r.slot = *slot;
+    r.admitted_step = step_idx;
+    // Provisional; refined to the start of the request's own first chunk
+    // once the step timeline is laid out.
+    r.admitted_at = pipeline_.now();
+    kv_pool_.reset_slot(r.slot);
+    active_.push_back(std::move(r));
+  }
+}
+
+int BatchedEngine::run_prefill_chunk(Request& r) {
+  const int len = static_cast<int>(r.prompt.size());
+  const int begin = r.prefill_pos;
+  const int chunk_idx = begin / chunk_tokens_;
+  const int end = std::min(begin + chunk_tokens_, len);
+
+  const std::vector<int> chunk(r.prompt.begin() + begin,
+                               r.prompt.begin() + end);
+  const model::Tensor h = forward_tokens(r, chunk, begin);
+  r.prefill_pos = end;
+  if (r.prefill_done()) {
+    r.tokens = r.prompt;
+    r.pos = len;
+    if (r.new_tokens > 0) r.next = session_.embedding().greedy_next(h);
+  }
+  return chunk_idx;
+}
+
+bool BatchedEngine::step_chunked() {
+  if (pending_.empty() && active_.empty()) return false;
+  const int step_idx = stats_.steps;
+  double step_energy = 0.0;
+
+  admit_pending_chunked(step_idx);
+  stats_.peak_batch =
+      std::max(stats_.peak_batch, static_cast<int>(active_.size()));
+
+  // ---- functional work -------------------------------------------------
+  // Every prefilling request advances one chunk; a request completing its
+  // final chunk joins this step's token commit (its prefill output IS its
+  // first forward, mirroring the serial mode and generate()).
+  struct ChunkRun {
+    std::size_t req;  // index into active_
+    int chunk;        // chunk position (indexes chunk_costs_)
+    bool first;       // the request's first chunk (admission point)
+  };
+  std::vector<ChunkRun> chunk_runs;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    Request& r = active_[i];
+    if (r.prefill_done()) continue;
+    const bool first = r.prefill_pos == 0;
+    const int ci = run_prefill_chunk(r);
+    chunk_runs.push_back({i, ci, first});
+  }
+
+  std::vector<std::size_t> decode_runs;  // ran a decode forward this step
+  std::vector<std::size_t> finishers;    // leave at this boundary
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    Request& r = active_[i];
+    if (!r.prefill_done()) continue;
+    if (r.new_tokens == 0) {
+      // Prefill-only request: done at its own last chunk.
+      finishers.push_back(i);
+      continue;
+    }
+    r.tokens.push_back(r.next);
+    ++r.generated;
+    ++stats_.total_generated;
+    if (r.generated == r.new_tokens) {
+      finishers.push_back(i);
+      continue;
+    }
+    r.next = session_.embedding().greedy_next(forward_tokens(r, {r.next}, r.pos));
+    ++r.pos;
+    decode_runs.push_back(i);
+  }
+
+  // ---- step cost through the multi-consumer pipeline -------------------
+  Cycles prefill_compute = 0;
+  Cycles prefill_stream = 0;
+  Bytes prefill_l3_bytes = 0;
+  for (const auto& cr : chunk_runs) {
+    const ChunkCost& cc = chunk_costs_[static_cast<std::size_t>(cr.chunk)];
+    prefill_compute += cc.compute;
+    prefill_stream += cc.stream;
+    prefill_l3_bytes += cc.l3_bytes;
+  }
+  const auto d = static_cast<Cycles>(decode_runs.size());
+  const bool any_decode = !decode_runs.empty();
+
+  if (!chunk_runs.empty() || any_decode) {
+    // Speculative fetch for the next decode step, issued only from steps
+    // that consume a stream themselves (a pure-prefill step leaves the
+    // staged weights untouched). Decode work remains while anything in
+    // the queue or the batch will still run a decode forward.
+    bool decode_work_remains = !pending_.empty();
+    for (std::size_t i = 0;
+         i < active_.size() && !decode_work_remains; ++i) {
+      if (std::find(finishers.begin(), finishers.end(), i) !=
+          finishers.end()) {
+        continue;
+      }
+      const Request& r = active_[i];
+      decode_work_remains = r.prefill_done() ? r.generated + 1 < r.new_tokens
+                                             : r.new_tokens > 1;
+    }
+    const Bytes next_stream = any_decode && decode_work_remains
+                                  ? static_cast<Bytes>(ar_shared_cycles_)
+                                  : Bytes{0};
+
+    const auto sp = pipeline_.advance_step(
+        prefill_compute, static_cast<Bytes>(prefill_stream), any_decode,
+        d * ar_per_req_cycles_, next_stream);
+
+    // Trace the chunk streams' port service window (untagged: the DMA is
+    // a shared-port activity; the visible tail is charged per request
+    // below) and the consumed decode prefetch.
+    if (tracer_ != nullptr && prefill_stream > 0) {
+      tracer_->record(0, sim::Category::dma_l3_l2, sp.chunk_stream_start,
+                      sp.chunk_ready, prefill_l3_bytes, "prompt.stream");
+    }
+    if (any_decode) {
+      if (tracer_ != nullptr && pending_fetch_ready_ > pending_fetch_start_) {
+        tracer_->record(0, sim::Category::dma_l3_l2, pending_fetch_start_,
+                        pending_fetch_ready_, stream_bytes_per_step_,
+                        "weights.prefetch");
+      }
+      pending_fetch_start_ = sp.fetch_start;
+      pending_fetch_ready_ = sp.fetch_ready;
+    }
+
+    // ---- exact attribution --------------------------------------------
+    // Prompt chunks at their serialized slots from the step start.
+    Cycles cum = sp.begin;
+    for (const auto& cr : chunk_runs) {
+      Request& r = active_[cr.req];
+      const ChunkCost& cc = chunk_costs_[static_cast<std::size_t>(cr.chunk)];
+      if (cr.first) r.admitted_at = cum;
+      charge(r, cc.compute, cc.energy_mj, sim::Category::compute,
+             "prefill.chunk", cum);
+      cum += cc.compute;
+      r.work_done_at = cum;
+      step_energy += cc.energy_mj;
+    }
+    // The visible chunk-stream tail lands on the prefilling requests in
+    // equal integer shares (remainder to the earliest admitted), all in
+    // the tail window past the compute.
+    if (sp.prefill_tail > 0) {
+      const auto pn = static_cast<Cycles>(chunk_runs.size());
+      const Cycles share = sp.prefill_tail / pn;
+      const Cycles rem = sp.prefill_tail % pn;
+      const Cycles tail_begin = sp.end - sp.prefill_tail;
+      for (std::size_t j = 0; j < chunk_runs.size(); ++j) {
+        Request& r = active_[chunk_runs[j].req];
+        const Cycles c = share + (static_cast<Cycles>(j) < rem ? 1 : 0);
+        charge(r, c, 0.0, sim::Category::dma_l3_l2, "prompt.stall",
+               tail_begin);
+        r.work_done_at = sp.end;
+      }
+    }
+    // Decode forwards after the stall window, as in the serial mode.
+    if (any_decode) {
+      const Cycles share = sp.stall / d;
+      const Cycles rem = sp.stall % d;
+      const double e_share =
+          ar_shared_energy_mj_ / static_cast<double>(decode_runs.size());
+      const Cycles decode_end = sp.decode_start + d * ar_per_req_cycles_;
+      for (std::size_t j = 0; j < decode_runs.size(); ++j) {
+        Request& r = active_[decode_runs[j]];
+        charge(r, ar_per_req_cycles_, ar_per_req_energy_mj_,
+               sim::Category::compute, "decode",
+               sp.decode_start + static_cast<Cycles>(j) * ar_per_req_cycles_);
+        const Cycles c = share + (static_cast<Cycles>(j) < rem ? 1 : 0);
+        charge(r, c, e_share, sim::Category::dma_l3_l2, "weights.stall",
+               sp.decode_begin);
+        // Tokens commit at the decode phase boundary; the chunk-stream
+        // tail belongs to the prefilling requests, not the decoders —
+        // except a request that ran its own chunk this very step, whose
+        // tail share already extended its work to the step end.
+        r.work_done_at = std::max(r.work_done_at, decode_end);
+      }
+      step_energy += static_cast<double>(d) * ar_per_req_energy_mj_ +
+                     ar_shared_energy_mj_;
+      ++stats_.decode_steps;
+      stats_.prefetch_stall_cycles += sp.stall;
+      stats_.stream_cycles_hidden += ar_shared_cycles_ - sp.stall;
+    }
+    if (!chunk_runs.empty()) {
+      ++stats_.prefill_steps;
+      stats_.prefill_cycles += prefill_compute + sp.prefill_tail;
+      stats_.prefill_stream_cycles += sp.prefill_window;
+      stats_.prefill_stall_cycles += sp.prefill_tail;
+      stats_.prefill_cycles_hidden += sp.prefill_window - sp.prefill_tail;
+    }
+  }
+
+  // ---- retire finished requests at the boundary ------------------------
+  if (!finishers.empty()) {
+    std::vector<Request> still_active;
+    still_active.reserve(active_.size() - finishers.size());
+    std::size_t f = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (f < finishers.size() && finishers[f] == i) {
+        finish(active_[i], step_idx);
+        ++f;
+      } else {
+        still_active.push_back(std::move(active_[i]));
+      }
+    }
+    active_ = std::move(still_active);
+  }
+
+  stats_.total_cycles = pipeline_.now();
+  stats_.total_energy_mj += step_energy;
+  ++stats_.steps;
+  return !(pending_.empty() && active_.empty());
+}
+
+bool BatchedEngine::step() {
+  return chunk_tokens_ > 0 ? step_chunked() : step_serial();
 }
 
 std::vector<RequestResult> BatchedEngine::run_to_completion() {

@@ -24,14 +24,13 @@ struct RequestResult {
   GenerationResult gen;
   int admitted_step = -1;
   int finished_step = -1;
-  /// Engine-timeline timestamps: residence in the batch, from the
-  /// request's own admission point (after earlier same-step prefills) to
-  /// the boundary at which its final token was committed — its own
-  /// prefill end for new_tokens == 0, otherwise the end of its last
-  /// decode phase. Other requests' work outside that span (later
-  /// same-step prefills, the final step's decode) is never charged to
-  /// it. Unlike the attributed cycles in `gen`, the span grows with
-  /// batch contention.
+  /// Engine-timeline timestamps: residence in the batch, from the start
+  /// of the request's own first prompt work (after earlier same-step
+  /// prompt work of other requests) to the boundary at which its final
+  /// token was committed — its own prefill end for new_tokens == 0,
+  /// otherwise the end of its last decode phase. Other requests' work
+  /// outside that span is never charged to it. Unlike the attributed
+  /// cycles in `gen`, the span grows with batch contention.
   Cycles admitted_at = 0;
   Cycles finished_at = 0;
 
@@ -50,12 +49,16 @@ struct ServingStats {
   /// Steps in which at least one request ran a decode forward (and the
   /// batch consumed one shared block-weight stream).
   int decode_steps = 0;
+  /// Steps in which at least one request ran prompt work (a chunk in the
+  /// chunked model, a whole prompt in the serial compatibility mode).
+  int prefill_steps = 0;
   int peak_batch = 0;
   int completed = 0;
   int rejected = 0;
   /// Decode cycles the batch spent waiting for the next step's weight
-  /// prefetch to land — nonzero only when the batch's compute cannot
-  /// cover the stream. Per step: max(0, stream - compute).
+  /// prefetch to land — nonzero only when the step's compute (prompt
+  /// chunks included) cannot cover the stream. Per decode step:
+  /// max(0, stream - covering compute).
   Cycles prefetch_stall_cycles = 0;
   /// Serial stream cycles hidden behind compute by the prefetch overlap;
   /// `total_cycles + stream_cycles_hidden` is what the serial-charging
@@ -63,6 +66,24 @@ struct ServingStats {
   /// Invariant: prefetch_stall_cycles + stream_cycles_hidden ==
   /// decode_steps * per-step serial stream cycles.
   Cycles stream_cycles_hidden = 0;
+  /// Prompt-phase cycles actually charged to requests: chunk compute
+  /// plus the visible stream tails in the chunked model, whole prompts
+  /// (compute + stream serially) in the compatibility mode. The chunked
+  /// model's prompt-phase win over serial charging is
+  /// (admissions * full prompt cost) - prefill_cycles.
+  Cycles prefill_cycles = 0;
+  /// Chunked model only: the prompt-chunk streams' port *windows* —
+  /// from each step's start to the moment its chunk DMAs land, so FIFO
+  /// queueing behind an in-flight decode fetch counts toward the window
+  /// alongside the chunks' own service time. The window splits exactly
+  /// into the part the step's compute covered (hidden) and the visible
+  /// remainder that extended the step (stall, charged to the prefilling
+  /// requests). Invariant:
+  /// prefill_cycles_hidden + prefill_stall_cycles ==
+  /// prefill_stream_cycles.
+  Cycles prefill_stream_cycles = 0;
+  Cycles prefill_cycles_hidden = 0;
+  Cycles prefill_stall_cycles = 0;
 
   [[nodiscard]] double aggregate_tokens_per_s(double freq_hz) const {
     return total_cycles == 0 ? 0.0
@@ -90,23 +111,39 @@ struct ServingStats {
 /// batch.
 ///
 /// Cost model (per engine step, from TimedBlockSimulation block
-/// reports): prefill is charged in full to the joining request; for the
-/// B requests decoding in a step, block-weight streaming (the L3->L2
-/// portion) is paid once and shared — the continuous-batching win on a
-/// weight-streaming MCU deployment — while compute, L2<->L1 tile DMA,
-/// and chip-to-chip synchronization are paid per request.
+/// reports): every step is a heterogeneous batch. With chunked prefill
+/// enabled (prefill_chunk_tokens > 0), each prompt is split into
+/// fixed-size chunks — the deployment's static prompt shape at chunk
+/// granularity — and every prefilling request advances one chunk per
+/// step, co-scheduled with the decoding requests:
 ///
-/// The shared stream is further overlapped with compute: each step's
-/// weight stream is an asynchronous DMA on a runtime::PrefetchPipeline
-/// L3 port, issued as the previous step's decode starts (the same
-/// double-buffering race SteadyStateSimulation models for single-stream
-/// passes). A step therefore costs max(compute, prefetch_ready) rather
-/// than compute + stream; only the unhidden remainder — reported as
-/// ServingStats::prefetch_stall_cycles — lands on the batch, split into
-/// per-request shares exactly like the serial stream used to be. The
-/// first stream of a serving window is staged ahead of time (the paper's
-/// steady-state setup), and streaming *energy* is charged in full per
-/// consumed step: overlap hides time, not DMA activity.
+///   [chunk_0 .. chunk_{P-1} | stall | decode_0 .. decode_{D-1} | tail]
+///
+/// The chunks' own L3 streaming (their dma_l3_l2 share) is issued as an
+/// asynchronous DMA on the shared runtime::PrefetchPipeline port at the
+/// step start and races the whole step's compute; only the part of the
+/// stream window the compute cannot cover is visible, reported as
+/// ServingStats::prefill_stall_cycles and charged to the prefilling
+/// requests in exact integer shares (the hidden part is
+/// prefill_cycles_hidden). For the D requests decoding in a step,
+/// block-weight streaming is paid once and shared — prefetched during
+/// the previous step and raced against compute exactly as before, with
+/// the chunk compute of the same step helping to cover the stall. The
+/// port is FIFO multi-consumer: an in-flight decode fetch, the chunk
+/// streams behind it, and the next decode fetch behind those serialize
+/// in issue order, so prompt/decode contention emerges from the port.
+///
+/// With chunking disabled (prefill_chunk_tokens == 0) the engine runs
+/// the serial-prefill compatibility mode: a joining request's whole
+/// prompt is charged in full (compute + its own streaming) at admission,
+/// and only the decode phase races the weight prefetch. A single request
+/// in this mode reproduces InferenceSession::generate cycle-for-cycle on
+/// a fully resident deployment, and serial-minus-hidden on a streamed
+/// one.
+///
+/// The first stream of a serving window is staged ahead of time (the
+/// paper's steady-state setup), and streaming *energy* is charged in
+/// full per consumed step: overlap hides time, not DMA activity.
 ///
 /// KV-cache sets come from a model::KvCachePool sized at construction;
 /// the byte reservation is charged to a mem::Arena through a
@@ -114,7 +151,9 @@ struct ServingStats {
 /// beyond the queue bound are rejected gracefully (nullopt, no UB).
 /// Construction throws PlanError when max_batch KV sets do not fit the
 /// deployment's L2 budget next to the single-request plan the memory
-/// planner already validated.
+/// planner already validated — with chunking enabled, the prompt-phase
+/// fit is checked at the chunk shape (chunked prefill shrinks prompt
+/// activations, admitting larger batches under a tight L2).
 class BatchedEngine {
  public:
   struct Options {
@@ -123,6 +162,10 @@ class BatchedEngine {
     /// can absorb at the next admission point. max_pending == 0 still
     /// accepts submits an idle engine can admit directly.
     int max_pending = 64;
+    /// Prompt-chunk size of the chunked-prefill step model; 0 disables
+    /// chunking (serial-prefill compatibility mode). Values beyond the
+    /// deployment's prompt_len are clamped to one whole-prompt chunk.
+    int prefill_chunk_tokens = 0;
   };
 
   /// `session` must outlive the engine. `tracer`, when non-null,
@@ -143,8 +186,10 @@ class BatchedEngine {
                                                 int new_tokens);
 
   /// Advance one token boundary: admit pending requests into free KV
-  /// slots (running their prefill), then decode one token for every
-  /// active request. Returns false when no work remains.
+  /// slots, advance every prefilling request by one prompt chunk (the
+  /// whole prompt when chunking is disabled), then decode one token for
+  /// every active request past its prefill. Returns false when no work
+  /// remains.
   bool step();
 
   /// Drain the engine and return all finished requests (admit order of
@@ -159,6 +204,8 @@ class BatchedEngine {
   [[nodiscard]] int pending_requests() const { return static_cast<int>(pending_.size()); }
   [[nodiscard]] const mem::Arena& kv_arena() const { return kv_arena_; }
   [[nodiscard]] const mem::SlotArena& kv_slots() const { return kv_slots_; }
+  /// Effective prompt-chunk size (0 in serial-prefill mode).
+  [[nodiscard]] int chunk_tokens() const { return chunk_tokens_; }
 
  private:
   struct Request {
@@ -167,24 +214,44 @@ class BatchedEngine {
     int new_tokens = 0;
     std::vector<int> tokens;
     int generated = 0;
-    int pos = 0;        // absolute position of the next decoded token
-    int next = -1;      // pending token, emitted at the next boundary
-    int slot = -1;      // KV pool slot while active
-    Cycles cycles = 0;  // attributed simulated cost
+    int prefill_pos = 0;  // prompt tokens already prefilled (chunked mode)
+    int pos = 0;          // absolute position of the next decoded token
+    int next = -1;        // pending token, emitted at the next boundary
+    int slot = -1;        // KV pool slot while active
+    Cycles cycles = 0;    // attributed simulated cost
     double energy_mj = 0.0;
     int admitted_step = -1;
-    /// Engine timeline at the request's own admission point — after the
-    /// prefills of requests admitted earlier in the same step, so
+    /// Engine timeline at the start of the request's own first prompt
+    /// work — after earlier same-step work of other requests, so
     /// latency_cycles() never charges it their cycles.
     Cycles admitted_at = 0;
-    /// Timeline at the request's last completed work (prefill end, then
-    /// each decode phase end); finished_at is stamped from it so a
-    /// request that merely commits its final token is not charged the
-    /// rest of the step.
+    /// Timeline at the request's last completed work (its prefill
+    /// chunks, then each decode phase end); finished_at is stamped from
+    /// it so a request that merely commits its final token is not
+    /// charged the rest of the step.
     Cycles work_done_at = 0;
+
+    [[nodiscard]] bool prefill_done() const {
+      return prefill_pos >= static_cast<int>(prompt.size());
+    }
   };
 
-  void admit_pending(int step_idx, double& step_energy);
+  /// Per-chunk-index cost decomposition (all layers), derived from
+  /// chunk-shaped block reports with the attention span of that chunk's
+  /// end position.
+  struct ChunkCost {
+    Cycles compute = 0;  // block cycles minus the chunk's own L3 stream
+    Cycles stream = 0;   // the chunk's dma_l3_l2 share (port occupancy)
+    double energy_mj = 0.0;
+    Bytes l3_bytes = 0;  // real traffic, for trace fidelity
+  };
+
+  bool step_serial();
+  bool step_chunked();
+  /// Returns the number of requests admitted (their prompts are charged
+  /// in full here, serial mode).
+  int admit_pending_serial(int step_idx, double& step_energy);
+  void admit_pending_chunked(int step_idx);
   void finish(Request& r, int step_idx);
   /// Charge `cycles`/`energy` to a request and, when tracing, lay a
   /// tagged span at [begin, begin + cycles] on the engine timeline —
@@ -192,6 +259,17 @@ class BatchedEngine {
   /// overlap within a step.
   void charge(Request& r, Cycles cycles, double energy_mj, sim::Category cat,
               const char* label, Cycles begin);
+  /// Embed `toks` and run them through every layer against the
+  /// request's KV slot, `pos_offset` being the absolute position of the
+  /// first row — the one functional forward path shared by prefills
+  /// (whole prompts and chunks) and decode steps.
+  [[nodiscard]] model::Tensor forward_tokens(const Request& r,
+                                             const std::vector<int>& toks,
+                                             int pos_offset);
+  /// Run one prompt chunk functionally (embeds, all layers, KV append);
+  /// returns the chunk index it advanced through and sets `next` when
+  /// the prompt completes.
+  int run_prefill_chunk(Request& r);
 
   const InferenceSession& session_;
   Options opts_;
@@ -200,8 +278,21 @@ class BatchedEngine {
   // Block-level measurements of this deployment, simulated once;
   // declared ahead of the pool so the L2 fit check can gate pool
   // construction.
-  BlockResult prompt_block_;
+  /// Effective chunk size: min(opts.prefill_chunk_tokens, prompt_len),
+  /// 0 when chunking is disabled. Declared first: it decides which
+  /// prompt-shape blocks the constructor simulates.
+  int chunk_tokens_ = 0;
+  /// Full prompt-shape measurement — serial mode only. Chunked mode
+  /// never plans the full prompt shape, so deployments whose full-prompt
+  /// activations do not fit L2 can still serve chunked.
+  std::optional<BlockResult> prompt_block_;
   BlockResult ar_block_;
+  /// Chunk-shaped block measurements, indexed by chunk position within
+  /// the padded static prompt (span grows with the index); empty when
+  /// chunking is disabled, and released once chunk_costs_ and the pool
+  /// fit check have consumed them.
+  std::vector<BlockResult> chunk_blocks_;
+  std::vector<ChunkCost> chunk_costs_;
 
   // Cost decomposition derived from the block reports.
   Cycles prompt_cycles_ = 0;      // full prefill cost, all layers
@@ -224,15 +315,19 @@ class BatchedEngine {
   RequestId next_id_ = 0;
 
   /// Step timeline: decode compute races the next step's weight-stream
-  /// DMA. The port is normalized (1 byte == 1 cycle of the measured
-  /// serial stream, no extra setup) because ar_shared_cycles_ already
-  /// includes the per-tile DMA setup costs the timed simulation charged.
+  /// DMA, and prompt-chunk streams race the whole step. The port is
+  /// normalized (1 byte == 1 cycle of the measured serial stream, no
+  /// extra setup) because the block reports already include the per-tile
+  /// DMA setup costs the timed simulation charged.
   PrefetchPipeline pipeline_{1.0, 0};
   Bytes stream_bytes_per_step_ = 0;  // real L3 bytes, for trace fidelity
   /// The in-flight stream DMA the next decode step will consume; traced
   /// at consumption time so speculative fetches never appear. Zero-width
-  /// before the first decode step (weights staged).
-  Cycles pending_fetch_issue_ = 0;
+  /// before the first decode step (weights staged). `pending_fetch_start_`
+  /// is the port service start — equal to the issue point in serial mode
+  /// (sole port consumer), later when queued behind chunk streams —
+  /// so DMA-lane spans never overlap.
+  Cycles pending_fetch_start_ = 0;
   Cycles pending_fetch_ready_ = 0;
 };
 

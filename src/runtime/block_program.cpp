@@ -25,7 +25,7 @@ std::size_t BlockProgram::chip_num_ops(int chip) const {
 
 BlockProgram build_block_program(const partition::PartitionPlan& plan,
                                  const partition::PrecisionConfig& precision,
-                                 model::Mode mode) {
+                                 model::Mode mode, int attention_span_override) {
   const model::TransformerConfig& cfg = plan.config();
   BlockProgram prog;
   prog.mode = mode;
@@ -34,6 +34,12 @@ BlockProgram build_block_program(const partition::PartitionPlan& plan,
   prog.attention_span =
       causal ? (mode == model::Mode::prompt ? cfg.prompt_len : cfg.ar_context)
              : prog.seq_len;
+  if (attention_span_override > 0) {
+    util::check(attention_span_override >= prog.seq_len,
+                "build_block_program: attention span must cover the rows "
+                "being processed");
+    prog.attention_span = attention_span_override;
+  }
 
   const auto e = static_cast<std::int64_t>(cfg.embed_dim);
   const auto s = static_cast<std::int64_t>(prog.seq_len);

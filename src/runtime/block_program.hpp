@@ -68,9 +68,18 @@ struct BlockProgram {
 };
 
 /// Lower a partition plan to per-chip op lists for one block in `mode`.
+///
+/// `attention_span_override`, when positive, replaces the mode-derived
+/// attention span T (the KV positions each query row's score/context
+/// GEMMs run over). Chunked prefill uses it to cost a chunk of C rows
+/// that attends to an already-cached prefix: seq_len stays C while the
+/// span grows with the chunk's end position. Must be >= the mode's
+/// seq_len; 0 keeps the default (prompt: prompt_len, decode:
+/// ar_context).
 [[nodiscard]] BlockProgram build_block_program(const partition::PartitionPlan& plan,
                                                const partition::PrecisionConfig& precision,
-                                               model::Mode mode);
+                                               model::Mode mode,
+                                               int attention_span_override = 0);
 
 }  // namespace distmcu::runtime
 

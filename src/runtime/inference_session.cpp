@@ -29,6 +29,46 @@ BlockResult InferenceSession::run_block(model::Mode mode) const {
   return out;
 }
 
+BlockResult InferenceSession::run_prompt_chunk(int chunk_tokens,
+                                               int attention_span) const {
+  return run_prompt_chunks(chunk_tokens, {attention_span}).front();
+}
+
+std::vector<BlockResult> InferenceSession::run_prompt_chunks(
+    int chunk_tokens, const std::vector<int>& attention_spans) const {
+  util::check(chunk_tokens > 0,
+              "run_prompt_chunks: chunk_tokens must be positive");
+  util::check(!attention_spans.empty(),
+              "run_prompt_chunks: need at least one attention span");
+  // A chunk is a prompt-mode block at its own static shape: prompt_len
+  // becomes the chunk length while the attention span tracks the cached
+  // prefix. The partition (head/F slices) is shape-independent, so the
+  // chunk plan shards identically to the deployment's — and both it and
+  // the memory plan are shared across all spans.
+  model::TransformerConfig chunk_cfg = cfg_;
+  chunk_cfg.prompt_len = chunk_tokens;
+  chunk_cfg.validate();
+  const auto chunk_plan =
+      partition::PartitionPlan::create(chunk_cfg, plan_.num_chips());
+  const partition::MemoryPlanner planner(sys_.chip, sys_.precision);
+  const partition::MemoryPlan memory =
+      planner.plan(chunk_plan, model::Mode::prompt);
+
+  std::vector<BlockResult> out;
+  out.reserve(attention_spans.size());
+  for (const int span : attention_spans) {
+    util::check(span >= chunk_tokens,
+                "run_prompt_chunks: attention_span must cover the chunk");
+    BlockResult r;
+    r.report = sim_.run(chunk_plan, model::Mode::prompt, nullptr, span);
+    r.energy = energy_.compute(r.report);
+    r.memory = memory;
+    r.memory.attention_span = span;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 GenerationResult InferenceSession::generate(const std::vector<int>& prompt,
                                             int new_tokens) const {
   util::check(!prompt.empty(), "generate: prompt must not be empty");

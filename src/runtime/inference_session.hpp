@@ -72,6 +72,22 @@ class InferenceSession {
   /// The paper's measurement: one Transformer block in `mode`.
   [[nodiscard]] BlockResult run_block(model::Mode mode) const;
 
+  /// Block measurement for one prompt *chunk*: `chunk_tokens` rows whose
+  /// attention runs over `attention_span` KV positions (the chunk itself
+  /// plus the already-cached prefix). This is the cost unit of the
+  /// serving engine's chunked prefill — the deployment's static prompt
+  /// shape at chunk granularity. Requires
+  /// 0 < chunk_tokens <= attention_span.
+  [[nodiscard]] BlockResult run_prompt_chunk(int chunk_tokens,
+                                             int attention_span) const;
+
+  /// One measurement per span in `attention_spans`, sharing a single
+  /// chunk-shaped partition and memory plan (the shape — and therefore
+  /// both plans — depends only on chunk_tokens; only the timed
+  /// simulation differs per span).
+  [[nodiscard]] std::vector<BlockResult> run_prompt_chunks(
+      int chunk_tokens, const std::vector<int>& attention_spans) const;
+
   /// Greedy end-to-end generation: embeds `prompt` (prefill through the
   /// distributed blocks), then decodes `new_tokens` autoregressively.
   /// Costs accumulate per block from the timed model.

@@ -10,28 +10,70 @@ PrefetchPipeline::PrefetchPipeline(double bandwidth_bytes_per_cycle,
 
 PrefetchPipeline::Span PrefetchPipeline::advance(Cycles compute,
                                                  Bytes next_bytes) {
+  const StepSpan sp = advance_step(/*prefill_compute=*/0,
+                                   /*prefill_stream_bytes=*/0,
+                                   /*consume_staged=*/true, compute, next_bytes);
   Span span;
-  span.begin = engine_.now();
-  span.start = std::max(span.begin, weights_ready_);
-  span.stall = span.start - span.begin;
-  stall_total_ += span.stall;
+  span.begin = sp.begin;
+  span.start = sp.decode_start;
+  span.stall = sp.stall;
+  span.end = sp.end;
+  span.fetch_issue = sp.fetch_issue;
+  span.fetch_ready = sp.fetch_ready;
+  return span;
+}
 
-  // The prefetch for the following span is programmed the moment this
-  // span's compute starts; the FIFO port serializes it behind any DMA
-  // still in flight.
-  span.fetch_issue = span.start;
-  if (next_bytes > 0) {
-    span.fetch_ready = port_.transfer(span.start, next_bytes);
-    weights_ready_ = span.fetch_ready;
+PrefetchPipeline::StepSpan PrefetchPipeline::advance_step(
+    Cycles prefill_compute, Bytes prefill_stream_bytes, bool consume_staged,
+    Cycles decode_compute, Bytes next_bytes) {
+  StepSpan sp;
+  sp.begin = engine_.now();
+
+  // This step's prompt-chunk streams go on the port at the step start;
+  // the FIFO horizon serializes them behind any decode fetch still in
+  // flight (issued during an earlier step).
+  if (prefill_stream_bytes > 0) {
+    sp.chunk_stream_start = port_.earliest_start(sp.begin);
+    sp.chunk_ready = port_.transfer(sp.begin, prefill_stream_bytes);
+    sp.prefill_window = sp.chunk_ready - sp.begin;
   } else {
-    span.fetch_ready = span.start;
-    weights_ready_ = span.start;  // staged weights remain resident
+    sp.chunk_stream_start = sp.begin;
+    sp.chunk_ready = sp.begin;
   }
 
-  span.end = span.start + compute;
-  engine_.schedule_at(span.end, [] {});
+  // The decode phase follows the prompt work, so the chunk compute helps
+  // cover whatever the staged fetch has not yet delivered.
+  sp.decode_begin = sp.begin + prefill_compute;
+  if (consume_staged) {
+    sp.decode_start = std::max(sp.decode_begin, weights_ready_);
+    sp.stall = sp.decode_start - sp.decode_begin;
+    stall_total_ += sp.stall;
+  } else {
+    sp.decode_start = sp.decode_begin;
+  }
+
+  // The prefetch for the following decode step is programmed the moment
+  // this step's decode phase starts; the FIFO port serializes it behind
+  // the chunk streams issued above.
+  sp.fetch_issue = sp.decode_start;
+  if (next_bytes > 0) {
+    sp.fetch_start = port_.earliest_start(sp.decode_start);
+    sp.fetch_ready = port_.transfer(sp.decode_start, next_bytes);
+    weights_ready_ = sp.fetch_ready;
+  } else {
+    sp.fetch_start = sp.decode_start;
+    sp.fetch_ready = sp.decode_start;
+    // Staged weights remain resident for the next consuming step.
+    if (consume_staged) weights_ready_ = sp.decode_start;
+  }
+
+  const Cycles work_end = sp.decode_start + decode_compute;
+  sp.end = std::max(work_end, sp.chunk_ready);
+  sp.prefill_tail = sp.end - work_end;
+
+  engine_.schedule_at(sp.end, [] {});
   engine_.run();
-  return span;
+  return sp;
 }
 
 void PrefetchPipeline::advance_opaque(Cycles compute, Cycles port_cycles) {

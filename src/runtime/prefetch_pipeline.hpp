@@ -15,6 +15,14 @@ namespace distmcu::runtime {
 /// compute could not cover, so the chain's cost is
 /// max(compute, prefetch_ready) per span instead of compute + stream.
 ///
+/// The port is multi-consumer: besides the staged decode-weight fetches,
+/// a step can issue its own prompt-chunk streams (chunked prefill) that
+/// race the step's compute on the same FIFO horizon — an in-flight
+/// decode fetch, the chunk streams behind it, and the next decode fetch
+/// behind those all serialize in issue order, so contention between the
+/// prompt and decode phases of a heterogeneous batch emerges from the
+/// port rather than from scheduling logic in the engine.
+///
 /// The first consuming span's weights are staged before the window opens
 /// (the paper's setup for block 0), so a pipeline reports nonzero stall
 /// cycles only when compute cannot cover the stream.
@@ -32,6 +40,38 @@ class PrefetchPipeline {
     Cycles fetch_ready = 0;
   };
 
+  /// One heterogeneous serving step: an optional prompt-chunk phase
+  /// (compute plus its own asynchronous chunk streams), then an optional
+  /// decode phase gated on the staged weights, then the next decode
+  /// fetch. The step ends when both the serialized compute and the chunk
+  /// streams have landed.
+  struct StepSpan {
+    Cycles begin = 0;         ///< step start == prompt-chunk phase start
+    Cycles decode_begin = 0;  ///< begin + prefill_compute
+    Cycles decode_start = 0;  ///< decode_begin + stall
+    Cycles stall = 0;         ///< wait for the staged decode weights
+    Cycles end = 0;           ///< max(decode work end, chunk streams landed)
+
+    /// This step's chunk streams on the port: the service window
+    /// [chunk_stream_start, chunk_ready] excludes FIFO queueing behind an
+    /// in-flight decode fetch; `prefill_window` = chunk_ready - begin
+    /// includes it (what the step actually waited on). Zero-width when no
+    /// chunk bytes were issued.
+    Cycles chunk_stream_start = 0;
+    Cycles chunk_ready = 0;
+    Cycles prefill_window = 0;
+    /// Part of the chunk-stream window past the step's compute — the
+    /// visible (unhidden) prompt-stream cycles.
+    Cycles prefill_tail = 0;
+
+    /// The next decode-weight fetch: issued at decode_start, served by
+    /// the port from fetch_start (>= issue when queued behind chunk
+    /// streams). fetch_ready == fetch_issue when nothing was issued.
+    Cycles fetch_issue = 0;
+    Cycles fetch_start = 0;
+    Cycles fetch_ready = 0;
+  };
+
   /// `bandwidth_bytes_per_cycle` / `dma_setup` configure the L3 port every
   /// prefetch serializes on (FIFO, shared busy horizon).
   PrefetchPipeline(double bandwidth_bytes_per_cycle, Cycles dma_setup);
@@ -40,15 +80,32 @@ class PrefetchPipeline {
   /// currently staged weights (stalling until they are ready), and issue
   /// the DMA of `next_bytes` for the following span at this span's start.
   /// `next_bytes == 0` issues nothing: whatever is staged stays staged,
-  /// so the next consuming span starts stall-free.
+  /// so the next consuming span starts stall-free. Equivalent to
+  /// advance_step with an empty prompt phase.
   Span advance(Cycles compute, Bytes next_bytes);
 
+  /// Advance by one heterogeneous step:
+  ///  1. `prefill_compute` cycles of prompt-chunk work run from the step
+  ///     start while the chunks' own `prefill_stream_bytes` stream on the
+  ///     port (issued at step start, FIFO behind any in-flight fetch);
+  ///  2. when `consume_staged`, a decode phase of `decode_compute` cycles
+  ///     follows, gated on the staged weights (the stall window sits
+  ///     after the prompt work, which therefore helps cover it);
+  ///  3. `next_bytes` of the following decode fetch are issued at the
+  ///     decode phase start, behind the chunk streams.
+  /// The step ends at max(compute end, chunk streams landed); the
+  /// overshoot is reported as `prefill_tail`.
+  StepSpan advance_step(Cycles prefill_compute, Bytes prefill_stream_bytes,
+                        bool consume_staged, Cycles decode_compute,
+                        Bytes next_bytes);
+
   /// Advance the timeline by a span that does not touch the staged
-  /// weights (e.g. a prefill charged in full): any in-flight prefetch
-  /// keeps draining underneath it. `port_cycles` declares how long the
-  /// opaque span itself occupies the shared port (its own streaming,
-  /// already inside `compute`); an in-flight fetch is pushed back by
-  /// that occupancy since the port serializes. Must satisfy
+  /// weights (the serial-prefill compatibility mode, where a prompt is
+  /// charged in one piece at admission): any in-flight prefetch keeps
+  /// draining underneath it. `port_cycles` declares how long the opaque
+  /// span itself occupies the shared port (its own streaming, already
+  /// inside `compute`); an in-flight fetch is pushed back by that
+  /// occupancy since the port serializes. Must satisfy
   /// port_cycles <= compute so a later consuming span never stalls
   /// longer than one full stream.
   void advance_opaque(Cycles compute, Cycles port_cycles = 0);

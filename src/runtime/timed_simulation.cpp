@@ -113,11 +113,13 @@ TimedBlockSimulation::TimedBlockSimulation(SystemConfig sys) : sys_(std::move(sy
 }
 
 RunReport TimedBlockSimulation::run(const partition::PartitionPlan& plan,
-                                    model::Mode mode, sim::Tracer* tracer) const {
+                                    model::Mode mode, sim::Tracer* tracer,
+                                    int attention_span_override) const {
   const partition::MemoryPlanner planner(sys_.chip, sys_.precision);
   const partition::MemoryPlan mp = planner.plan(plan, mode);
   const bool streamed = mp.residency == partition::Residency::streamed;
-  const BlockProgram prog = build_block_program(plan, sys_.precision, mode);
+  const BlockProgram prog =
+      build_block_program(plan, sys_.precision, mode, attention_span_override);
   const int n = plan.num_chips();
   const noc::Topology topo = sys_.flat_topology
                                  ? noc::Topology::flat(n)

@@ -83,8 +83,12 @@ class TimedBlockSimulation {
  public:
   explicit TimedBlockSimulation(SystemConfig sys);
 
+  /// `attention_span_override` (see build_block_program) costs a prompt
+  /// chunk that attends to a cached prefix longer than its own rows; 0
+  /// keeps the mode-derived span.
   [[nodiscard]] RunReport run(const partition::PartitionPlan& plan, model::Mode mode,
-                              sim::Tracer* tracer = nullptr) const;
+                              sim::Tracer* tracer = nullptr,
+                              int attention_span_override = 0) const;
 
   [[nodiscard]] const SystemConfig& system() const { return sys_; }
 

@@ -1,7 +1,11 @@
 #include "sim/trace_export.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <ostream>
+#include <set>
 #include <string>
+#include <utility>
 
 namespace distmcu::sim {
 
@@ -30,6 +34,11 @@ int lane_tid(const Span& span) {
 
 void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) {
   const double cycles_to_us = 1e6 / freq_hz;
+  // Default ostream precision (6 significant digits) rounds timestamps
+  // past ~1M cycles, visibly shifting and overlapping spans in Perfetto;
+  // max_digits10 keeps the microsecond positions round-trip exact.
+  const auto saved_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const auto& span : tracer.spans()) {
@@ -46,12 +55,17 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
        << "}}";
   }
   // Process/thread names so Perfetto shows "chip N" / category labels /
-  // "request N" serving lanes.
+  // "request N" serving lanes. Request-lane metadata is emitted only for
+  // (chip, request) pairs that actually carry spans, so serving traces —
+  // where charges land on the engine's reporting chip — do not grow
+  // phantom empty lanes on every other chip.
   int max_chip = -1;
-  int max_request = kNoRequest;
+  std::set<std::pair<int, int>> request_lanes;
   for (const auto& span : tracer.spans()) {
     max_chip = std::max(max_chip, span.chip);
-    max_request = std::max(max_request, span.request);
+    if (span.request != kNoRequest) {
+      request_lanes.emplace(span.chip, span.request);
+    }
   }
   for (int chip = 0; chip <= max_chip; ++chip) {
     os << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << chip
@@ -61,13 +75,14 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
          << ",\"tid\":" << cat << ",\"args\":{\"name\":\""
          << category_name(static_cast<Category>(cat)) << "\"}}";
     }
-    for (int req = 0; req <= max_request; ++req) {
-      os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << chip
-         << ",\"tid\":" << static_cast<int>(kNumCategories) + req
-         << ",\"args\":{\"name\":\"request " << req << "\"}}";
-    }
+  }
+  for (const auto& [chip, req] : request_lanes) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << chip
+       << ",\"tid\":" << static_cast<int>(kNumCategories) + req
+       << ",\"args\":{\"name\":\"request " << req << "\"}}";
   }
   os << "]}";
+  os.precision(saved_precision);
 }
 
 }  // namespace distmcu::sim

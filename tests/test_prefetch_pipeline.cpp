@@ -97,6 +97,105 @@ TEST(PrefetchPipeline, OpaquePortOccupancyDelaysInFlightFetch) {
   EXPECT_EQ(staged.stall, 0u);
 }
 
+// --- heterogeneous steps (chunked prefill) --------------------------------
+
+TEST(PrefetchPipeline, AdvanceStepWithEmptyPromptPhaseMatchesAdvance) {
+  // advance() is the degenerate advance_step: same chain, field for field.
+  PrefetchPipeline a(1.5, 7);
+  PrefetchPipeline b(1.5, 7);
+  for (int i = 0; i < 6; ++i) {
+    const auto s = a.advance(13, 31);
+    const auto m = b.advance_step(0, 0, /*consume_staged=*/true, 13, 31);
+    EXPECT_EQ(s.begin, m.begin);
+    EXPECT_EQ(s.start, m.decode_start);
+    EXPECT_EQ(s.stall, m.stall);
+    EXPECT_EQ(s.end, m.end);
+    EXPECT_EQ(s.fetch_issue, m.fetch_issue);
+    EXPECT_EQ(s.fetch_ready, m.fetch_ready);
+    EXPECT_EQ(m.prefill_window, 0u);
+    EXPECT_EQ(m.prefill_tail, 0u);
+  }
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.stall_total(), b.stall_total());
+}
+
+TEST(PrefetchPipeline, ChunkStreamHiddenBehindStepCompute) {
+  // Chunk stream (20) shorter than the step's compute (30 + 10): the
+  // stream drains underneath, no tail, window == service time.
+  PrefetchPipeline pipe(1.0, 0);
+  const auto sp = pipe.advance_step(30, 20, /*consume_staged=*/true, 10, 0);
+  EXPECT_EQ(sp.begin, 0u);
+  EXPECT_EQ(sp.chunk_stream_start, 0u);
+  EXPECT_EQ(sp.chunk_ready, 20u);
+  EXPECT_EQ(sp.prefill_window, 20u);
+  EXPECT_EQ(sp.decode_begin, 30u);
+  EXPECT_EQ(sp.stall, 0u);  // first stream staged
+  EXPECT_EQ(sp.end, 40u);
+  EXPECT_EQ(sp.prefill_tail, 0u);
+}
+
+TEST(PrefetchPipeline, ChunkStreamTailExtendsTheStep) {
+  // Chunk stream (100) longer than all compute (10 + 10): the step ends
+  // when the stream lands; the overshoot is the visible tail.
+  PrefetchPipeline pipe(1.0, 0);
+  const auto sp = pipe.advance_step(10, 100, /*consume_staged=*/false, 10, 0);
+  EXPECT_EQ(sp.chunk_ready, 100u);
+  EXPECT_EQ(sp.end, 100u);
+  EXPECT_EQ(sp.prefill_tail, 80u);   // 100 - (10 + 10)
+  EXPECT_EQ(sp.prefill_window, 100u);
+  EXPECT_EQ(pipe.now(), 100u);
+}
+
+TEST(PrefetchPipeline, PromptComputeCoversTheDecodeStall) {
+  // The decode phase follows the prompt chunks, so chunk compute absorbs
+  // part of a pending fetch's latency: with a 25-cycle fetch in flight
+  // and 20 cycles of chunk work, the decode phase stalls only 5.
+  PrefetchPipeline pipe(1.0, 0);
+  (void)pipe.advance(0, 25);  // fetch issued at 0, lands at 25
+  const auto sp = pipe.advance_step(20, 0, /*consume_staged=*/true, 10, 0);
+  EXPECT_EQ(sp.decode_begin, 20u);
+  EXPECT_EQ(sp.stall, 5u);
+  EXPECT_EQ(sp.decode_start, 25u);
+  EXPECT_EQ(sp.end, 35u);
+}
+
+TEST(PrefetchPipeline, MultiConsumerPortSerializesInIssueOrder) {
+  // In-flight decode fetch, then this step's chunk streams, then the
+  // next decode fetch: FIFO on one port.
+  PrefetchPipeline pipe(1.0, 0);
+  (void)pipe.advance(10, 40);  // decode fetch in flight: [10, 50]... issued at 0, lands 40
+  // Step at t=10: chunk stream of 30 queues behind the in-flight fetch
+  // (busy until 40), so it is served [40, 70] — window includes queueing.
+  const auto sp = pipe.advance_step(5, 30, /*consume_staged=*/true, 10, 25);
+  EXPECT_EQ(sp.begin, 10u);
+  EXPECT_EQ(sp.chunk_stream_start, 40u);
+  EXPECT_EQ(sp.chunk_ready, 70u);
+  EXPECT_EQ(sp.prefill_window, 60u);
+  // Decode waits for the staged fetch (40) after 5 chunk-compute cycles.
+  EXPECT_EQ(sp.decode_begin, 15u);
+  EXPECT_EQ(sp.decode_start, 40u);
+  EXPECT_EQ(sp.stall, 25u);
+  // Next fetch issued at decode start but served behind the chunk DMA.
+  EXPECT_EQ(sp.fetch_issue, 40u);
+  EXPECT_EQ(sp.fetch_start, 70u);
+  EXPECT_EQ(sp.fetch_ready, 95u);
+  // Step ends when the chunk stream lands (decode work ended at 50).
+  EXPECT_EQ(sp.end, 70u);
+  EXPECT_EQ(sp.prefill_tail, 20u);
+}
+
+TEST(PrefetchPipeline, PureChunkStepLeavesStagedWeightsUntouched) {
+  // A prefill-only step (consume_staged == false) neither stalls nor
+  // consumes: the staged weights serve the next decode step stall-free.
+  PrefetchPipeline pipe(1.0, 0);
+  const auto sp = pipe.advance_step(15, 10, /*consume_staged=*/false, 0, 0);
+  EXPECT_EQ(sp.stall, 0u);
+  EXPECT_EQ(sp.end, 15u);
+  const auto next = pipe.advance(10, 0);
+  EXPECT_EQ(next.stall, 0u);
+  EXPECT_EQ(pipe.stall_total(), 0u);
+}
+
 TEST(PrefetchPipeline, TimelineIsDeterministicallyEventDriven) {
   // Same inputs, same chain — the sim::Engine event order is stable.
   auto run = [] {

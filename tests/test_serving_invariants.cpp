@@ -1,0 +1,365 @@
+// Randomized serving-invariant suite: seeded workloads with varying
+// arrival patterns, prompt/new-token lengths, chunk sizes, and KV
+// capacities, asserting the conservation invariants of the batched
+// serving cost model —
+//   * per-request compute + stall shares sum exactly to the aggregate
+//     cycles (and energy sums match),
+//   * the shared decode stream splits exactly into stall + hidden,
+//   * the chunk-stream windows split exactly into tails + hidden,
+//   * admission stamps are monotone in admission order and no request is
+//     charged for steps past its final token,
+// plus the deterministic cross-check that a single request through
+// BatchedEngine with chunking disabled is cycle-for-cycle identical to
+// InferenceSession::generate / SteadyStateSimulation on the same
+// deployment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+#include "runtime/steady_state.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+using namespace distmcu;
+using runtime::BatchedEngine;
+using runtime::InferenceSession;
+using runtime::RequestId;
+using runtime::RequestResult;
+using runtime::ServingStats;
+
+namespace {
+
+/// One shared deployment the randomized scenarios draw from, with its
+/// per-step serial decode stream precomputed for the conservation
+/// checks. Sessions are expensive (weights + plan + sharding), so each
+/// variant is built once for the whole suite.
+struct Deployment {
+  std::unique_ptr<InferenceSession> session;
+  Cycles ar_stream = 0;  // serial decode weight stream, all layers
+  bool cheap_numerics = false;  // token cross-checks affordable
+
+  explicit Deployment(model::TransformerConfig cfg, int n_chips,
+                      bool cheap = true)
+      : session(std::make_unique<InferenceSession>(cfg, n_chips)),
+        cheap_numerics(cheap) {
+    const auto ar = session->run_block(model::Mode::autoregressive);
+    ar_stream = ar.report.breakdown.dma_l3_l2 *
+                static_cast<Cycles>(cfg.num_layers);
+  }
+};
+
+model::TransformerConfig tiny_cfg(int ar_context, int prompt_len) {
+  model::TransformerConfig cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.embed_dim = 32;
+  cfg.ffn_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 8;
+  cfg.num_layers = 2;
+  cfg.vocab_size = 100;
+  cfg.ar_context = ar_context;
+  cfg.prompt_len = prompt_len;
+  cfg.validate();
+  return cfg;
+}
+
+/// Full-width blocks on 4 chips: the streamed regime, where decode
+/// weights cross L3 every step and the overlap machinery is live.
+model::TransformerConfig streamed_cfg() {
+  model::TransformerConfig cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.num_layers = 2;
+  cfg.vocab_size = 200;
+  cfg.ar_context = 32;
+  cfg.prompt_len = 6;
+  cfg.validate();
+  return cfg;
+}
+
+/// The suite's deployment pool, covering chip counts and KV capacities
+/// (ar_context bounds both the caches and the admissible workloads).
+const std::vector<Deployment>& deployments() {
+  static const auto* pool = [] {
+    auto* v = new std::vector<Deployment>();
+    v->emplace_back(tiny_cfg(/*ar_context=*/24, /*prompt_len=*/6), 4);
+    v->emplace_back(tiny_cfg(/*ar_context=*/12, /*prompt_len=*/4), 2);
+    v->emplace_back(tiny_cfg(/*ar_context=*/48, /*prompt_len=*/8), 4);
+    v->emplace_back(streamed_cfg(), 4, /*cheap=*/false);
+    return v;
+  }();
+  return *pool;
+}
+
+struct Scenario {
+  int deployment = 0;
+  BatchedEngine::Options opts;
+  struct Job {
+    std::vector<int> prompt;
+    int new_tokens = 0;
+    int submit_after_step = 0;  // arrival pattern: 0 = before serving
+    bool attempted = false;     // submitted exactly once at its arrival
+    std::optional<RequestId> id;
+  };
+  std::vector<Job> jobs;
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  Scenario sc;
+  sc.deployment = static_cast<int>(rng.next_below(deployments().size()));
+  const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+  const auto& cfg = dep.session->config();
+
+  sc.opts.max_batch = 1 + static_cast<int>(rng.next_below(4));
+  sc.opts.max_pending = static_cast<int>(rng.next_below(10));
+  // Chunk sizes sweep disabled (0), tiny, mid, and whole-prompt.
+  const int chunk_choices[] = {0, 1, 2, 3, cfg.prompt_len, cfg.prompt_len + 7};
+  sc.opts.prefill_chunk_tokens =
+      chunk_choices[rng.next_below(std::size(chunk_choices))];
+
+  const int n_jobs =
+      (dep.cheap_numerics ? 3 : 2) + static_cast<int>(rng.next_below(5));
+  for (int j = 0; j < n_jobs; ++j) {
+    Scenario::Job job;
+    const int plen = 1 + static_cast<int>(rng.next_below(
+                             static_cast<std::uint64_t>(cfg.prompt_len)));
+    for (int t = 0; t < plen; ++t) {
+      job.prompt.push_back(static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(cfg.vocab_size))));
+    }
+    const int room = cfg.ar_context - plen;
+    job.new_tokens = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(std::min(room, 6)) + 1));
+    job.submit_after_step = static_cast<int>(rng.next_below(6));
+    sc.jobs.push_back(std::move(job));
+  }
+  return sc;
+}
+
+/// Run one scenario (mid-serving arrivals included) and return the
+/// completed results; rejected submits simply drop their job id.
+std::vector<RequestResult> run_scenario(Scenario& sc, BatchedEngine& engine) {
+  int step_idx = 0;
+  bool work = true;
+  for (;;) {
+    bool submitted_any = false;
+    for (auto& job : sc.jobs) {
+      if (job.attempted || job.submit_after_step > step_idx) continue;
+      job.id = engine.submit(job.prompt, job.new_tokens);
+      job.attempted = true;
+      submitted_any = true;
+    }
+    const bool pending_arrivals =
+        std::any_of(sc.jobs.begin(), sc.jobs.end(),
+                    [](const auto& j) { return !j.attempted; });
+    work = engine.step();
+    ++step_idx;
+    if (!work && !pending_arrivals && !submitted_any) break;
+    if (step_idx > 500) {
+      ADD_FAILURE() << "scenario did not drain";
+      break;
+    }
+  }
+  return engine.finished();
+}
+
+const RequestResult& result_for(const std::vector<RequestResult>& results,
+                                RequestId id) {
+  for (const auto& r : results) {
+    if (r.id == id) return r;
+  }
+  throw Error("result_for: no such request id");
+}
+
+void check_invariants(const Scenario& sc, const BatchedEngine& engine,
+                      const std::vector<RequestResult>& results,
+                      std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+  const ServingStats& stats = engine.stats();
+
+  // Everything accepted completed; nothing is still resident.
+  int accepted = 0;
+  for (const auto& job : sc.jobs) accepted += job.id.has_value() ? 1 : 0;
+  EXPECT_EQ(static_cast<int>(results.size()), accepted);
+  EXPECT_EQ(stats.completed, accepted);
+  EXPECT_EQ(stats.rejected, static_cast<int>(sc.jobs.size()) - accepted);
+  EXPECT_EQ(engine.active_requests(), 0);
+  EXPECT_EQ(engine.pending_requests(), 0);
+  EXPECT_LE(stats.peak_batch, sc.opts.max_batch);
+
+  // Conservation: per-request compute + stall shares sum EXACTLY to the
+  // aggregate cycles; energy sums match; token counts match.
+  Cycles cycle_sum = 0;
+  double energy_sum = 0.0;
+  int generated_sum = 0;
+  for (const auto& r : results) {
+    cycle_sum += r.gen.total_cycles;
+    energy_sum += r.gen.total_energy_mj;
+    generated_sum += r.gen.generated;
+  }
+  EXPECT_EQ(cycle_sum, stats.total_cycles);
+  EXPECT_NEAR(energy_sum, stats.total_energy_mj,
+              1e-9 * std::max(1.0, energy_sum));
+  EXPECT_EQ(generated_sum, stats.total_generated);
+
+  // Decode-stream conservation: stall + hidden == one serial stream per
+  // decode step.
+  EXPECT_EQ(stats.prefetch_stall_cycles + stats.stream_cycles_hidden,
+            static_cast<Cycles>(stats.decode_steps) * dep.ar_stream);
+  // Chunk-stream conservation (chunked mode; all three stay zero in the
+  // serial mode).
+  EXPECT_EQ(stats.prefill_stall_cycles + stats.prefill_cycles_hidden,
+            stats.prefill_stream_cycles);
+  if (engine.chunk_tokens() == 0) {
+    EXPECT_EQ(stats.prefill_stream_cycles, 0u);
+  }
+
+  // Admission stamps are monotone in admission order (ids are issued in
+  // submit order and admitted FIFO).
+  std::vector<const RequestResult*> by_id;
+  by_id.reserve(results.size());
+  for (const auto& r : results) by_id.push_back(&r);
+  std::sort(by_id.begin(), by_id.end(),
+            [](const auto* a, const auto* b) { return a->id < b->id; });
+  for (std::size_t i = 1; i < by_id.size(); ++i) {
+    EXPECT_LE(by_id[i - 1]->admitted_step, by_id[i]->admitted_step);
+    EXPECT_LE(by_id[i - 1]->admitted_at, by_id[i]->admitted_at);
+  }
+
+  // Per-request sanity: residence covers the attributed charge (no
+  // request is charged for steps outside its own span), spans sit inside
+  // the engine timeline, and a request never outlives the drain.
+  for (const auto& r : results) {
+    EXPECT_GE(r.finished_at, r.admitted_at);
+    EXPECT_GE(r.latency_cycles(), r.gen.total_cycles);
+    EXPECT_LE(r.finished_at, stats.total_cycles);
+    EXPECT_GE(r.finished_step, r.admitted_step);
+    EXPECT_GT(r.gen.total_cycles, 0u);  // prefill is always charged
+  }
+}
+
+}  // namespace
+
+TEST(ServingInvariants, RandomizedScenariosHoldConservation) {
+  // >= 100 seeded scenarios across deployments, chunk sizes, batch
+  // shapes, and arrival patterns.
+  constexpr std::uint64_t kSeeds = 120;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Scenario sc = make_scenario(seed);
+    const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+    BatchedEngine engine(*dep.session, sc.opts);
+    const auto results = run_scenario(sc, engine);
+    check_invariants(sc, engine, results, seed);
+  }
+}
+
+TEST(ServingInvariants, RandomizedTokenStreamsMatchDedicatedGenerate) {
+  // Functional spot-check on the cheap deployments: every accepted
+  // request's stream equals a dedicated generate call, whatever the
+  // chunking and arrival pattern.
+  for (std::uint64_t seed = 1000; seed < 1024; ++seed) {
+    Scenario sc = make_scenario(seed);
+    const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+    if (!dep.cheap_numerics) continue;
+    BatchedEngine engine(*dep.session, sc.opts);
+    const auto results = run_scenario(sc, engine);
+    for (const auto& job : sc.jobs) {
+      if (!job.id.has_value()) continue;
+      const auto solo = dep.session->generate(job.prompt, job.new_tokens);
+      EXPECT_EQ(result_for(results, *job.id).gen.tokens, solo.tokens)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ServingInvariants, ScenariosAreDeterministic) {
+  // The whole pipeline — admission, chunk scheduling, attribution — is
+  // replay-stable: the same seed produces identical stats and stamps.
+  for (const std::uint64_t seed : {3u, 57u, 91u}) {
+    Scenario a = make_scenario(seed);
+    Scenario b = make_scenario(seed);
+    const auto& dep = deployments()[static_cast<std::size_t>(a.deployment)];
+    BatchedEngine ea(*dep.session, a.opts);
+    BatchedEngine eb(*dep.session, b.opts);
+    const auto ra = run_scenario(a, ea);
+    const auto rb = run_scenario(b, eb);
+    ASSERT_EQ(ra.size(), rb.size());
+    EXPECT_EQ(ea.stats().total_cycles, eb.stats().total_cycles);
+    EXPECT_EQ(ea.stats().prefill_stream_cycles, eb.stats().prefill_stream_cycles);
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].id, rb[i].id);
+      EXPECT_EQ(ra[i].gen.total_cycles, rb[i].gen.total_cycles);
+      EXPECT_EQ(ra[i].admitted_at, rb[i].admitted_at);
+      EXPECT_EQ(ra[i].finished_at, rb[i].finished_at);
+      EXPECT_EQ(ra[i].gen.tokens, rb[i].gen.tokens);
+    }
+  }
+}
+
+// --- deterministic cross-checks against the single-stream runtimes --------
+
+TEST(ServingCrossCheck, SerialModeSingleRequestMatchesSessionAndSteadyState) {
+  // Chunking disabled, one request, fully resident deployment: the
+  // engine must reproduce InferenceSession::generate cycle-for-cycle,
+  // and generate itself must compose from SteadyStateSimulation's
+  // full-pass totals (prefill pass + (n-1) decode passes).
+  const auto cfg = tiny_cfg(/*ar_context=*/24, /*prompt_len=*/6);
+  const InferenceSession session(cfg, 4);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  ASSERT_NE(ar.report.residency, partition::Residency::double_buffered);
+
+  const std::vector<int> prompt{3, 1, 4, 1};
+  const int steps = 5;
+  BatchedEngine engine(session, {.max_batch = 1, .max_pending = 4});
+  ASSERT_TRUE(engine.submit(prompt, steps).has_value());
+  const auto results = engine.run_to_completion();
+  const auto solo = session.generate(prompt, steps);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].gen.tokens, solo.tokens);
+  EXPECT_EQ(results[0].gen.total_cycles, solo.total_cycles);
+  EXPECT_EQ(results[0].latency_cycles(), solo.total_cycles);
+
+  const runtime::SteadyStateSimulation steady(session.system());
+  const auto ss_prompt = steady.run(session.plan(), model::Mode::prompt);
+  const auto ss_ar = steady.run(session.plan(), model::Mode::autoregressive);
+  ASSERT_NE(ss_prompt.residency, partition::Residency::double_buffered);
+  const Cycles composed =
+      ss_prompt.total_cycles +
+      static_cast<Cycles>(steps - 1) * ss_ar.total_cycles;
+  EXPECT_EQ(solo.total_cycles, composed);
+  EXPECT_EQ(results[0].gen.total_cycles, composed);
+}
+
+TEST(ServingCrossCheck, SerialModeStreamedDeploymentReconstructsSerialModel) {
+  // Streamed deployment: the engine's overlap hides stream time, but the
+  // serial-charging model is exactly reconstructible as
+  // total + stream_cycles_hidden — and equals both generate() and the
+  // SteadyStateSimulation composition.
+  const auto cfg = streamed_cfg();
+  const InferenceSession session(cfg, 4);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  ASSERT_EQ(ar.report.residency, partition::Residency::streamed);
+
+  const std::vector<int> prompt{2, 4, 6};
+  const int steps = 6;
+  BatchedEngine engine(session, {.max_batch = 1, .max_pending = 4});
+  ASSERT_TRUE(engine.submit(prompt, steps).has_value());
+  (void)engine.run_to_completion();
+  const auto solo = session.generate(prompt, steps);
+  EXPECT_EQ(engine.stats().total_cycles + engine.stats().stream_cycles_hidden,
+            solo.total_cycles);
+
+  const runtime::SteadyStateSimulation steady(session.system());
+  const auto ss_prompt = steady.run(session.plan(), model::Mode::prompt);
+  const auto ss_ar = steady.run(session.plan(), model::Mode::autoregressive);
+  ASSERT_EQ(ss_prompt.residency, partition::Residency::streamed);
+  EXPECT_EQ(solo.total_cycles,
+            ss_prompt.total_cycles +
+                static_cast<Cycles>(steps - 1) * ss_ar.total_cycles);
+}

@@ -1,0 +1,266 @@
+// Golden-trace regression tests for sim/trace_export.cpp: the emitted
+// Chrome JSON must parse, every duration span must be well-formed,
+// serving spans must land on the per-request lane matching their tagged
+// request id, spans within one lane must never overlap (the FIFO L3
+// port and the serialized step timeline guarantee this), and lane
+// metadata must exist exactly for the lanes that carry spans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "partition/plan.hpp"
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+#include "runtime/timed_simulation.hpp"
+#include "sim/trace_export.hpp"
+#include "sim/tracer.hpp"
+
+using namespace distmcu;
+
+namespace {
+
+/// 1 MHz makes cycles_to_us the identity, so timestamps in the JSON are
+/// exact integers in double precision and lane-overlap checks need no
+/// tolerance.
+constexpr double kFreqHz = 1e6;
+
+struct TraceEvent {
+  std::string name;
+  std::string ph;
+  double ts = -1.0;
+  double dur = -1.0;
+  int pid = -1;
+  int tid = -1;
+  long long request = sim::kNoRequest;
+  bool has_request = false;
+};
+
+/// Minimal parser for the exporter's machine-generated JSON: splits the
+/// top-level traceEvents array into objects and extracts scalar fields
+/// by key. Not a general JSON parser — tight enough that structural
+/// regressions (unbalanced braces, missing quotes) fail the tests.
+std::vector<TraceEvent> parse_trace(const std::string& json) {
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u)
+      << "trace must open with the traceEvents array";
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced braces";
+
+  std::vector<TraceEvent> events;
+  std::size_t pos = json.find('[');
+  while ((pos = json.find('{', pos + 1)) != std::string::npos) {
+    // Find the matching close brace (args nest one level deep).
+    int d = 0;
+    std::size_t end = pos;
+    for (; end < json.size(); ++end) {
+      if (json[end] == '{') ++d;
+      if (json[end] == '}' && --d == 0) break;
+    }
+    const std::string obj = json.substr(pos, end - pos + 1);
+    pos = end;
+
+    const auto field = [&obj](const std::string& key) -> std::string {
+      const std::string tag = "\"" + key + "\":";
+      const std::size_t at = obj.find(tag);
+      if (at == std::string::npos) return {};
+      std::size_t v = at + tag.size();
+      std::size_t stop = v;
+      if (obj[v] == '"') {
+        stop = obj.find('"', v + 1) + 1;
+      } else {
+        while (stop < obj.size() && obj[stop] != ',' && obj[stop] != '}') {
+          ++stop;
+        }
+      }
+      std::string raw = obj.substr(v, stop - v);
+      if (!raw.empty() && raw.front() == '"') raw = raw.substr(1, raw.size() - 2);
+      return raw;
+    };
+
+    TraceEvent ev;
+    ev.name = field("name");
+    ev.ph = field("ph");
+    if (const auto s = field("ts"); !s.empty()) ev.ts = std::stod(s);
+    if (const auto s = field("dur"); !s.empty()) ev.dur = std::stod(s);
+    if (const auto s = field("pid"); !s.empty()) ev.pid = std::stoi(s);
+    if (const auto s = field("tid"); !s.empty()) ev.tid = std::stoi(s);
+    if (const auto s = field("request"); !s.empty()) {
+      ev.request = std::stoll(s);
+      ev.has_request = true;
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::string export_trace(const sim::Tracer& tracer) {
+  std::ostringstream os;
+  sim::write_chrome_trace(tracer, kFreqHz, os);
+  return os.str();
+}
+
+void check_serving_trace(const std::vector<TraceEvent>& events) {
+  std::map<std::pair<int, int>, std::vector<const TraceEvent*>> lanes;
+  std::map<std::pair<int, int>, std::string> lane_names;
+  int x_events = 0;
+  for (const auto& ev : events) {
+    if (ev.ph == "M") {
+      if (ev.name == "thread_name") {
+        lane_names[{ev.pid, ev.tid}] = "named";
+      }
+      continue;
+    }
+    ASSERT_EQ(ev.ph, "X") << "only duration and metadata events expected";
+    ++x_events;
+    // Well-formed spans.
+    EXPECT_GE(ev.ts, 0.0);
+    EXPECT_GE(ev.dur, 0.0);
+    EXPECT_GE(ev.pid, 0);
+    EXPECT_GE(ev.tid, 0);
+    ASSERT_TRUE(ev.has_request);
+    // The lane IS the request: serving spans must sit on the per-request
+    // track derived from their tagged id; untagged spans stay on the
+    // category tracks.
+    if (ev.request != sim::kNoRequest) {
+      EXPECT_EQ(ev.tid,
+                static_cast<int>(sim::kNumCategories) +
+                    static_cast<int>(ev.request));
+    } else {
+      EXPECT_LT(ev.tid, static_cast<int>(sim::kNumCategories));
+    }
+    lanes[{ev.pid, ev.tid}].push_back(&ev);
+  }
+  EXPECT_GT(x_events, 0);
+
+  // Per-lane spans never overlap: charges within one request serialize,
+  // and DMA-lane spans are FIFO port service windows.
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                return a->ts < b->ts;
+              });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1]->ts + spans[i - 1]->dur, spans[i]->ts)
+          << "overlap on lane pid=" << lane.first << " tid=" << lane.second
+          << " between '" << spans[i - 1]->name << "' and '"
+          << spans[i]->name << "'";
+    }
+    // Every populated lane has its metadata row (and request lanes only
+    // exist where spans do).
+    EXPECT_TRUE(lane_names.count(lane))
+        << "no thread_name for pid=" << lane.first << " tid=" << lane.second;
+  }
+  // Request-lane metadata is emitted only for populated lanes.
+  for (const auto& [lane, name] : lane_names) {
+    if (lane.second >= static_cast<int>(sim::kNumCategories)) {
+      EXPECT_TRUE(lanes.count(lane))
+          << "phantom request lane pid=" << lane.first
+          << " tid=" << lane.second;
+    }
+  }
+}
+
+model::TransformerConfig trace_cfg() {
+  model::TransformerConfig cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.num_layers = 2;
+  cfg.vocab_size = 200;
+  cfg.ar_context = 32;
+  cfg.prompt_len = 6;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+TEST(TraceExportGolden, ServingTraceSerialMode) {
+  const auto cfg = trace_cfg();
+  const runtime::InferenceSession session(cfg, 4);
+  sim::Tracer tracer;
+  runtime::BatchedEngine engine(session, {.max_batch = 2, .max_pending = 8},
+                                &tracer);
+  (void)*engine.submit({1, 2, 3}, 5);
+  (void)*engine.submit({7}, 3);
+  (void)*engine.submit({4, 5}, 2);
+  (void)engine.run_to_completion();
+
+  const auto events = parse_trace(export_trace(tracer));
+  check_serving_trace(events);
+}
+
+TEST(TraceExportGolden, ServingTraceChunkedMode) {
+  // The chunked step model adds prompt-chunk spans in the request lanes
+  // and chunk-stream service windows on the DMA lane; all lane
+  // guarantees must survive the heterogeneous steps.
+  const auto cfg = trace_cfg();
+  const runtime::InferenceSession session(cfg, 4);
+  sim::Tracer tracer;
+  runtime::BatchedEngine engine(
+      session, {.max_batch = 2, .max_pending = 8, .prefill_chunk_tokens = 2},
+      &tracer);
+  (void)*engine.submit({1, 2, 3, 4, 5}, 4);
+  (void)*engine.submit({7}, 5);
+  (void)*engine.submit({4, 5, 6}, 0);
+  (void)engine.run_to_completion();
+
+  const auto events = parse_trace(export_trace(tracer));
+  check_serving_trace(events);
+
+  // The chunked model's signature spans are present: tagged prompt
+  // chunks and the untagged chunk-stream DMA windows.
+  int chunk_spans = 0;
+  int stream_spans = 0;
+  for (const auto& ev : events) {
+    if (ev.name == "prefill.chunk") {
+      ++chunk_spans;
+      EXPECT_NE(ev.request, sim::kNoRequest);
+    }
+    if (ev.name == "prompt.stream") {
+      ++stream_spans;
+      EXPECT_EQ(ev.request, sim::kNoRequest);
+    }
+  }
+  EXPECT_GT(chunk_spans, 3);  // 5-token prompt at C=2 alone takes 3 chunks
+  EXPECT_GT(stream_spans, 0);
+}
+
+TEST(TraceExportGolden, BlockSimulationTraceIsWellFormed) {
+  // The block-level timed simulation shares the exporter; its spans are
+  // untagged and must stay on the category lanes of their chip.
+  const auto cfg = trace_cfg();
+  const auto plan = partition::PartitionPlan::create(cfg, 4);
+  const auto sys = runtime::SystemConfig::siracusa_system();
+  sim::Tracer tracer;
+  (void)runtime::TimedBlockSimulation(sys).run(
+      plan, model::Mode::autoregressive, &tracer);
+  ASSERT_FALSE(tracer.spans().empty());
+
+  const auto events = parse_trace(export_trace(tracer));
+  int x_events = 0;
+  for (const auto& ev : events) {
+    if (ev.ph != "X") continue;
+    ++x_events;
+    EXPECT_GE(ev.ts, 0.0);
+    EXPECT_GE(ev.dur, 0.0);
+    EXPECT_EQ(ev.request, sim::kNoRequest);
+    EXPECT_LT(ev.tid, static_cast<int>(sim::kNumCategories));
+  }
+  EXPECT_EQ(x_events, static_cast<int>(tracer.spans().size()));
+}
+
+TEST(TraceExportGolden, EmptyTracerProducesValidEmptyTrace) {
+  sim::Tracer tracer;
+  const std::string json = export_trace(tracer);
+  EXPECT_EQ(json, "{\"traceEvents\":[]}");
+}

@@ -6,6 +6,7 @@
 // prints the same rows/series the paper reports; EXPERIMENTS.md records
 // the measured values next to the paper's.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +18,35 @@
 #include "util/table.hpp"
 
 namespace distmcu::bench {
+
+/// Minimal JSON string escaping for the benches' emitters (quotes and
+/// backslashes; emitted strings are config names and metric labels).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The benches' only CLI surface: `--json <path>` selects the
+/// machine-readable output file. Returns the empty string when the flag
+/// is absent; exits with a usage message on anything unrecognized.
+inline std::string parse_json_flag(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      std::exit(2);
+    }
+  }
+  return path;
+}
 
 struct SweepPoint {
   int chips = 1;

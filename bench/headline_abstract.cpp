@@ -7,7 +7,18 @@
 //   * scaled-up model, 64 chips: 60.1x, 1.3x energy reduction.
 // Absolute values depend on the substituted platform model; the bands
 // checked here are the paper's qualitative claims (see EXPERIMENTS.md).
+//
+// --json <path> writes the rows machine-readably for CI artifacts.
+// Stable schema (doubles round-trip exact; consumers key on "schema"
+// and ignore unknown keys):
+//
+//   {"schema": "distmcu.headline.v1",
+//    "metrics": [{"metric": "...", "paper": x, "measured": x,
+//                 "band_pass": true|false}],
+//    "all_bands_pass": true|false}
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 
@@ -22,7 +33,8 @@ struct Row {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
   const auto sys = runtime::SystemConfig::siracusa_system();
   const double freq = sys.chip.freq_hz;
   const auto llama = model::TransformerConfig::tiny_llama_42m();
@@ -77,5 +89,25 @@ int main() {
   std::cout << "\noverall: " << (all ? "ALL BANDS PASS" : "SOME BANDS FAIL")
             << "  (bands are documented in EXPERIMENTS.md; absolute values use "
                "the substituted analytic platform model)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot open --json path " << json_path << "\n";
+      return 2;
+    }
+    os.precision(17);
+    os << "{\n  \"schema\": \"distmcu.headline.v1\",\n  \"metrics\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      os << (i == 0 ? "" : ",") << "\n    {\"metric\": \""
+         << bench::json_escape(r.metric)
+         << "\", \"paper\": " << r.paper << ", \"measured\": " << r.measured
+         << ", \"band_pass\": " << (r.pass ? "true" : "false") << "}";
+    }
+    os << "\n  ],\n  \"all_bands_pass\": " << (all ? "true" : "false")
+       << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

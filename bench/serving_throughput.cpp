@@ -14,11 +14,48 @@
 // compute on the shared L3 port. prompt_mcyc — what the engine actually
 // charges for the prompt phase — must drop strictly below the serial
 // model's (chunk 0) charge once chunking is on.
+//
+// The third table runs a deadline-mixed workload (long best-effort
+// background jobs submitted ahead of short interactive jobs with tight
+// deadlines) under each admission policy — fifo / priority / edf — and
+// reports deadline misses and the queueing-delay distribution. EDF must
+// cut the miss count versus FIFO at equal-or-better aggregate
+// throughput; the bench exits nonzero if it does not, so CI catches a
+// scheduling regression even without the JSON gate.
+//
+// --json <path> additionally writes the machine-readable result used by
+// the CI perf-regression gate (tools/check_bench_regression.py compares
+// it against bench/baselines/serving_baseline.json). Stable schema:
+//
+//   {
+//     "schema": "distmcu.serving.v1",
+//     "model": "<config name>", "chips": N, "freq_hz": F,
+//     "batch_sweep": [            // first table, one row per batch size
+//       {"batch": B, "tokens_per_s": x, "total_cycles": n,
+//        "stall_cycles": n, "hidden_cycles": n, "mj_per_token": x}],
+//     "chunk_sweep": [            // second table, one row per chunk size
+//       {"chunk": C, "total_cycles": n, "prefill_cycles": n,
+//        "prefill_stall_cycles": n, "tokens_per_s": x}],
+//     "slo_policies": [           // third table, one row per policy
+//       {"policy": "fifo|priority|edf", "total_cycles": n,
+//        "tokens_per_s": x, "slo_requests": n, "deadline_misses": n,
+//        "miss_rate": x, "queue_delay_p50": n, "queue_delay_p95": n,
+//        "queue_delay_p99": n}]
+//   }
+//
+// Integer fields are exact simulated cycles/counts; doubles are emitted
+// with enough digits to round-trip. Additive fields may appear in later
+// versions; consumers must key on "schema" and ignore unknown keys.
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "runtime/batched_engine.hpp"
 #include "runtime/inference_session.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 using namespace distmcu;
@@ -39,9 +76,112 @@ model::TransformerConfig bench_model() {
   return cfg;
 }
 
+struct BatchRow {
+  int batch = 0;
+  double tok_s = 0.0;
+  runtime::ServingStats stats;
+};
+
+struct ChunkRow {
+  int chunk = 0;
+  runtime::ServingStats stats;
+  double tok_s = 0.0;
+};
+
+struct PolicyRow {
+  runtime::SchedulePolicy policy{};
+  runtime::ServingStats stats;
+  double tok_s = 0.0;
+};
+
+/// Deadline-mixed workload: four long best-effort background jobs
+/// (full 8-token prompts, 16 decode tokens, priority class 2, no
+/// deadline) submitted AHEAD of six short interactive jobs (2-token
+/// prompts, 3 decode tokens, priority class 0, tight deadline) into two
+/// KV slots with chunked prefill. FIFO admits the backgrounds first and
+/// every interactive blows its deadline in the queue; a latency-aware
+/// policy admits the interactives ahead and meets them, at the same
+/// total work (the even background count keeps the final batch full
+/// under every admission order, so throughput is an apples-to-apples
+/// comparison).
+PolicyRow run_slo_scenario(const runtime::InferenceSession& session,
+                           runtime::SchedulePolicy policy,
+                           Cycles interactive_deadline, double freq_hz) {
+  runtime::BatchedEngine engine(
+      session, {.max_batch = 2,
+                .max_pending = 64,
+                .prefill_chunk_tokens = 2,
+                .scheduler = runtime::make_scheduler(policy)});
+  for (int i = 0; i < 4; ++i) {
+    (void)*engine.submit({1 + i, 7 + i, 3, 9, 2 + i, 5, 8, 4}, 16,
+                         {.priority = 2, .deadline_cycles = runtime::kNoDeadline});
+  }
+  for (int i = 0; i < 6; ++i) {
+    (void)*engine.submit({20 + i, 11}, 3,
+                         {.priority = 0, .deadline_cycles = interactive_deadline});
+  }
+  (void)engine.run_to_completion();
+  return {policy, engine.stats(),
+          engine.stats().aggregate_tokens_per_s(freq_hz)};
+}
+
+/// Minimal JSON emission (objects with number/string members only);
+/// max_digits10 keeps the doubles round-trip exact for the gate.
+void write_json(const std::string& path, const model::TransformerConfig& cfg,
+                int n_chips, double freq_hz,
+                const std::vector<BatchRow>& batches,
+                const std::vector<ChunkRow>& chunks,
+                const std::vector<PolicyRow>& policies) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open --json path " << path << "\n";
+    std::exit(2);
+  }
+  os.precision(17);
+  os << "{\n  \"schema\": \"distmcu.serving.v1\",\n"
+     << "  \"model\": \"" << bench::json_escape(cfg.name) << "\",\n"
+     << "  \"chips\": " << n_chips << ",\n"
+     << "  \"freq_hz\": " << freq_hz << ",\n  \"batch_sweep\": [";
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const auto& b = batches[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"batch\": " << b.batch
+       << ", \"tokens_per_s\": " << b.tok_s
+       << ", \"total_cycles\": " << b.stats.total_cycles
+       << ", \"stall_cycles\": " << b.stats.prefetch_stall_cycles
+       << ", \"hidden_cycles\": " << b.stats.stream_cycles_hidden
+       << ", \"mj_per_token\": " << b.stats.mj_per_token() << "}";
+  }
+  os << "\n  ],\n  \"chunk_sweep\": [";
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto& c = chunks[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"chunk\": " << c.chunk
+       << ", \"total_cycles\": " << c.stats.total_cycles
+       << ", \"prefill_cycles\": " << c.stats.prefill_cycles
+       << ", \"prefill_stall_cycles\": " << c.stats.prefill_stall_cycles
+       << ", \"tokens_per_s\": " << c.tok_s << "}";
+  }
+  os << "\n  ],\n  \"slo_policies\": [";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& p = policies[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"policy\": \""
+       << runtime::policy_name(p.policy) << "\""
+       << ", \"total_cycles\": " << p.stats.total_cycles
+       << ", \"tokens_per_s\": " << p.tok_s
+       << ", \"slo_requests\": " << p.stats.slo_requests
+       << ", \"deadline_misses\": " << p.stats.deadline_misses
+       << ", \"miss_rate\": " << p.stats.deadline_miss_rate()
+       << ", \"queue_delay_p50\": " << p.stats.queue_delay_p50
+       << ", \"queue_delay_p95\": " << p.stats.queue_delay_p95
+       << ", \"queue_delay_p99\": " << p.stats.queue_delay_p99 << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+
   const auto cfg = bench_model();
   const int n_chips = 4;
   const int decode_tokens = 12;
@@ -54,6 +194,7 @@ int main() {
   util::Table table({"batch", "requests", "steps", "agg_tok_per_s",
                      "speedup_vs_b1", "overlap_gain", "stall_mcyc",
                      "mean_req_latency_ms", "mj_per_token"});
+  std::vector<BatchRow> batch_rows;
   double base_tok_s = 0.0;
   for (const int batch : {1, 2, 4, 8}) {
     runtime::BatchedEngine engine(session,
@@ -89,6 +230,7 @@ int main() {
         .add(static_cast<double>(stats.prefetch_stall_cycles) / 1e6, 2)
         .add(latency_ms_sum / static_cast<double>(results.size()), 3)
         .add(stats.mj_per_token(), 4);
+    batch_rows.push_back({batch, tok_s, stats});
   }
   table.print(std::cout);
   std::cout << "\nstall_mcyc is nonzero only while the batch's compute cannot\n"
@@ -104,6 +246,7 @@ int main() {
   util::Table chunk_table({"chunk", "steps", "prefill_steps", "prompt_mcyc",
                            "prompt_gain", "hidden_mcyc", "tail_mcyc",
                            "total_mcyc", "agg_tok_per_s"});
+  std::vector<ChunkRow> chunk_rows;
   double serial_prompt_mcyc = 0.0;
   Cycles serial_prompt_cycles = 0;
   for (const int chunk : {0, 2, 4, 8}) {
@@ -131,6 +274,7 @@ int main() {
         .add(static_cast<double>(stats.prefill_stall_cycles) / 1e6, 2)
         .add(static_cast<double>(stats.total_cycles) / 1e6, 2)
         .add(stats.aggregate_tokens_per_s(freq_hz), 1);
+    chunk_rows.push_back({chunk, stats, stats.aggregate_tokens_per_s(freq_hz)});
     if (chunk > 0 && stats.prefill_cycles >= serial_prompt_cycles) {
       std::cout << "WARNING: chunk " << chunk
                 << " did not beat the serial prompt charge\n";
@@ -144,8 +288,71 @@ int main() {
                "(hidden_mcyc) and short prompts stop paying the full "
                "static prefill shape.\n";
 
+  // --- scheduling policies under a deadline-mixed workload ---------------
+  // Interactive deadline: ample for the jobs' own service (several times
+  // the estimate) but far below the backgrounds' drain time, so the miss
+  // counts isolate the ADMISSION ORDER, not the deadline tightness.
+  const Cycles interactive_deadline = 160'000'000;
+  std::cout << "\nScheduling policies — 4 long best-effort jobs submitted "
+               "ahead of 6 short\ninteractive jobs (deadline "
+            << static_cast<double>(interactive_deadline) / 1e6
+            << " Mcyc), 2 KV slots, chunked prefill:\n\n";
+  util::Table slo_table({"policy", "total_mcyc", "agg_tok_per_s", "slo_reqs",
+                         "misses", "miss_rate", "qdelay_p50_mcyc",
+                         "qdelay_p95_mcyc", "qdelay_p99_mcyc"});
+  std::vector<PolicyRow> policy_rows;
+  for (const auto policy :
+       {runtime::SchedulePolicy::fifo, runtime::SchedulePolicy::priority,
+        runtime::SchedulePolicy::edf}) {
+    const PolicyRow row =
+        run_slo_scenario(session, policy, interactive_deadline, freq_hz);
+    slo_table.row()
+        .add(runtime::policy_name(row.policy))
+        .add(static_cast<double>(row.stats.total_cycles) / 1e6, 2)
+        .add(row.tok_s, 1)
+        .add(row.stats.slo_requests)
+        .add(row.stats.deadline_misses)
+        .add(row.stats.deadline_miss_rate(), 2)
+        .add(static_cast<double>(row.stats.queue_delay_p50) / 1e6, 2)
+        .add(static_cast<double>(row.stats.queue_delay_p95) / 1e6, 2)
+        .add(static_cast<double>(row.stats.queue_delay_p99) / 1e6, 2);
+    policy_rows.push_back(row);
+  }
+  slo_table.print(std::cout);
+  std::cout << "\nSame work under every policy — only the admission order "
+               "differs. EDF\nadmits the tight deadlines ahead of the queued "
+               "best-effort jobs and must\ncut the miss count at "
+               "equal-or-better aggregate throughput.\n";
+
+  const auto row_for = [&policy_rows](runtime::SchedulePolicy p) -> const PolicyRow& {
+    for (const auto& row : policy_rows) {
+      if (row.policy == p) return row;
+    }
+    throw Error("serving_throughput: policy row missing");
+  };
+  const auto& fifo = row_for(runtime::SchedulePolicy::fifo);
+  const auto& edf = row_for(runtime::SchedulePolicy::edf);
+  bool ok = true;
+  if (edf.stats.deadline_misses >= fifo.stats.deadline_misses) {
+    std::cout << "FAIL: EDF misses (" << edf.stats.deadline_misses
+              << ") not below FIFO (" << fifo.stats.deadline_misses << ")\n";
+    ok = false;
+  }
+  if (edf.tok_s < fifo.tok_s) {
+    std::cout << "FAIL: EDF throughput " << edf.tok_s << " below FIFO "
+              << fifo.tok_s << "\n";
+    ok = false;
+  }
+
   std::cout << "\nCSV:\n";
   table.write_csv(std::cout);
   chunk_table.write_csv(std::cout);
-  return 0;
+  slo_table.write_csv(std::cout);
+
+  if (!json_path.empty()) {
+    write_json(json_path, cfg, n_chips, freq_hz, batch_rows, chunk_rows,
+               policy_rows);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return ok ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 
 #include "runtime/batched_engine.hpp"
 #include "runtime/inference_session.hpp"
+#include "runtime/scheduler.hpp"
 
 using namespace distmcu;
 
@@ -121,5 +122,51 @@ int main() {
             << "  total: " << cs.total_cycles << " cycles across "
             << cs.steps << " steps (" << cs.prefill_steps
             << " ran prompt chunks)\n";
+
+  // --- latency-aware scheduling: one long best-effort job submitted
+  // ahead of two short deadline jobs, served with a single KV slot so
+  // the admission order decides who waits. FIFO drains the long job
+  // first and both deadlines blow in the queue; EDF admits the deadline
+  // jobs ahead — same total work, different miss counts. Token streams
+  // stay bit-identical to generate() under any admission order.
+  const Cycles deadline = 40'000'000;
+  struct SloJob {
+    std::vector<int> prompt;
+    int new_tokens;
+    runtime::SloSpec slo;
+  };
+  const std::vector<SloJob> slo_jobs{
+      {{1, 2, 3}, 12, {.priority = 2, .deadline_cycles = runtime::kNoDeadline}},
+      {{9}, 2, {.priority = 0, .deadline_cycles = deadline}},
+      {{4, 7}, 2, {.priority = 0, .deadline_cycles = deadline}},
+  };
+  std::cout << "\nlatency-aware scheduling (1 KV slot, deadline "
+            << deadline << " cycles):\n";
+  for (const auto policy :
+       {runtime::SchedulePolicy::fifo, runtime::SchedulePolicy::edf}) {
+    runtime::BatchedEngine sched_engine(
+        session, {.max_batch = 1,
+                  .max_pending = 8,
+                  .prefill_chunk_tokens = 2,
+                  .scheduler = runtime::make_scheduler(policy)});
+    std::map<runtime::RequestId, const SloJob*> by_id;
+    for (const auto& job : slo_jobs) {
+      by_id[*sched_engine.submit(job.prompt, job.new_tokens, job.slo)] = &job;
+    }
+    const auto sched_results = sched_engine.run_to_completion();
+    const auto& ss = sched_engine.stats();
+    bool match = true;
+    for (const auto& r : sched_results) {
+      const SloJob& job = *by_id.at(r.id);
+      match &= r.gen.tokens == session.generate(job.prompt, job.new_tokens).tokens;
+    }
+    std::cout << "  " << runtime::policy_name(policy) << ": "
+              << ss.deadline_misses << "/" << ss.slo_requests
+              << " deadline misses, p95 queue delay " << ss.queue_delay_p95
+              << " cycles, total " << ss.total_cycles << " cycles, streams "
+              << (match ? "match generate()" : "MISMATCH") << "\n";
+  }
+  std::cout << "  (EDF admits the deadline jobs ahead of the queued "
+               "best-effort job.)\n";
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "runtime/batched_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -42,6 +43,15 @@ int checked_pool_slots(const BatchedEngine::Options& opts,
   }
   check_pool_fits(ar_block.memory, opts.max_batch, "autoregressive");
   return opts.max_batch;
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+Cycles percentile(const std::vector<Cycles>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  rank = std::max<std::size_t>(rank, 1);
+  return sorted[std::min(rank, sorted.size()) - 1];
 }
 
 /// Effective chunk size: clamped to the deployment's static prompt
@@ -141,10 +151,38 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
   // per-chunk costs here); only the compact decomposition serves steps.
   chunk_blocks_.clear();
   chunk_blocks_.shrink_to_fit();
+
+  // Admission policy: the configured scheduler, or the process-wide FIFO
+  // instance (policies are stateless, so sharing it is safe).
+  static const FifoScheduler kDefaultFifo;
+  scheduler_ = opts_.scheduler != nullptr ? opts_.scheduler.get() : &kDefaultFifo;
+}
+
+Cycles BatchedEngine::estimate_request_cost(int prompt_tokens,
+                                            int new_tokens) const {
+  // Prefill charge from the same block-program decomposition the steps
+  // use, then one per-request decode forward per generated token past
+  // the prefill output (generate's composition: prompt + (n-1) decodes).
+  // Batch-shared weight streaming and queueing are excluded — this is
+  // the request's own service demand, not a latency prediction.
+  Cycles est = 0;
+  if (chunk_tokens_ > 0) {
+    const int n_chunks = (prompt_tokens + chunk_tokens_ - 1) / chunk_tokens_;
+    for (int i = 0; i < n_chunks; ++i) {
+      const auto& cc = chunk_costs_[static_cast<std::size_t>(i)];
+      est += cc.compute + cc.stream;
+    }
+  } else {
+    est = prompt_cycles_;
+  }
+  if (new_tokens > 1) {
+    est += static_cast<Cycles>(new_tokens - 1) * ar_per_req_cycles_;
+  }
+  return est;
 }
 
 std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
-                                               int new_tokens) {
+                                               int new_tokens, SloSpec slo) {
   util::check(!prompt.empty(), "submit: prompt must not be empty");
   util::check(new_tokens >= 0, "submit: new_tokens must be >= 0");
   util::check(static_cast<int>(prompt.size()) + new_tokens <=
@@ -170,9 +208,48 @@ std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
   r.id = next_id_++;
   r.prompt = std::move(prompt);
   r.new_tokens = new_tokens;
+  r.slo = slo;
+  r.submitted_at = pipeline_.now();
+  if (slo.deadline_cycles != kNoDeadline) {
+    r.deadline_at = r.submitted_at + slo.deadline_cycles;
+  }
+  r.estimated_cost = estimate_request_cost(static_cast<int>(r.prompt.size()),
+                                           new_tokens);
   const RequestId id = r.id;
   pending_.push_back(std::move(r));
   return id;
+}
+
+BatchedEngine::Request BatchedEngine::take_scheduled_pending() {
+  std::vector<Scheduler::Candidate> queue;
+  queue.reserve(pending_.size());
+  for (const Request& p : pending_) {
+    Scheduler::Candidate c;
+    c.id = p.id;
+    c.priority = p.slo.priority;
+    c.deadline_at = p.deadline_at;
+    c.submitted_at = p.submitted_at;
+    // Ids are issued monotonically at submit, so they double as the
+    // policies' FIFO tie-break sequence.
+    c.submit_seq = p.id;
+    c.estimated_cost = p.estimated_cost;
+    queue.push_back(c);
+  }
+  const std::size_t idx = scheduler_->pick(queue, pipeline_.now());
+  util::check(idx < pending_.size(),
+              std::string("BatchedEngine: scheduler '") + scheduler_->name() +
+                  "' returned an out-of-range queue index");
+  Request r = std::move(pending_[idx]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return r;
+}
+
+void BatchedEngine::trace_admission(const Request& r) {
+  if (tracer_ == nullptr || r.admitted_at <= r.submitted_at) return;
+  tracer_->set_request(r.id);
+  tracer_->record(0, sim::Category::sched, r.submitted_at, r.admitted_at, 0,
+                  "sched.queue");
+  tracer_->set_request(sim::kNoRequest);
 }
 
 void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
@@ -198,10 +275,40 @@ void BatchedEngine::finish(Request& r, int step_idx) {
   // own last completed work, not the end of a step other requests are
   // still filling.
   out.finished_at = r.work_done_at;
+  out.slo = r.slo;
+  out.submitted_at = r.submitted_at;
+  out.deadline_at = r.deadline_at;
   out.gen.tokens = std::move(r.tokens);
   out.gen.generated = r.generated;
   out.gen.total_cycles = r.cycles;
   out.gen.total_energy_mj = r.energy_mj;
+
+  // SLO accounting: attained-vs-deadline and the queueing-delay
+  // distribution, refreshed so stats() is a consistent snapshot at every
+  // completion.
+  const Cycles queue_delay = out.queue_delay_cycles();
+  stats_.queue_delay_total += queue_delay;
+  queue_delays_.insert(
+      std::upper_bound(queue_delays_.begin(), queue_delays_.end(), queue_delay),
+      queue_delay);
+  stats_.queue_delay_p50 = percentile(queue_delays_, 0.50);
+  stats_.queue_delay_p95 = percentile(queue_delays_, 0.95);
+  stats_.queue_delay_p99 = percentile(queue_delays_, 0.99);
+  if (out.deadline_at != kNoDeadline) {
+    ++stats_.slo_requests;
+    if (out.missed_deadline()) {
+      ++stats_.deadline_misses;
+      // Instant marker on the request's lane at the moment the deadline
+      // was finally blown (its own finish boundary).
+      if (tracer_ != nullptr) {
+        tracer_->set_request(out.id);
+        tracer_->record(0, sim::Category::sched, out.finished_at,
+                        out.finished_at, 0, "sched.deadline.miss");
+        tracer_->set_request(sim::kNoRequest);
+      }
+    }
+  }
+
   finished_.push_back(std::move(out));
   ++stats_.completed;
 }
@@ -229,8 +336,7 @@ int BatchedEngine::admit_pending_serial(int step_idx, double& step_energy) {
   while (!pending_.empty()) {
     const auto slot = kv_slots_.acquire();
     if (!slot.has_value()) break;
-    Request r = std::move(pending_.front());
-    pending_.pop_front();
+    Request r = take_scheduled_pending();
     r.slot = *slot;
     r.admitted_step = step_idx;
     // The request's own position on the step timeline: prefills of
@@ -238,6 +344,7 @@ int BatchedEngine::admit_pending_serial(int step_idx, double& step_energy) {
     // pipeline, so their cycles never leak into this request's
     // residence latency.
     r.admitted_at = pipeline_.now();
+    trace_admission(r);
     kv_pool_.reset_slot(r.slot);
 
     const model::Tensor h = forward_tokens(r, r.prompt, 0);
@@ -367,8 +474,7 @@ void BatchedEngine::admit_pending_chunked(int step_idx) {
   while (!pending_.empty()) {
     const auto slot = kv_slots_.acquire();
     if (!slot.has_value()) break;
-    Request r = std::move(pending_.front());
-    pending_.pop_front();
+    Request r = take_scheduled_pending();
     r.slot = *slot;
     r.admitted_step = step_idx;
     // Provisional; refined to the start of the request's own first chunk
@@ -506,7 +612,10 @@ bool BatchedEngine::step_chunked() {
     for (const auto& cr : chunk_runs) {
       Request& r = active_[cr.req];
       const ChunkCost& cc = chunk_costs_[static_cast<std::size_t>(cr.chunk)];
-      if (cr.first) r.admitted_at = cum;
+      if (cr.first) {
+        r.admitted_at = cum;
+        trace_admission(r);
+      }
       charge(r, cc.compute, cc.energy_mj, sim::Category::compute,
              "prefill.chunk", cum);
       cum += cc.compute;

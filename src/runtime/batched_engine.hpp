@@ -9,11 +9,10 @@
 #include "model/kv_cache.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/prefetch_pipeline.hpp"
+#include "runtime/scheduler.hpp"
 #include "sim/tracer.hpp"
 
 namespace distmcu::runtime {
-
-using RequestId = int;
 
 /// Final outcome of one served request. `gen` carries the request's own
 /// token stream (bit-identical to an independent
@@ -33,8 +32,26 @@ struct RequestResult {
   /// cycles in `gen`, the span grows with batch contention.
   Cycles admitted_at = 0;
   Cycles finished_at = 0;
+  /// SLO accounting: the spec the request was submitted with, its submit
+  /// stamp, and its absolute deadline (kNoDeadline when none). The
+  /// queueing delay is the admission wait — from submit to the start of
+  /// the request's own first prompt work.
+  SloSpec slo;
+  Cycles submitted_at = 0;
+  Cycles deadline_at = kNoDeadline;
 
   [[nodiscard]] Cycles latency_cycles() const { return finished_at - admitted_at; }
+  [[nodiscard]] Cycles queue_delay_cycles() const {
+    return admitted_at - submitted_at;
+  }
+  /// Attained latency vs the deadline: submit-to-finish, which includes
+  /// the queueing delay the scheduler controls.
+  [[nodiscard]] Cycles attained_cycles() const {
+    return finished_at - submitted_at;
+  }
+  [[nodiscard]] bool missed_deadline() const {
+    return deadline_at != kNoDeadline && finished_at > deadline_at;
+  }
 };
 
 /// Aggregate serving metrics across all requests the engine processed.
@@ -84,7 +101,24 @@ struct ServingStats {
   Cycles prefill_stream_cycles = 0;
   Cycles prefill_cycles_hidden = 0;
   Cycles prefill_stall_cycles = 0;
+  /// SLO accounting over *finished* requests: how many carried a
+  /// deadline, how many finished past it, and the queueing-delay
+  /// distribution (submit to the request's own first prompt work) by
+  /// nearest-rank percentile over all finished requests. Refreshed at
+  /// every completion, so mid-serving reads are consistent snapshots.
+  int slo_requests = 0;
+  int deadline_misses = 0;
+  Cycles queue_delay_total = 0;
+  Cycles queue_delay_p50 = 0;
+  Cycles queue_delay_p95 = 0;
+  Cycles queue_delay_p99 = 0;
 
+  [[nodiscard]] double deadline_miss_rate() const {
+    return slo_requests == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses) /
+                     static_cast<double>(slo_requests);
+  }
   [[nodiscard]] double aggregate_tokens_per_s(double freq_hz) const {
     return total_cycles == 0 ? 0.0
                              : static_cast<double>(total_generated) /
@@ -145,6 +179,16 @@ struct ServingStats {
 /// paper's steady-state setup), and streaming *energy* is charged in
 /// full per consumed step: overlap hides time, not DMA activity.
 ///
+/// Admission order is a pluggable runtime::Scheduler policy: whenever a
+/// KV slot frees up, the policy picks the next pending request from a
+/// queue snapshot carrying each request's SloSpec (priority class,
+/// absolute deadline) and a cost-model service estimate. The default is
+/// FIFO (bit-exact with the pre-scheduler engine); PriorityScheduler and
+/// EdfScheduler reorder admission for latency SLOs, and ServingStats
+/// reports deadline misses and the queueing-delay distribution under
+/// every policy. Scheduling never preempts: once admitted, a request
+/// keeps its slot to completion.
+///
 /// KV-cache sets come from a model::KvCachePool sized at construction;
 /// the byte reservation is charged to a mem::Arena through a
 /// mem::SlotArena, so admission beyond max_batch queues and submits
@@ -166,6 +210,11 @@ class BatchedEngine {
     /// chunking (serial-prefill compatibility mode). Values beyond the
     /// deployment's prompt_len are clamped to one whole-prompt chunk.
     int prefill_chunk_tokens = 0;
+    /// Admission-ordering policy; null selects the built-in FIFO
+    /// scheduler (bit-exact with the pre-scheduler engine). Policies are
+    /// stateless, so one instance may be shared across engines; see
+    /// runtime::make_scheduler for the built-in set.
+    std::shared_ptr<const Scheduler> scheduler = nullptr;
   };
 
   /// `session` must outlive the engine. `tracer`, when non-null,
@@ -178,12 +227,20 @@ class BatchedEngine {
 
   /// Queue a generation request. Throws distmcu::Error on contract
   /// violations (empty prompt, context overflow, prompt longer than the
-  /// deployment's static prefill shape `prompt_len`) exactly like
-  /// InferenceSession::generate; returns nullopt when the queue backlog
-  /// beyond the free KV slots reaches max_pending (graceful
-  /// backpressure).
+  /// deployment's static prefill shape `prompt_len`) exactly like InferenceSession::generate; returns nullopt when
+  /// the queue backlog beyond the free KV slots reaches max_pending
+  /// (graceful backpressure — rejects are not SLO misses). `slo` attaches
+  /// a priority class and a completion deadline relative to the
+  /// submit-time engine timeline; the configured Scheduler orders
+  /// admission on it, and ServingStats tracks attainment under every
+  /// policy.
   [[nodiscard]] std::optional<RequestId> submit(std::vector<int> prompt,
-                                                int new_tokens);
+                                                int new_tokens,
+                                                SloSpec slo = {});
+
+  /// The admission policy in effect (the built-in FIFO instance when
+  /// Options::scheduler was null).
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
 
   /// Advance one token boundary: admit pending requests into free KV
   /// slots, advance every prefilling request by one prompt chunk (the
@@ -225,6 +282,14 @@ class BatchedEngine {
     /// work — after earlier same-step work of other requests, so
     /// latency_cycles() never charges it their cycles.
     Cycles admitted_at = 0;
+    /// SLO state: the submitted spec, the submit-time stamp the queueing
+    /// delay is measured from, the spec's deadline resolved to the
+    /// absolute engine timeline, and the cost-model service estimate the
+    /// scheduler ranks on.
+    SloSpec slo;
+    Cycles submitted_at = 0;
+    Cycles deadline_at = kNoDeadline;
+    Cycles estimated_cost = 0;
     /// Timeline at the request's last completed work (its prefill
     /// chunks, then each decode phase end); finished_at is stamped from
     /// it so a request that merely commits its final token is not
@@ -252,6 +317,17 @@ class BatchedEngine {
   /// in full here, serial mode).
   int admit_pending_serial(int step_idx, double& step_energy);
   void admit_pending_chunked(int step_idx);
+  /// Pop the scheduler's choice out of the pending queue (the admission
+  /// point both modes share). Pre: pending_ is non-empty.
+  [[nodiscard]] Request take_scheduled_pending();
+  /// Cost-model service estimate for the scheduler: prefill charge
+  /// (chunk decomposition when chunking is on) plus new_tokens decode
+  /// forwards, excluding batch-shared streaming and queueing.
+  [[nodiscard]] Cycles estimate_request_cost(int prompt_tokens,
+                                             int new_tokens) const;
+  /// Trace the admission decision on the request's lane: its queue wait
+  /// as a sched-category span ending at the (final) admitted_at stamp.
+  void trace_admission(const Request& r);
   void finish(Request& r, int step_idx);
   /// Charge `cycles`/`energy` to a request and, when tracing, lay a
   /// tagged span at [begin, begin + cycles] on the engine timeline —
@@ -308,10 +384,18 @@ class BatchedEngine {
   mem::Arena kv_arena_;
   mem::SlotArena kv_slots_;
 
+  /// Effective admission policy: Options::scheduler, or the process-wide
+  /// FIFO instance when none was configured (opts_ keeps the shared_ptr
+  /// alive for the engine's lifetime).
+  const Scheduler* scheduler_ = nullptr;
+
   std::deque<Request> pending_;
   std::vector<Request> active_;
   std::vector<RequestResult> finished_;
   ServingStats stats_;
+  /// Queueing delays of finished requests, kept sorted so the percentile
+  /// snapshot in ServingStats can be refreshed at every completion.
+  std::vector<Cycles> queue_delays_;
   RequestId next_id_ = 0;
 
   /// Step timeline: decode compute races the next step's weight-stream

@@ -1,0 +1,97 @@
+#include "runtime/scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace distmcu::runtime {
+
+namespace {
+
+/// Saturating queue wait for aging (submit stamps never exceed `now`,
+/// but the guard keeps a misbehaving caller from wrapping the unsigned
+/// subtraction into an instant max-promotion).
+Cycles waited(const Scheduler::Candidate& c, Cycles now) {
+  return now >= c.submitted_at ? now - c.submitted_at : 0;
+}
+
+}  // namespace
+
+std::size_t FifoScheduler::pick(const std::vector<Candidate>& queue,
+                                Cycles /*now*/) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    if (queue[i].submit_seq < queue[best].submit_seq) best = i;
+  }
+  return best;
+}
+
+std::size_t PriorityScheduler::pick(const std::vector<Candidate>& queue,
+                                    Cycles now) const {
+  // Effective class = static class minus one per aging_cycles waited;
+  // signed so promotion continues below class 0 and an arbitrarily old
+  // request eventually outranks every fresh arrival of a bounded-class
+  // workload. Ties (same effective class) are FIFO.
+  const auto effective = [&](const Candidate& c) -> long long {
+    long long cls = c.priority;
+    if (opts_.aging_cycles > 0) {
+      cls -= static_cast<long long>(waited(c, now) / opts_.aging_cycles);
+    }
+    return cls;
+  };
+  std::size_t best = 0;
+  long long best_cls = effective(queue[0]);
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    const long long cls = effective(queue[i]);
+    if (cls < best_cls ||
+        (cls == best_cls && queue[i].submit_seq < queue[best].submit_seq)) {
+      best = i;
+      best_cls = cls;
+    }
+  }
+  return best;
+}
+
+std::size_t EdfScheduler::pick(const std::vector<Candidate>& queue,
+                               Cycles now) const {
+  // Band 0: feasible deadlines (now + estimated_cost <= deadline_at),
+  // earliest first. Band 1: infeasible deadlines — already lost, so they
+  // must not displace a request that can still be saved. Band 2:
+  // best-effort (no deadline), FIFO.
+  const auto band = [&](const Candidate& c) -> int {
+    if (c.deadline_at == kNoDeadline) return 2;
+    return now + c.estimated_cost <= c.deadline_at ? 0 : 1;
+  };
+  const auto better = [&](const Candidate& a, const Candidate& b) {
+    const int ba = band(a);
+    const int bb = band(b);
+    if (ba != bb) return ba < bb;
+    if (ba != 2 && a.deadline_at != b.deadline_at) {
+      return a.deadline_at < b.deadline_at;
+    }
+    return a.submit_seq < b.submit_seq;
+  };
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    if (better(queue[i], queue[best])) best = i;
+  }
+  return best;
+}
+
+const char* policy_name(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::fifo: return "fifo";
+    case SchedulePolicy::priority: return "priority";
+    case SchedulePolicy::edf: return "edf";
+  }
+  return "?";
+}
+
+std::shared_ptr<const Scheduler> make_scheduler(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::fifo: return std::make_shared<FifoScheduler>();
+    case SchedulePolicy::priority: return std::make_shared<PriorityScheduler>();
+    case SchedulePolicy::edf: return std::make_shared<EdfScheduler>();
+  }
+  throw Error("make_scheduler: unknown policy");
+}
+
+}  // namespace distmcu::runtime

@@ -1,0 +1,121 @@
+#ifndef DISTMCU_RUNTIME_SCHEDULER_HPP
+#define DISTMCU_RUNTIME_SCHEDULER_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace distmcu::runtime {
+
+using RequestId = int;
+
+/// `deadline_cycles == 0` in an SloSpec means "no deadline".
+inline constexpr Cycles kNoDeadline = 0;
+
+/// Per-request service-level objective attached at submit time.
+struct SloSpec {
+  /// Static priority class; LOWER values are more urgent (class 0 is the
+  /// most urgent). Only PriorityScheduler consults it.
+  int priority = 0;
+  /// Completion deadline in cycles relative to the submit-time engine
+  /// timeline; 0 means no deadline. Deadlines drive EdfScheduler and the
+  /// ServingStats miss accounting under every policy.
+  Cycles deadline_cycles = kNoDeadline;
+};
+
+/// Admission-ordering policy of the batched serving engine. The engine
+/// owns the queue and the KV slots; whenever a slot frees up it asks the
+/// policy which queued request to admit next. Policies are stateless
+/// rankers — a pure function of the queue snapshot and the engine
+/// timeline — so one instance can be shared across engines and replay is
+/// deterministic by construction.
+class Scheduler {
+ public:
+  /// Queue-snapshot view of one pending request, in submit order.
+  struct Candidate {
+    RequestId id = -1;
+    /// SloSpec fields, deadline already resolved to the absolute engine
+    /// timeline (kNoDeadline when the request carries none).
+    int priority = 0;
+    Cycles deadline_at = kNoDeadline;
+    Cycles submitted_at = 0;  ///< engine timeline at submit
+    int submit_seq = 0;       ///< monotone submit order (FIFO tie-break)
+    /// Cost-model service estimate: the request's prefill charge plus
+    /// new_tokens decode forwards at the deployment's block-program
+    /// cycles, excluding batch-shared streaming and queueing. EDF uses
+    /// it to separate still-feasible deadlines from lost causes.
+    Cycles estimated_cost = 0;
+  };
+
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Index into `queue` of the request to admit at engine time `now`.
+  /// `queue` is non-empty and listed in submit order. Must return a
+  /// valid index; the engine rejects anything out of range.
+  [[nodiscard]] virtual std::size_t pick(
+      const std::vector<Candidate>& queue, Cycles now) const = 0;
+};
+
+/// Strict submit-order admission — the engine's historical behavior,
+/// bit-exact with the pre-scheduler engine.
+class FifoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+  [[nodiscard]] std::size_t pick(const std::vector<Candidate>& queue,
+                                 Cycles now) const override;
+};
+
+/// Static priority classes with starvation aging: the effective class of
+/// a queued request drops by one for every `aging_cycles` it has waited,
+/// so a bounded-priority workload can delay a low-priority request only
+/// by a bounded number of classes. Ties resolve in submit order, which
+/// makes the policy FIFO within a class and starvation-free whenever
+/// aging is enabled and priorities are bounded.
+class PriorityScheduler final : public Scheduler {
+ public:
+  struct Options {
+    /// Cycles of queue wait that promote a request by one priority
+    /// class; 0 disables aging (pure static classes).
+    Cycles aging_cycles = 5'000'000;
+  };
+
+  PriorityScheduler() : opts_{} {}
+  explicit PriorityScheduler(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] const char* name() const override { return "priority"; }
+  [[nodiscard]] std::size_t pick(const std::vector<Candidate>& queue,
+                                 Cycles now) const override;
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+/// Earliest-deadline-first over the absolute deadlines, with the cost
+/// estimator separating requests that can still make their deadline from
+/// lost causes: a request whose `now + estimated_cost` already exceeds
+/// its deadline is a miss no matter when it runs, so it is demoted
+/// behind every still-feasible deadline (but stays ahead of the
+/// no-deadline best-effort tail). Within each band the order is deadline
+/// then submit order; best-effort requests are FIFO.
+class EdfScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "edf"; }
+  [[nodiscard]] std::size_t pick(const std::vector<Candidate>& queue,
+                                 Cycles now) const override;
+};
+
+/// Built-in policy set, for benches and CLI surfaces.
+enum class SchedulePolicy { fifo, priority, edf };
+
+[[nodiscard]] const char* policy_name(SchedulePolicy policy);
+[[nodiscard]] std::shared_ptr<const Scheduler> make_scheduler(
+    SchedulePolicy policy);
+
+}  // namespace distmcu::runtime
+
+#endif  // DISTMCU_RUNTIME_SCHEDULER_HPP

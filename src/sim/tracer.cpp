@@ -12,6 +12,7 @@ const char* category_name(Category c) {
     case Category::dma_l3_l2: return "DMA L3<->L2";
     case Category::dma_l2_l1: return "DMA L2<->L1";
     case Category::chip_to_chip: return "Chip-to-Chip";
+    case Category::sched: return "Scheduler";
   }
   return "?";
 }

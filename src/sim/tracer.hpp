@@ -11,16 +11,19 @@
 namespace distmcu::sim {
 
 /// Activity categories matching the runtime-breakdown legend of the
-/// paper's Fig. 4: computation, off-chip DMA (L3<->L2), on-chip tile DMA
-/// (L2<->L1), and the chip-to-chip link.
+/// paper's Fig. 4 — computation, off-chip DMA (L3<->L2), on-chip tile
+/// DMA (L2<->L1), and the chip-to-chip link — plus a serving-side
+/// scheduling lane (queue waits and deadline decisions of the batched
+/// engine; never emitted by the block-level timed simulation).
 enum class Category : std::uint8_t {
   compute = 0,
   dma_l3_l2 = 1,
   dma_l2_l1 = 2,
   chip_to_chip = 3,
+  sched = 4,
 };
 
-inline constexpr std::size_t kNumCategories = 4;
+inline constexpr std::size_t kNumCategories = 5;
 
 [[nodiscard]] const char* category_name(Category c);
 

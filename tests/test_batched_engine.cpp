@@ -578,12 +578,15 @@ TEST(BatchedEngine, TracerAttributesChargesToRequests) {
   const auto results = engine.run_to_completion();
 
   // Every span carries its owning request; traced time per request
-  // equals the attributed cycle accounting.
+  // equals the attributed cycle accounting plus the scheduler-lane queue
+  // wait (the sched.queue span from submit to admission).
   EXPECT_EQ(tracer.total_for_request(sim::kNoRequest), 0u);
   EXPECT_EQ(tracer.total_for_request(*a),
-            result_for(results, *a).gen.total_cycles);
+            result_for(results, *a).gen.total_cycles +
+                result_for(results, *a).queue_delay_cycles());
   EXPECT_EQ(tracer.total_for_request(*b),
-            result_for(results, *b).gen.total_cycles);
+            result_for(results, *b).gen.total_cycles +
+                result_for(results, *b).queue_delay_cycles());
   EXPECT_EQ(tracer.makespan(), engine.stats().total_cycles);
   // The tag resets after every engine charge.
   EXPECT_EQ(tracer.current_request(), sim::kNoRequest);
@@ -607,11 +610,14 @@ TEST(BatchedEngine, TracerLaysSpansOnPerRequestLanesWithOverlap) {
   // non-staged step stalls.
   ASSERT_GT(stats.prefetch_stall_cycles, 0u);
 
-  // Attribution still matches the trace exactly, per request.
+  // Attribution still matches the trace exactly, per request (the
+  // sched.queue span adds exactly the admission wait).
   EXPECT_EQ(tracer.total_for_request(*a),
-            result_for(results, *a).gen.total_cycles);
+            result_for(results, *a).gen.total_cycles +
+                result_for(results, *a).queue_delay_cycles());
   EXPECT_EQ(tracer.total_for_request(*b),
-            result_for(results, *b).gen.total_cycles);
+            result_for(results, *b).gen.total_cycles +
+                result_for(results, *b).queue_delay_cycles());
   EXPECT_EQ(tracer.makespan(), stats.total_cycles);
 
   // Untagged spans are exactly the consumed stream prefetches (the

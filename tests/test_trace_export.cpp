@@ -235,6 +235,50 @@ TEST(TraceExportGolden, ServingTraceChunkedMode) {
   EXPECT_GT(stream_spans, 0);
 }
 
+TEST(TraceExportGolden, ServingTraceCarriesSchedulerLaneSpans) {
+  // Deadline-scheduled serving adds sched-category spans on the request
+  // lanes: a queue-wait span per delayed admission and an instant
+  // deadline-miss marker. All lane guarantees (per-request tids, no
+  // overlap within a lane) must hold with the new category present.
+  const auto cfg = trace_cfg();
+  const runtime::InferenceSession session(cfg, 4);
+  sim::Tracer tracer;
+  runtime::BatchedEngine engine(
+      session, {.max_batch = 1,
+                .max_pending = 8,
+                .prefill_chunk_tokens = 2,
+                .scheduler = runtime::make_scheduler(runtime::SchedulePolicy::edf)},
+      &tracer);
+  // The long best-effort job is admitted... after the deadline job under
+  // EDF; the hopeless 1-cycle deadline guarantees a miss marker.
+  (void)*engine.submit({1, 2, 3}, 6,
+                       {.priority = 1, .deadline_cycles = runtime::kNoDeadline});
+  (void)*engine.submit({7}, 2, {.priority = 0, .deadline_cycles = 1});
+  (void)engine.run_to_completion();
+  ASSERT_GT(engine.stats().deadline_misses, 0);
+
+  const auto events = parse_trace(export_trace(tracer));
+  check_serving_trace(events);
+
+  int queue_spans = 0;
+  int miss_markers = 0;
+  for (const auto& ev : events) {
+    if (ev.name == "sched.queue") {
+      ++queue_spans;
+      EXPECT_NE(ev.request, sim::kNoRequest);
+      EXPECT_GT(ev.dur, 0.0);
+    }
+    if (ev.name == "sched.deadline.miss") {
+      ++miss_markers;
+      EXPECT_NE(ev.request, sim::kNoRequest);
+      EXPECT_EQ(ev.dur, 0.0);
+    }
+  }
+  // One KV slot, two requests: whichever is admitted second waited.
+  EXPECT_GE(queue_spans, 1);
+  EXPECT_EQ(miss_markers, engine.stats().deadline_misses);
+}
+
 TEST(TraceExportGolden, BlockSimulationTraceIsWellFormed) {
   // The block-level timed simulation shares the exporter; its spans are
   // untagged and must stay on the category lanes of their chip.

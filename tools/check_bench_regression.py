@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the serving bench.
+
+Compares a fresh ``serving_throughput --json`` run against the
+checked-in baseline (``bench/baselines/serving_baseline.json``,
+schema ``distmcu.serving.v1``) and exits nonzero on regression:
+
+* batch_sweep rows (matched by batch size): tokens_per_s must not drop
+  more than ``--tolerance`` below baseline; total_cycles and
+  mj_per_token must not grow more than ``--tolerance`` above it.
+* chunk_sweep rows (matched by chunk size): total_cycles bound as above.
+* slo_policies rows (matched by policy): deadline_misses must not
+  exceed the baseline count (the workload is deterministic, so any
+  increase is a scheduling regression), tokens_per_s and
+  queue_delay_p95 are tolerance-bounded.
+* cross-policy invariants of the mixed deadline workload: EDF must keep
+  strictly fewer misses than FIFO at equal-or-better throughput.
+
+The simulator is an analytic, integer-cycle model seeded
+deterministically, so current and baseline numbers agree exactly when
+the code is unchanged; the tolerance only absorbs intentional small
+drifts (retuned constants) without letting real regressions through.
+Regenerate the baseline with:
+
+    ./build/serving_throughput --json bench/baselines/serving_baseline.json
+
+Uses only the Python standard library.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "distmcu.serving.v1"
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def index_rows(rows, key):
+    return {row[key]: row for row in rows}
+
+
+def check_rows(errors, section, current, baseline, key, lower_is_better,
+               higher_is_better, tol):
+    cur = index_rows(current, key)
+    base = index_rows(baseline, key)
+    if set(cur) != set(base):
+        fail(errors, f"{section}: row keys differ "
+                     f"(current {sorted(cur)} vs baseline {sorted(base)})")
+        return
+    for k, brow in base.items():
+        crow = cur[k]
+        for field in higher_is_better:
+            if crow[field] < brow[field] * (1.0 - tol):
+                fail(errors,
+                     f"{section}[{key}={k}].{field}: {crow[field]:.6g} fell "
+                     f"more than {tol:.0%} below baseline {brow[field]:.6g}")
+        for field in lower_is_better:
+            if crow[field] > brow[field] * (1.0 + tol):
+                fail(errors,
+                     f"{section}[{key}={k}].{field}: {crow[field]:.6g} grew "
+                     f"more than {tol:.0%} above baseline {brow[field]:.6g}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="BENCH_serving.json from this build")
+    ap.add_argument("baseline", help="checked-in serving_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative drift allowed on cycle/throughput fields "
+                         "(default 0.05)")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    errors = []
+    for name, doc in (("current", current), ("baseline", baseline)):
+        if doc.get("schema") != SCHEMA:
+            fail(errors, f"{name}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    if errors:
+        print("\n".join(errors))
+        return 1
+
+    tol = args.tolerance
+    check_rows(errors, "batch_sweep", current["batch_sweep"],
+               baseline["batch_sweep"], "batch",
+               lower_is_better=("total_cycles", "mj_per_token"),
+               higher_is_better=("tokens_per_s",), tol=tol)
+    check_rows(errors, "chunk_sweep", current["chunk_sweep"],
+               baseline["chunk_sweep"], "chunk",
+               lower_is_better=("total_cycles",),
+               higher_is_better=("tokens_per_s",), tol=tol)
+    check_rows(errors, "slo_policies", current["slo_policies"],
+               baseline["slo_policies"], "policy",
+               lower_is_better=("total_cycles", "queue_delay_p95"),
+               higher_is_better=("tokens_per_s",), tol=tol)
+
+    policies = index_rows(current["slo_policies"], "policy")
+    base_policies = index_rows(baseline["slo_policies"], "policy")
+    for name, row in policies.items():
+        brow = base_policies.get(name)
+        if brow is not None and row["deadline_misses"] > brow["deadline_misses"]:
+            fail(errors,
+                 f"slo_policies[{name}]: deadline_misses rose "
+                 f"{brow['deadline_misses']} -> {row['deadline_misses']} on the "
+                 f"deterministic workload")
+    fifo, edf = policies.get("fifo"), policies.get("edf")
+    if fifo is None or edf is None:
+        fail(errors, "slo_policies: fifo/edf rows missing")
+    else:
+        if edf["deadline_misses"] >= fifo["deadline_misses"]:
+            fail(errors,
+                 f"invariant: EDF misses ({edf['deadline_misses']}) not below "
+                 f"FIFO ({fifo['deadline_misses']})")
+        if edf["tokens_per_s"] < fifo["tokens_per_s"] * (1.0 - 1e-9):
+            fail(errors,
+                 f"invariant: EDF throughput {edf['tokens_per_s']:.6g} below "
+                 f"FIFO {fifo['tokens_per_s']:.6g}")
+
+    if errors:
+        print("PERF REGRESSION GATE FAILED:")
+        print("\n".join(f"  - {e}" for e in errors))
+        return 1
+    print(f"perf gate OK: {args.current} within {tol:.0%} of {args.baseline} "
+          f"(EDF {edf['deadline_misses']} vs FIFO {fifo['deadline_misses']} "
+          f"misses)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+// Multi-model serving walkthrough: deploy a TinyLlama-style generator
+// and a MobileBERT-style classifier as two (model, chip-count) sessions
+// in one ModelRegistry, serve a mixed request stream through a single
+// BatchedEngine whose KV slots all come from one shared arena under the
+// watermark-borrowing budget policy, and show that
+//   * every generation stream is bit-identical to a dedicated
+//     InferenceSession::generate call on its own model,
+//   * per-model attribution partitions the engine totals exactly,
+//   * the classifier's deadline rides EDF admission past the queued
+//     generator work.
+#include <iostream>
+#include <vector>
+
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+#include "runtime/kv_budget.hpp"
+#include "runtime/model_registry.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace distmcu;
+
+namespace {
+
+/// Generator: full-width TinyLlama blocks, cut to a quick demo shape;
+/// at 4 chips the decode weights stream from L3 every step.
+model::TransformerConfig gen_model() {
+  auto cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.name = "tinyllama";
+  cfg.num_layers = 2;
+  cfg.vocab_size = 100;
+  cfg.ar_context = 32;
+  cfg.prompt_len = 6;
+  cfg.validate();
+  return cfg;
+}
+
+/// Classifier: MobileBERT-style encoder (layernorm, bidirectional, no
+/// RoPE), served as prefill-only requests.
+model::TransformerConfig cls_model() {
+  model::TransformerConfig cfg;
+  cfg.name = "mobilebert";
+  cfg.embed_dim = 64;
+  cfg.ffn_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 16;
+  cfg.num_layers = 2;
+  cfg.vocab_size = 100;
+  cfg.ar_context = 12;
+  cfg.prompt_len = 12;
+  cfg.norm = model::NormKind::layernorm;
+  cfg.pos = model::PosEmbed::none;
+  cfg.mask = model::MaskKind::bidirectional;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const double freq_hz = 500e6;
+  const runtime::InferenceSession llama(gen_model(), 4);
+  const runtime::InferenceSession bert(cls_model(), 2);
+
+  // Two deployments, one engine: 3 shared KV slots, quotas 2 + 1, the
+  // watermark policy lending idle capacity across models, EDF admission
+  // ranking deadlines across models.
+  runtime::ModelRegistry registry;
+  const auto gen = registry.add(llama, "tinyllama",
+                                /*prefill_chunk_tokens=*/2, /*kv_quota=*/2);
+  const auto cls = registry.add(bert, "mobilebert",
+                                /*prefill_chunk_tokens=*/4, /*kv_quota=*/1);
+  runtime::BatchedEngine engine(
+      registry,
+      {.total_kv_slots = 3,
+       .max_pending = 16,
+       .scheduler = runtime::make_scheduler(runtime::SchedulePolicy::edf),
+       .kv_budget = runtime::make_kv_budget(runtime::KvBudget::watermark)});
+
+  // Three generations queued ahead of one deadline classification.
+  struct Gen {
+    runtime::RequestId id;
+    std::vector<int> prompt;
+    int new_tokens;
+  };
+  std::vector<Gen> gens;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<int> prompt{1 + i, 7, 3 + i};
+    gens.push_back({*engine.submit(gen, prompt, 6), prompt, 6});
+  }
+  const auto cls_id =
+      *engine.submit(cls, {5, 9, 2, 8, 4, 6, 1, 3}, 0,
+                     {.priority = 0, .deadline_cycles = 40'000'000});
+
+  const auto results = engine.run_to_completion();
+  const auto& stats = engine.stats();
+
+  std::cout << "served " << stats.completed << " requests in "
+            << static_cast<double>(stats.total_cycles) / 1e6 << " Mcyc ("
+            << stats.aggregate_tokens_per_s(freq_hz)
+            << " generated tok/s aggregate)\n\n";
+
+  std::cout << "per-model attribution (sums to the engine totals exactly):\n";
+  for (const auto& pm : stats.per_model) {
+    std::cout << "  " << pm.model << ": " << pm.completed << " done, "
+              << pm.total_generated << " tokens, "
+              << static_cast<double>(pm.attributed_cycles) / 1e6
+              << " Mcyc attributed, KV high-water " << pm.kv_in_use_high_water
+              << "/" << pm.kv_quota << " (quota)\n";
+  }
+
+  // Functional isolation: each stream equals its dedicated generate.
+  bool all_match = true;
+  for (const auto& g : gens) {
+    const auto solo = llama.generate(g.prompt, g.new_tokens);
+    for (const auto& r : results) {
+      if (r.id != g.id) continue;
+      all_match = all_match && r.gen.tokens == solo.tokens;
+    }
+  }
+  std::cout << "\ngeneration streams match dedicated sessions: "
+            << (all_match ? "yes" : "NO") << "\n";
+  for (const auto& r : results) {
+    if (r.id != cls_id) continue;
+    std::cout << "classifier deadline "
+              << (r.missed_deadline() ? "MISSED" : "met") << " (finished at "
+              << static_cast<double>(r.finished_at) / 1e6 << " Mcyc, EDF "
+              << "admitted it past " << gens.size()
+              << " queued generations)\n";
+  }
+  return all_match ? 0 : 1;
+}

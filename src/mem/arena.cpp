@@ -1,5 +1,6 @@
 #include "mem/arena.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -53,17 +54,25 @@ SlotArena::SlotArena(Arena& arena, const std::string& name, int n_slots,
     : name_(name), slot_bytes_(slot_bytes) {
   util::check(n_slots > 0, "SlotArena: slot count must be positive");
   util::check(slot_bytes > 0, "SlotArena: slot size must be positive");
-  in_use_.assign(static_cast<std::size_t>(n_slots), false);
+  owner_.assign(static_cast<std::size_t>(n_slots), kFreeSlot);
   for (int i = 0; i < n_slots; ++i) {
     (void)arena.allocate(name + "." + std::to_string(i), slot_bytes);
   }
 }
 
-std::optional<int> SlotArena::acquire() {
-  for (std::size_t i = 0; i < in_use_.size(); ++i) {
-    if (!in_use_[i]) {
-      in_use_[i] = true;
+std::optional<int> SlotArena::acquire(int tenant) {
+  util::check(tenant >= 0, "SlotArena '" + name_ + "': negative tenant");
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == kFreeSlot) {
+      owner_[i] = tenant;
       ++n_in_use_;
+      const auto t = static_cast<std::size_t>(tenant);
+      if (t >= tenant_in_use_.size()) {
+        tenant_in_use_.resize(t + 1, 0);
+        tenant_high_water_.resize(t + 1, 0);
+      }
+      ++tenant_in_use_[t];
+      tenant_high_water_[t] = std::max(tenant_high_water_[t], tenant_in_use_[t]);
       return static_cast<int>(i);
     }
   }
@@ -73,11 +82,40 @@ std::optional<int> SlotArena::acquire() {
 void SlotArena::release(int slot) {
   util::check(slot >= 0 && slot < capacity(),
               "SlotArena '" + name_ + "': release of out-of-range slot");
-  util::check(in_use_[static_cast<std::size_t>(slot)],
+  const int tenant = owner_[static_cast<std::size_t>(slot)];
+  util::check(tenant != kFreeSlot,
               "SlotArena '" + name_ + "': double release of slot " +
                   std::to_string(slot));
-  in_use_[static_cast<std::size_t>(slot)] = false;
+  owner_[static_cast<std::size_t>(slot)] = kFreeSlot;
   --n_in_use_;
+  --tenant_in_use_[static_cast<std::size_t>(tenant)];
+}
+
+void SlotArena::release(int slot, int tenant) {
+  util::check(slot >= 0 && slot < capacity(),
+              "SlotArena '" + name_ + "': release of out-of-range slot");
+  util::check(owner_[static_cast<std::size_t>(slot)] == tenant,
+              "SlotArena '" + name_ + "': tenant " + std::to_string(tenant) +
+                  " released slot " + std::to_string(slot) + " owned by " +
+                  std::to_string(owner_[static_cast<std::size_t>(slot)]) +
+                  " (cross-tenant KV leak)");
+  release(slot);
+}
+
+int SlotArena::owner(int slot) const {
+  util::check(slot >= 0 && slot < capacity(),
+              "SlotArena '" + name_ + "': owner of out-of-range slot");
+  return owner_[static_cast<std::size_t>(slot)];
+}
+
+int SlotArena::tenant_in_use(int tenant) const {
+  const auto t = static_cast<std::size_t>(tenant);
+  return t < tenant_in_use_.size() ? tenant_in_use_[t] : 0;
+}
+
+int SlotArena::tenant_high_water(int tenant) const {
+  const auto t = static_cast<std::size_t>(tenant);
+  return t < tenant_high_water_.size() ? tenant_high_water_[t] : 0;
 }
 
 }  // namespace distmcu::mem

@@ -48,6 +48,7 @@ KvCachePool::KvCachePool(int n_slots, const std::function<CacheSet()>& build_set
   for (int i = 0; i < n_slots; ++i) slots_.push_back(build_set());
   util::check(!slots_.front().empty() && !slots_.front().front().empty(),
               "KvCachePool: builder produced an empty cache set");
+  set_in_use_.assign(static_cast<std::size_t>(n_slots), false);
 }
 
 KvCachePool::CacheSet& KvCachePool::slot(int i) {
@@ -59,6 +60,26 @@ void KvCachePool::reset_slot(int i) {
   for (auto& per_chip : slot(i)) {
     for (auto& cache : per_chip) cache.reset();
   }
+}
+
+std::optional<int> KvCachePool::acquire_set() {
+  for (std::size_t i = 0; i < set_in_use_.size(); ++i) {
+    if (!set_in_use_[i]) {
+      set_in_use_[i] = true;
+      ++sets_in_use_;
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void KvCachePool::release_set(int i) {
+  util::check(i >= 0 && i < capacity(),
+              "KvCachePool: release of out-of-range set");
+  util::check(set_in_use_[static_cast<std::size_t>(i)],
+              "KvCachePool: double release of set " + std::to_string(i));
+  set_in_use_[static_cast<std::size_t>(i)] = false;
+  --sets_in_use_;
 }
 
 Bytes KvCachePool::set_capacity_bytes(Bytes elem_bytes) const {

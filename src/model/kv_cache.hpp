@@ -2,6 +2,7 @@
 #define DISTMCU_MODEL_KV_CACHE_HPP
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -56,9 +57,13 @@ class KvCache {
 /// whole deployment — indexed [chip][layer], the shape
 /// partition::DistributedBlock::make_chip_caches produces. The pool
 /// builds every set once at construction (no allocation during serving)
-/// and recycles sets between requests via reset; slot bookkeeping (who
-/// owns which set, exhaustion) lives with the caller's mem::SlotArena so
-/// the byte accounting and the tensors cannot drift apart.
+/// and recycles sets between requests via reset. In multi-model serving
+/// each deployed model keys its own pool (cache shapes differ per
+/// model); the pool tracks its free sets itself via acquire_set /
+/// release_set (lowest-free-index, deterministic), while the shared
+/// *byte budget* across all models' pools lives with the engine's
+/// tenant-tagged mem::SlotArena so the accounting and the tensors
+/// cannot drift apart.
 class KvCachePool {
  public:
   using CacheSet = std::vector<std::vector<KvCache>>;
@@ -71,12 +76,22 @@ class KvCachePool {
   /// Empty every cache in a set before handing it to a new request.
   void reset_slot(int i);
 
+  /// Lowest free set index, or nullopt when every set is handed out.
+  [[nodiscard]] std::optional<int> acquire_set();
+
+  /// Return a set obtained from acquire_set (throws on double release).
+  void release_set(int i);
+
+  [[nodiscard]] int sets_in_use() const { return sets_in_use_; }
+
   /// Bytes one set reserves at full capacity (all chips, all layers) —
   /// what the serving engine's arena charges per slot.
   [[nodiscard]] Bytes set_capacity_bytes(Bytes elem_bytes) const;
 
  private:
   std::vector<CacheSet> slots_;
+  std::vector<bool> set_in_use_;
+  int sets_in_use_ = 0;
 };
 
 }  // namespace distmcu::model

@@ -9,40 +9,19 @@ namespace distmcu::runtime {
 
 namespace {
 
-/// Re-check one mode's memory plan with max_batch KV sets resident: the
-/// memory planner validated a single request's KV against the
-/// worst-case chip's L2, so scale its KV term by max_batch.
-void check_pool_fits(const partition::MemoryPlan& mp, int max_batch,
-                     const char* mode) {
-  const Bytes extra_kv = mp.kv_cache_bytes * static_cast<Bytes>(max_batch - 1);
+/// Re-check one deployment's memory plan with `cap` KV sets resident:
+/// the memory planner validated a single request's KV against the
+/// worst-case chip's L2, so scale its KV term by the cap.
+void check_pool_fits(const partition::MemoryPlan& mp, int cap,
+                     const char* mode, const std::string& model) {
+  const Bytes extra_kv = mp.kv_cache_bytes * static_cast<Bytes>(cap - 1);
   util::check_plan(
       mp.need() + extra_kv <= mp.l2_usable,
-      "BatchedEngine: " + std::to_string(max_batch) +
+      "BatchedEngine['" + model + "']: " + std::to_string(cap) +
           " pooled KV-cache sets need " +
           util::format_bytes(mp.need() + extra_kv) + " of L2 in " + mode +
           " mode but only " + util::format_bytes(mp.l2_usable) +
           " is usable; lower max_batch or ar_context");
-}
-
-/// Validate the options and the pooled-KV fit for both serving phases
-/// BEFORE any cache tensors are allocated; returns max_batch so it can
-/// run in the constructor's init list ahead of the pool member. With
-/// chunking enabled the prompt phase materializes chunk-shaped
-/// activations only, so its fit is checked at the chunk shape.
-int checked_pool_slots(const BatchedEngine::Options& opts,
-                       const std::optional<BlockResult>& prompt_block,
-                       const BlockResult& ar_block,
-                       const std::vector<BlockResult>& chunk_blocks) {
-  util::check(opts.max_batch > 0, "BatchedEngine: max_batch must be positive");
-  util::check(opts.max_pending >= 0, "BatchedEngine: max_pending must be >= 0");
-  if (chunk_blocks.empty()) {
-    check_pool_fits(prompt_block->memory, opts.max_batch, "prompt");
-  } else {
-    check_pool_fits(chunk_blocks.front().memory, opts.max_batch,
-                    "chunked-prompt");
-  }
-  check_pool_fits(ar_block.memory, opts.max_batch, "autoregressive");
-  return opts.max_batch;
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
@@ -56,11 +35,11 @@ Cycles percentile(const std::vector<Cycles>& sorted, double p) {
 
 /// Effective chunk size: clamped to the deployment's static prompt
 /// shape, 0 when chunking is disabled.
-int effective_chunk_tokens(const BatchedEngine::Options& opts, int prompt_len) {
-  util::check(opts.prefill_chunk_tokens >= 0,
+int effective_chunk_tokens(int chunk_tokens, int prompt_len) {
+  util::check(chunk_tokens >= 0,
               "BatchedEngine: prefill_chunk_tokens must be >= 0");
-  if (opts.prefill_chunk_tokens == 0) return 0;
-  return std::min(opts.prefill_chunk_tokens, prompt_len);
+  if (chunk_tokens == 0) return 0;
+  return std::min(chunk_tokens, prompt_len);
 }
 
 /// One chunk-shaped block measurement per chunk position of the padded
@@ -79,86 +58,275 @@ std::vector<BlockResult> build_chunk_blocks(const InferenceSession& session,
   return session.run_prompt_chunks(chunk_tokens, spans);
 }
 
+/// The effective budget policy: the configured one, or the process-wide
+/// static split (policies are stateless, so sharing it is safe).
+const KvBudgetPolicy* resolve_budget(const BatchedEngine::MultiOptions& opts) {
+  static const StaticSplitPolicy kDefaultBudget;
+  return opts.kv_budget != nullptr ? opts.kv_budget.get() : &kDefaultBudget;
+}
+
+/// Single-deployment registry backing the legacy (session, Options)
+/// constructor: one tenant owning the whole arena.
+ModelRegistry single_model_registry(const InferenceSession& session,
+                                    const BatchedEngine::Options& opts) {
+  ModelRegistry reg;
+  const std::string& cfg_name = session.config().name;
+  (void)reg.add(session, cfg_name.empty() ? "model" : cfg_name,
+                opts.prefill_chunk_tokens, /*kv_quota=*/opts.max_batch,
+                /*max_resident=*/opts.max_batch);
+  return reg;
+}
+
 }  // namespace
 
-BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
-                             sim::Tracer* tracer)
-    : session_(session),
-      opts_(opts),
-      tracer_(tracer),
-      chunk_tokens_(effective_chunk_tokens(opts, session.config().prompt_len)),
-      // The full prompt shape is only planned and measured in serial
-      // mode: chunked serving must stay constructible on deployments
-      // whose full-prompt activations cannot fit L2 at all.
-      prompt_block_(chunk_tokens_ > 0
-                        ? std::nullopt
-                        : std::optional<BlockResult>(
-                              session.run_block(model::Mode::prompt))),
-      ar_block_(session.run_block(model::Mode::autoregressive)),
-      chunk_blocks_(build_chunk_blocks(session, chunk_tokens_)),
-      kv_pool_(
-          checked_pool_slots(opts, prompt_block_, ar_block_, chunk_blocks_),
-          [&session] {
-            return session.block_executor().make_chip_caches(
-                session.config().ar_context);
-          }),
-      kv_set_bytes_(
-          kv_pool_.set_capacity_bytes(session.system().precision.kv_bytes)),
-      // Size the arena for max_batch aligned slot reservations exactly.
-      kv_arena_("l2.kv_pool",
-                static_cast<Bytes>(opts.max_batch) *
-                    mem::Arena::align_up(kv_set_bytes_,
-                                         mem::Arena::kDefaultAlignment)),
-      kv_slots_(kv_arena_, "kv_set", opts.max_batch, kv_set_bytes_) {
-  const auto layers = static_cast<Cycles>(session_.config().num_layers);
+BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
+                                                  int quota, int cap) {
+  util::check(dep.session != nullptr,
+              "BatchedEngine: registry entry '" + dep.name +
+                  "' carries no session");
+  const InferenceSession& session = *dep.session;
+  Tenant t;
+  t.session = dep.session;
+  t.name = dep.name;
+  t.quota = quota;
+  t.cap = cap;
+  t.chunk_tokens =
+      effective_chunk_tokens(dep.prefill_chunk_tokens,
+                             session.config().prompt_len);
 
-  if (prompt_block_.has_value()) {
-    prompt_cycles_ = prompt_block_->report.block_cycles * layers;
-    prompt_energy_mj_ =
-        prompt_block_->energy_mj() * static_cast<double>(layers);
-    prompt_stream_cycles_ = prompt_block_->report.breakdown.dma_l3_l2 * layers;
+  // The full prompt shape is only planned and measured in serial mode:
+  // chunked serving must stay constructible on deployments whose
+  // full-prompt activations cannot fit L2 at all.
+  std::optional<BlockResult> prompt_block;
+  std::vector<BlockResult> chunk_blocks;
+  if (t.chunk_tokens > 0) {
+    chunk_blocks = build_chunk_blocks(session, t.chunk_tokens);
+  } else {
+    prompt_block = session.run_block(model::Mode::prompt);
+  }
+  const BlockResult ar_block = session.run_block(model::Mode::autoregressive);
+
+  // Validate the pooled-KV fit for both serving phases BEFORE any cache
+  // tensors are allocated. With chunking enabled the prompt phase
+  // materializes chunk-shaped activations only, so its fit is checked at
+  // the chunk shape.
+  if (chunk_blocks.empty()) {
+    check_pool_fits(prompt_block->memory, cap, "prompt", t.name);
+    t.fit_plans.push_back({"prompt", prompt_block->memory});
+  } else {
+    check_pool_fits(chunk_blocks.front().memory, cap, "chunked-prompt",
+                    t.name);
+    t.fit_plans.push_back({"chunked-prompt", chunk_blocks.front().memory});
+  }
+  check_pool_fits(ar_block.memory, cap, "autoregressive", t.name);
+  t.fit_plans.push_back({"autoregressive", ar_block.memory});
+  t.chip_kv_bytes = ar_block.memory.kv_cache_bytes;
+
+  const auto layers = static_cast<Cycles>(session.config().num_layers);
+
+  if (prompt_block.has_value()) {
+    t.prompt_cycles = prompt_block->report.block_cycles * layers;
+    t.prompt_energy_mj =
+        prompt_block->energy_mj() * static_cast<double>(layers);
+    t.prompt_stream_cycles =
+        prompt_block->report.breakdown.dma_l3_l2 * layers;
   }
 
   // Decode-step decomposition: the L3->L2 portion is block-weight
   // streaming, fetched once per layer no matter how many requests are in
   // the batch; everything else scales with the batch.
-  ar_shared_cycles_ = ar_block_.report.breakdown.dma_l3_l2 * layers;
-  ar_per_req_cycles_ =
-      (ar_block_.report.block_cycles - ar_block_.report.breakdown.dma_l3_l2) *
+  t.ar_shared_cycles = ar_block.report.breakdown.dma_l3_l2 * layers;
+  t.ar_per_req_cycles =
+      (ar_block.report.block_cycles - ar_block.report.breakdown.dma_l3_l2) *
       layers;
-  ar_shared_energy_mj_ =
-      util::pj_to_mj(ar_block_.energy.l3) * static_cast<double>(layers);
-  ar_per_req_energy_mj_ =
-      util::pj_to_mj(ar_block_.energy.core + ar_block_.energy.l2 +
-                     ar_block_.energy.c2c) *
+  t.ar_shared_energy_mj =
+      util::pj_to_mj(ar_block.energy.l3) * static_cast<double>(layers);
+  t.ar_per_req_energy_mj =
+      util::pj_to_mj(ar_block.energy.core + ar_block.energy.l2 +
+                     ar_block.energy.c2c) *
       static_cast<double>(layers);
-  stream_bytes_per_step_ = ar_block_.report.traffic.l3_l2 * layers;
+  t.stream_bytes_per_step = ar_block.report.traffic.l3_l2 * layers;
 
   // Chunk decomposition mirrors the decode one: the chunk's own L3 share
   // becomes asynchronous port occupancy racing the step, the rest is
   // serialized compute.
-  chunk_costs_.reserve(chunk_blocks_.size());
-  for (const auto& cb : chunk_blocks_) {
+  t.chunk_costs.reserve(chunk_blocks.size());
+  for (const auto& cb : chunk_blocks) {
     ChunkCost cc;
     cc.stream = cb.report.breakdown.dma_l3_l2 * layers;
     cc.compute =
         (cb.report.block_cycles - cb.report.breakdown.dma_l3_l2) * layers;
     cc.energy_mj = cb.energy_mj() * static_cast<double>(layers);
     cc.l3_bytes = cb.report.traffic.l3_l2 * layers;
-    chunk_costs_.push_back(cc);
+    t.chunk_costs.push_back(cc);
   }
-  // The raw chunk reports are fully consumed (pool fit check above,
-  // per-chunk costs here); only the compact decomposition serves steps.
-  chunk_blocks_.clear();
-  chunk_blocks_.shrink_to_fit();
 
+  // Physical cache sets, one pool per model (functional isolation); the
+  // shared byte budget is charged by the engine's tenant-tagged arena.
+  t.pool.emplace(cap, [&session] {
+    return session.block_executor().make_chip_caches(
+        session.config().ar_context);
+  });
+  t.kv_set_bytes =
+      t.pool->set_capacity_bytes(session.system().precision.kv_bytes);
+  return t;
+}
+
+BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
+                             sim::Tracer* tracer)
+    : opts_(std::move(opts)),
+      tracer_(tracer),
+      tenants_([&] {
+        util::check(registry.count() > 0,
+                    "BatchedEngine: registry holds no deployments");
+        util::check(opts_.total_kv_slots > 0,
+                    "BatchedEngine: max_batch must be positive");
+        util::check(opts_.max_pending >= 0,
+                    "BatchedEngine: max_pending must be >= 0");
+        // Quota derivation: explicit quotas are kept, unset (0) quotas
+        // share the remaining slots equally (remainder to the earliest
+        // deployments), and every deployment must end up with at least
+        // one reserved slot so the static split can always drain it.
+        int explicit_sum = 0;
+        int unset = 0;
+        for (const auto& e : registry.entries()) {
+          if (e.kv_quota > 0) {
+            explicit_sum += e.kv_quota;
+          } else {
+            ++unset;
+          }
+        }
+        util::check(explicit_sum <= opts_.total_kv_slots,
+                    "BatchedEngine: deployment quotas (" +
+                        std::to_string(explicit_sum) +
+                        ") exceed total_kv_slots (" +
+                        std::to_string(opts_.total_kv_slots) + ")");
+        const int rem = opts_.total_kv_slots - explicit_sum;
+        util::check(unset == 0 || rem >= unset,
+                    "BatchedEngine: total_kv_slots leaves no KV slot for "
+                    "some deployment; raise total_kv_slots or lower quotas");
+        const bool borrowing = resolve_budget(opts_)->allows_borrowing();
+        std::vector<Tenant> out;
+        out.reserve(static_cast<std::size_t>(registry.count()));
+        int unset_seen = 0;
+        for (const auto& e : registry.entries()) {
+          int quota = e.kv_quota;
+          if (quota == 0) {
+            quota = rem / unset + (unset_seen < rem % unset ? 1 : 0);
+            ++unset_seen;
+          }
+          util::check(quota >= 1, "BatchedEngine: deployment '" + e.name +
+                                      "' derived a zero KV quota");
+          int cap = e.max_resident > 0
+                        ? std::min(e.max_resident, opts_.total_kv_slots)
+                        : (borrowing ? opts_.total_kv_slots : quota);
+          cap = std::max(cap, 1);
+          out.push_back(build_tenant(e, quota, cap));
+        }
+        return out;
+      }()),
+      trace_models_(tenants_.size() > 1),
+      slab_bytes_([&] {
+        Bytes slab = 0;
+        for (const Tenant& t : tenants_) slab = std::max(slab, t.kv_set_bytes);
+        return slab;
+      }()),
+      // Size the arena for total_kv_slots aligned slab reservations
+      // exactly; slabs are uniform at the largest tenant's set size so
+      // slot indices stay interchangeable across models.
+      kv_arena_("l2.kv_pool",
+                static_cast<Bytes>(opts_.total_kv_slots) *
+                    mem::Arena::align_up(slab_bytes_,
+                                         mem::Arena::kDefaultAlignment)),
+      kv_slots_(kv_arena_, "kv_set", opts_.total_kv_slots, slab_bytes_),
+      pipeline_(1.0, 0, static_cast<int>(tenants_.size())) {
   // Admission policy: the configured scheduler, or the process-wide FIFO
   // instance (policies are stateless, so sharing it is safe).
   static const FifoScheduler kDefaultFifo;
-  scheduler_ = opts_.scheduler != nullptr ? opts_.scheduler.get() : &kDefaultFifo;
+  scheduler_ =
+      opts_.scheduler != nullptr ? opts_.scheduler.get() : &kDefaultFifo;
+  budget_ = resolve_budget(opts_);
+
+  // Cross-tenant L2 fit: the per-tenant checks above validated each
+  // model next to its OWN cap of KV sets; with several tenants the
+  // shared arena can hold other models' KV at the same time, so every
+  // deployment must also fit its working set next to the worst-case
+  // co-resident KV the budget can produce — the arena's slots filled
+  // greedily with the largest per-chip KV footprints, each tenant
+  // bounded by its cap. (Per-chip units throughout, matching the
+  // planner's l2_usable; the single-model engine keeps the historical
+  // check bit-exactly.)
+  if (tenants_.size() > 1) {
+    std::vector<std::pair<Bytes, int>> kv_loads;  // (per-chip KV, cap)
+    for (const Tenant& t : tenants_) {
+      kv_loads.emplace_back(t.chip_kv_bytes, t.cap);
+    }
+    std::sort(kv_loads.begin(), kv_loads.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    Bytes worst_kv = 0;
+    int slots_left = opts_.total_kv_slots;
+    for (const auto& [chip_kv, cap] : kv_loads) {
+      if (slots_left <= 0) break;
+      const int take = std::min(cap, slots_left);
+      worst_kv += static_cast<Bytes>(take) * chip_kv;
+      slots_left -= take;
+    }
+    for (const Tenant& t : tenants_) {
+      for (const Tenant::FitPlan& fp : t.fit_plans) {
+        // need() already counts one of this tenant's own sets; the
+        // worst-case fill covers every resident set, so swap the
+        // single-set term out.
+        const Bytes need_beside =
+            fp.plan.need() - fp.plan.kv_cache_bytes + worst_kv;
+        util::check_plan(
+            need_beside <= fp.plan.l2_usable,
+            "BatchedEngine['" + t.name +
+                "']: worst-case co-resident KV of all tenants (" +
+                util::format_bytes(worst_kv) + "/chip) plus the " + fp.mode +
+                "-mode working set needs " + util::format_bytes(need_beside) +
+                " of L2 but only " + util::format_bytes(fp.plan.l2_usable) +
+                " is usable; lower total_kv_slots, tenant caps, or "
+                "ar_context");
+      }
+    }
+  }
+
+  stats_.per_model.resize(tenants_.size());
+  for (std::size_t m = 0; m < tenants_.size(); ++m) {
+    stats_.per_model[m].model = tenants_[m].name;
+    stats_.per_model[m].kv_quota = tenants_[m].quota;
+    stats_.per_model[m].kv_cap = tenants_[m].cap;
+    // The fit plans only serve the construction-time checks above.
+    tenants_[m].fit_plans.clear();
+    tenants_[m].fit_plans.shrink_to_fit();
+  }
 }
 
-Cycles BatchedEngine::estimate_request_cost(int prompt_tokens,
+BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
+                             sim::Tracer* tracer)
+    : BatchedEngine(single_model_registry(session, opts),
+                    MultiOptions{.total_kv_slots = opts.max_batch,
+                                 .max_pending = opts.max_pending,
+                                 .scheduler = opts.scheduler,
+                                 .kv_budget = nullptr},
+                    tracer) {}
+
+const BatchedEngine::Tenant& BatchedEngine::tenant(ModelId m) const {
+  util::check(m >= 0 && m < model_count(),
+              "BatchedEngine: ModelId out of range");
+  return tenants_[static_cast<std::size_t>(m)];
+}
+
+const std::string& BatchedEngine::model_name(ModelId m) const {
+  return tenant(m).name;
+}
+int BatchedEngine::model_kv_quota(ModelId m) const { return tenant(m).quota; }
+int BatchedEngine::model_kv_cap(ModelId m) const { return tenant(m).cap; }
+int BatchedEngine::chunk_tokens(ModelId m) const {
+  return tenant(m).chunk_tokens;
+}
+
+Cycles BatchedEngine::estimate_request_cost(const Tenant& t, int prompt_tokens,
                                             int new_tokens) const {
   // Prefill charge from the same block-program decomposition the steps
   // use, then one per-request decode forward per generated token past
@@ -166,34 +334,40 @@ Cycles BatchedEngine::estimate_request_cost(int prompt_tokens,
   // Batch-shared weight streaming and queueing are excluded — this is
   // the request's own service demand, not a latency prediction.
   Cycles est = 0;
-  if (chunk_tokens_ > 0) {
-    const int n_chunks = (prompt_tokens + chunk_tokens_ - 1) / chunk_tokens_;
+  if (t.chunk_tokens > 0) {
+    const int n_chunks =
+        (prompt_tokens + t.chunk_tokens - 1) / t.chunk_tokens;
     for (int i = 0; i < n_chunks; ++i) {
-      const auto& cc = chunk_costs_[static_cast<std::size_t>(i)];
+      const auto& cc = t.chunk_costs[static_cast<std::size_t>(i)];
       est += cc.compute + cc.stream;
     }
   } else {
-    est = prompt_cycles_;
+    est = t.prompt_cycles;
   }
   if (new_tokens > 1) {
-    est += static_cast<Cycles>(new_tokens - 1) * ar_per_req_cycles_;
+    est += static_cast<Cycles>(new_tokens - 1) * t.ar_per_req_cycles;
   }
   return est;
 }
 
-std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
+std::optional<RequestId> BatchedEngine::submit(ModelId model,
+                                               std::vector<int> prompt,
                                                int new_tokens, SloSpec slo) {
+  util::check(model >= 0 && model < model_count(),
+              "submit: unknown model id " + std::to_string(model));
+  const Tenant& t = tenants_[static_cast<std::size_t>(model)];
   util::check(!prompt.empty(), "submit: prompt must not be empty");
   util::check(new_tokens >= 0, "submit: new_tokens must be >= 0");
   util::check(static_cast<int>(prompt.size()) + new_tokens <=
-                  session_.config().ar_context,
+                  t.session->config().ar_context,
               "submit: sequence exceeds the model's context length");
   // Prefill cost and the construction-time L2 fit were both derived from
   // the deployment's static prompt shape, so longer prompts would be
   // silently under-charged and under-validated.
-  util::check(static_cast<int>(prompt.size()) <= session_.config().prompt_len,
-              "submit: prompt exceeds the deployment's prefill length (" +
-                  std::to_string(session_.config().prompt_len) + ")");
+  util::check(
+      static_cast<int>(prompt.size()) <= t.session->config().prompt_len,
+      "submit: prompt exceeds the deployment's prefill length (" +
+          std::to_string(t.session->config().prompt_len) + ")");
 
   // max_pending bounds the *queue*: only the backlog beyond what the
   // free KV slots can absorb at the next admission point counts against
@@ -202,10 +376,12 @@ std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
   const int backlog = static_cast<int>(pending_.size()) - kv_slots_.free();
   if (backlog >= opts_.max_pending) {
     ++stats_.rejected;
+    ++stats_.per_model[static_cast<std::size_t>(model)].rejected;
     return std::nullopt;
   }
   Request r;
   r.id = next_id_++;
+  r.model = model;
   r.prompt = std::move(prompt);
   r.new_tokens = new_tokens;
   r.slo = slo;
@@ -213,19 +389,46 @@ std::optional<RequestId> BatchedEngine::submit(std::vector<int> prompt,
   if (slo.deadline_cycles != kNoDeadline) {
     r.deadline_at = r.submitted_at + slo.deadline_cycles;
   }
-  r.estimated_cost = estimate_request_cost(static_cast<int>(r.prompt.size()),
-                                           new_tokens);
+  r.estimated_cost =
+      estimate_request_cost(t, static_cast<int>(r.prompt.size()), new_tokens);
   const RequestId id = r.id;
   pending_.push_back(std::move(r));
+  ++stats_.per_model[static_cast<std::size_t>(model)].submitted;
   return id;
 }
 
-BatchedEngine::Request BatchedEngine::take_scheduled_pending() {
-  std::vector<Scheduler::Candidate> queue;
-  queue.reserve(pending_.size());
+int BatchedEngine::pick_admissible_pending() const {
+  // Budget snapshot: everybody's occupancy and queued demand.
+  std::vector<KvBudgetPolicy::TenantView> views(tenants_.size());
+  for (std::size_t m = 0; m < tenants_.size(); ++m) {
+    views[m].model = static_cast<ModelId>(m);
+    views[m].in_use = kv_slots_.tenant_in_use(static_cast<int>(m));
+    views[m].quota = tenants_[m].quota;
+    views[m].cap = tenants_[m].cap;
+  }
   for (const Request& p : pending_) {
+    ++views[static_cast<std::size_t>(p.model)].pending;
+  }
+  const int free_slots = kv_slots_.free();
+
+  // The scheduler ranks exactly the requests the budget would grant a
+  // slot to right now — so a deadline on one model can preempt admission
+  // of another model's request, but never overdraw that model's share.
+  std::vector<Scheduler::Candidate> queue;
+  std::vector<int> pending_index;
+  queue.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Request& p = pending_[i];
+    const Tenant& t = tenants_[static_cast<std::size_t>(p.model)];
+    const int in_use = views[static_cast<std::size_t>(p.model)].in_use;
+    if (in_use >= t.cap) continue;
+    if (!budget_->may_acquire(p.model, views, kv_slots_.capacity(),
+                              free_slots)) {
+      continue;
+    }
     Scheduler::Candidate c;
     c.id = p.id;
+    c.model = p.model;
     c.priority = p.slo.priority;
     c.deadline_at = p.deadline_at;
     c.submitted_at = p.submitted_at;
@@ -234,40 +437,50 @@ BatchedEngine::Request BatchedEngine::take_scheduled_pending() {
     c.submit_seq = p.id;
     c.estimated_cost = p.estimated_cost;
     queue.push_back(c);
+    pending_index.push_back(static_cast<int>(i));
   }
+  if (queue.empty()) return -1;
   const std::size_t idx = scheduler_->pick(queue, pipeline_.now());
-  util::check(idx < pending_.size(),
+  util::check(idx < queue.size(),
               std::string("BatchedEngine: scheduler '") + scheduler_->name() +
                   "' returned an out-of-range queue index");
-  Request r = std::move(pending_[idx]);
-  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
-  return r;
+  return pending_index[idx];
 }
 
 void BatchedEngine::trace_admission(const Request& r) {
   if (tracer_ == nullptr || r.admitted_at <= r.submitted_at) return;
   tracer_->set_request(r.id);
+  if (trace_models_) tracer_->set_model(r.model);
   tracer_->record(0, sim::Category::sched, r.submitted_at, r.admitted_at, 0,
                   "sched.queue");
   tracer_->set_request(sim::kNoRequest);
+  if (trace_models_) tracer_->set_model(sim::kNoModel);
 }
 
 void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
                            sim::Category cat, const char* label, Cycles begin) {
   r.cycles += cycles;
   r.energy_mj += energy_mj;
+  auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
+  pm.attributed_cycles += cycles;
+  pm.attributed_energy_mj += energy_mj;
   if (tracer_ != nullptr && cycles > 0) {
     tracer_->set_request(r.id);
+    if (trace_models_) tracer_->set_model(r.model);
     tracer_->record(0, cat, begin, begin + cycles, 0, label);
     tracer_->set_request(sim::kNoRequest);
+    if (trace_models_) tracer_->set_model(sim::kNoModel);
   }
 }
 
 void BatchedEngine::finish(Request& r, int step_idx) {
-  kv_slots_.release(r.slot);
+  kv_slots_.release(r.slot, r.model);
+  tenants_[static_cast<std::size_t>(r.model)].pool->release_set(r.set);
   r.slot = -1;
+  r.set = -1;
   RequestResult out;
   out.id = r.id;
+  out.model = r.model;
   out.admitted_step = r.admitted_step;
   out.finished_step = step_idx;
   out.admitted_at = r.admitted_at;
@@ -283,6 +496,8 @@ void BatchedEngine::finish(Request& r, int step_idx) {
   out.gen.total_cycles = r.cycles;
   out.gen.total_energy_mj = r.energy_mj;
 
+  auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
+
   // SLO accounting: attained-vs-deadline and the queueing-delay
   // distribution, refreshed so stats() is a consistent snapshot at every
   // completion.
@@ -296,200 +511,235 @@ void BatchedEngine::finish(Request& r, int step_idx) {
   stats_.queue_delay_p99 = percentile(queue_delays_, 0.99);
   if (out.deadline_at != kNoDeadline) {
     ++stats_.slo_requests;
+    ++pm.slo_requests;
     if (out.missed_deadline()) {
       ++stats_.deadline_misses;
+      ++pm.deadline_misses;
       // Instant marker on the request's lane at the moment the deadline
       // was finally blown (its own finish boundary).
       if (tracer_ != nullptr) {
         tracer_->set_request(out.id);
+        if (trace_models_) tracer_->set_model(out.model);
         tracer_->record(0, sim::Category::sched, out.finished_at,
                         out.finished_at, 0, "sched.deadline.miss");
         tracer_->set_request(sim::kNoRequest);
+        if (trace_models_) tracer_->set_model(sim::kNoModel);
       }
     }
   }
 
   finished_.push_back(std::move(out));
   ++stats_.completed;
+  ++pm.completed;
 }
-
-// --------------------------------------------------------------------------
-// Serial-prefill compatibility mode (prefill_chunk_tokens == 0): a joining
-// request's whole prompt is charged in full at admission.
-// --------------------------------------------------------------------------
 
 model::Tensor BatchedEngine::forward_tokens(const Request& r,
                                             const std::vector<int>& toks,
                                             int pos_offset) {
-  const auto& block = session_.block_executor();
-  model::Tensor h = session_.embedding().lookup(toks);
-  for (int l = 0; l < session_.config().num_layers; ++l) {
-    h = block.forward(h, l, &kv_pool_.slot(r.slot), pos_offset);
+  Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
+  const auto& block = t.session->block_executor();
+  model::Tensor h = t.session->embedding().lookup(toks);
+  for (int l = 0; l < t.session->config().num_layers; ++l) {
+    h = block.forward(h, l, &t.pool->slot(r.set), pos_offset);
   }
   return h;
 }
 
-int BatchedEngine::admit_pending_serial(int step_idx, double& step_energy) {
-  const auto& emb = session_.embedding();
-
-  int admitted = 0;
-  while (!pending_.empty()) {
-    const auto slot = kv_slots_.acquire();
-    if (!slot.has_value()) break;
-    Request r = take_scheduled_pending();
+void BatchedEngine::admit_pending(int step_idx, double& step_energy,
+                                  std::vector<char>& serial_admitted) {
+  while (!pending_.empty() && kv_slots_.free() > 0) {
+    const int pi = pick_admissible_pending();
+    if (pi < 0) break;
+    Request r = std::move(pending_[static_cast<std::size_t>(pi)]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pi));
+    Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
+    const auto slot = kv_slots_.acquire(r.model);
+    util::check(slot.has_value(), "BatchedEngine: admission without a free slot");
     r.slot = *slot;
+    const auto set = t.pool->acquire_set();
+    util::check(set.has_value(),
+                "BatchedEngine['" + t.name + "']: budget granted a slot "
+                "beyond the model's cache-set cap");
+    r.set = *set;
     r.admitted_step = step_idx;
     // The request's own position on the step timeline: prefills of
     // requests admitted earlier this step have already advanced the
     // pipeline, so their cycles never leak into this request's
-    // residence latency.
+    // residence latency. (Chunked models refine the stamp to the start
+    // of the request's own first chunk.)
     r.admitted_at = pipeline_.now();
-    trace_admission(r);
-    kv_pool_.reset_slot(r.slot);
+    t.pool->reset_slot(r.set);
+    auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
+    pm.kv_in_use_high_water = kv_slots_.tenant_high_water(r.model);
 
+    if (t.chunk_tokens > 0) {
+      active_.push_back(std::move(r));
+      continue;
+    }
+
+    // Serial-prefill compatibility mode: the whole prompt is charged in
+    // full at admission. Prefill advances the timeline without touching
+    // the staged decode weights; an in-flight stream prefetch keeps
+    // draining underneath, except while the prefill's own L3 streaming
+    // occupies the port.
+    trace_admission(r);
     const model::Tensor h = forward_tokens(r, r.prompt, 0);
     r.tokens = r.prompt;
     r.prefill_pos = static_cast<int>(r.prompt.size());
     r.pos = static_cast<int>(r.prompt.size());
-    charge(r, prompt_cycles_, prompt_energy_mj_, sim::Category::compute,
+    charge(r, t.prompt_cycles, t.prompt_energy_mj, sim::Category::compute,
            "prefill", r.admitted_at);
-    stats_.prefill_cycles += prompt_cycles_;
-    // Prefill advances the timeline without touching the staged decode
-    // weights; an in-flight stream prefetch keeps draining underneath,
-    // except while the prefill's own L3 streaming occupies the port.
-    pipeline_.advance_opaque(prompt_cycles_, prompt_stream_cycles_);
+    stats_.prefill_cycles += t.prompt_cycles;
+    pipeline_.advance_opaque(t.prompt_cycles, t.prompt_stream_cycles);
     r.work_done_at = pipeline_.now();
-    step_energy += prompt_energy_mj_;
-    ++admitted;
+    step_energy += t.prompt_energy_mj;
+    serial_admitted[static_cast<std::size_t>(r.model)] = 1;
 
     if (r.new_tokens == 0) {
       finish(r, step_idx);
     } else {
-      r.next = emb.greedy_next(h);
+      r.next = t.session->embedding().greedy_next(h);
       active_.push_back(std::move(r));
     }
   }
-  return admitted;
 }
 
-bool BatchedEngine::step_serial() {
-  if (pending_.empty() && active_.empty()) return false;
-  const int step_idx = stats_.steps;
-  double step_energy = 0.0;
+// --------------------------------------------------------------------------
+// Serial-prefill sub-phase (this model's prompts were charged at
+// admission): one token commit + decode forward per active request.
+// --------------------------------------------------------------------------
 
-  if (admit_pending_serial(step_idx, step_energy) > 0) ++stats_.prefill_steps;
-  stats_.peak_batch =
-      std::max(stats_.peak_batch, static_cast<int>(active_.size()));
+void BatchedEngine::subphase_serial(ModelId m, int step_idx,
+                                    double& step_energy, bool& step_decode) {
+  Tenant& t = tenants_[static_cast<std::size_t>(m)];
+  const auto& emb = t.session->embedding();
+  auto& pm = stats_.per_model[static_cast<std::size_t>(m)];
 
-  const auto& emb = session_.embedding();
-
-  // Emit one token per active request; a request that emits its final
-  // token leaves without running another forward, mirroring
-  // InferenceSession::generate exactly.
+  // Emit one token per active request of this model; a request that
+  // emits its final token leaves without running another forward,
+  // mirroring InferenceSession::generate exactly.
   std::vector<Request> still_active;
   still_active.reserve(active_.size());
+  std::vector<std::size_t> decoders;  // indices into the rebuilt active_
   for (auto& r : active_) {
+    if (r.model != m) {
+      still_active.push_back(std::move(r));
+      continue;
+    }
     r.tokens.push_back(r.next);
     ++r.generated;
     ++stats_.total_generated;
+    ++pm.total_generated;
     if (r.generated == r.new_tokens) {
       finish(r, step_idx);
       continue;
     }
     r.next = emb.greedy_next(forward_tokens(r, {r.next}, r.pos));
     ++r.pos;
+    decoders.push_back(still_active.size());
     still_active.push_back(std::move(r));
   }
   active_ = std::move(still_active);
+  if (decoders.empty()) return;
 
-  // Decode phase: the batch's serialized forwards race the weight stream
-  // the previous decode step prefetched, and the prefetch for the NEXT
-  // step is issued the moment this one starts. Only the unhidden stall
-  // lands on the step; it is attributed in equal integer shares
-  // (remainder cycles to the earliest admitted) so per-request cycles
-  // still sum to the aggregate exactly. Streaming energy is charged in
-  // full regardless of overlap — the DMA runs either way.
-  if (!active_.empty()) {
-    const auto b = static_cast<Cycles>(active_.size());
-    const Cycles compute = b * ar_per_req_cycles_;
-    // Skip the speculative fetch when this is provably the last step.
-    const bool work_remains = !pending_.empty() ||
-                              std::any_of(active_.begin(), active_.end(),
-                                          [](const Request& r) {
-                                            return r.generated + 1 < r.new_tokens;
-                                          });
-    const Bytes next_stream =
-        work_remains ? static_cast<Bytes>(ar_shared_cycles_) : Bytes{0};
-    const auto span = pipeline_.advance(compute, next_stream);
-
-    // Trace the stream DMA this step consumed (issued during an earlier
-    // step, so it overlaps whatever ran since) and remember the one just
-    // issued for the step that will consume it.
-    if (tracer_ != nullptr && pending_fetch_ready_ > pending_fetch_start_) {
-      tracer_->record(0, sim::Category::dma_l3_l2, pending_fetch_start_,
-                      pending_fetch_ready_, stream_bytes_per_step_,
-                      "weights.prefetch");
+  // Decode phase: this model's serialized forwards race the weight
+  // stream its previous decode step prefetched on its own channel, and
+  // the prefetch for its NEXT step is issued the moment this phase
+  // starts. Only the unhidden stall lands on the step; it is attributed
+  // in equal integer shares (remainder cycles to the earliest admitted)
+  // so per-request cycles still sum to the aggregate exactly. Streaming
+  // energy is charged in full regardless of overlap — the DMA runs
+  // either way.
+  const auto b = static_cast<Cycles>(decoders.size());
+  const Cycles compute = b * t.ar_per_req_cycles;
+  // Skip the speculative fetch when this is provably the model's last
+  // decode step.
+  bool work_remains = false;
+  for (const Request& p : pending_) {
+    if (p.model == m) {
+      work_remains = true;
+      break;
     }
-    // Serial mode is the port's only consumer, so service starts at the
-    // issue point.
-    pending_fetch_start_ = span.fetch_issue;
-    pending_fetch_ready_ = span.fetch_ready;
-
-    // Per-request decode compute at its serialized slot on the step
-    // timeline; the stall shares all sit in the wait window at the
-    // start of the phase, overlapping across the requests' trace lanes.
-    const Cycles share = span.stall / b;
-    const Cycles rem = span.stall % b;
-    const double e_share =
-        ar_shared_energy_mj_ / static_cast<double>(active_.size());
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      charge(active_[i], ar_per_req_cycles_, ar_per_req_energy_mj_,
-             sim::Category::compute, "decode",
-             span.start + static_cast<Cycles>(i) * ar_per_req_cycles_);
-      const Cycles c = share + (static_cast<Cycles>(i) < rem ? 1 : 0);
-      charge(active_[i], c, e_share, sim::Category::dma_l3_l2,
-             "weights.stall", span.begin);
-      // Tokens commit at phase boundaries: every participant's work
-      // extends to the phase end, whichever serialized slot it ran in.
-      active_[i].work_done_at = span.end;
-    }
-    step_energy += static_cast<double>(b) * ar_per_req_energy_mj_ +
-                   ar_shared_energy_mj_;
-    ++stats_.decode_steps;
-    stats_.prefetch_stall_cycles += span.stall;
-    stats_.stream_cycles_hidden += ar_shared_cycles_ - span.stall;
   }
+  for (std::size_t j = 0; j < decoders.size() && !work_remains; ++j) {
+    const Request& r = active_[decoders[j]];
+    work_remains = r.generated + 1 < r.new_tokens;
+  }
+  const Bytes next_stream =
+      work_remains ? static_cast<Bytes>(t.ar_shared_cycles) : Bytes{0};
+  const auto sp =
+      pipeline_.advance_step(/*prefill_compute=*/0, /*prefill_stream_bytes=*/0,
+                             /*consume_staged=*/true, compute, next_stream, m);
 
-  stats_.total_cycles = pipeline_.now();
-  stats_.total_energy_mj += step_energy;
-  ++stats_.steps;
-  return !(pending_.empty() && active_.empty());
+  // Trace the stream DMA this phase consumed (issued during an earlier
+  // step, so it overlaps whatever ran since) and remember the one just
+  // issued for the step that will consume it.
+  if (tracer_ != nullptr && t.pending_fetch_ready > t.pending_fetch_start) {
+    if (trace_models_) tracer_->set_model(m);
+    tracer_->record(0, sim::Category::dma_l3_l2, t.pending_fetch_start,
+                    t.pending_fetch_ready, t.stream_bytes_per_step,
+                    "weights.prefetch");
+    if (trace_models_) tracer_->set_model(sim::kNoModel);
+  }
+  t.pending_fetch_start = sp.fetch_start;
+  t.pending_fetch_ready = sp.fetch_ready;
+
+  charge_decode_phase(m, decoders, sp, step_energy, step_decode);
+}
+
+void BatchedEngine::charge_decode_phase(
+    ModelId m, const std::vector<std::size_t>& decoders,
+    const PrefetchPipeline::StepSpan& sp, double& step_energy,
+    bool& step_decode) {
+  Tenant& t = tenants_[static_cast<std::size_t>(m)];
+  auto& pm = stats_.per_model[static_cast<std::size_t>(m)];
+
+  // Per-request decode compute at its serialized slot on the phase
+  // timeline; the stall shares all sit in the wait window at the start
+  // of the phase (the step start in serial mode, past the prompt chunks
+  // in chunked mode), overlapping across the requests' trace lanes.
+  const auto d = static_cast<Cycles>(decoders.size());
+  const Cycles share = sp.stall / d;
+  const Cycles rem = sp.stall % d;
+  const double e_share =
+      t.ar_shared_energy_mj / static_cast<double>(decoders.size());
+  const Cycles decode_end = sp.decode_start + d * t.ar_per_req_cycles;
+  for (std::size_t j = 0; j < decoders.size(); ++j) {
+    Request& r = active_[decoders[j]];
+    charge(r, t.ar_per_req_cycles, t.ar_per_req_energy_mj,
+           sim::Category::compute, "decode",
+           sp.decode_start + static_cast<Cycles>(j) * t.ar_per_req_cycles);
+    const Cycles c = share + (static_cast<Cycles>(j) < rem ? 1 : 0);
+    charge(r, c, e_share, sim::Category::dma_l3_l2, "weights.stall",
+           sp.decode_begin);
+    // Tokens commit at the decode phase boundary, whichever serialized
+    // slot the request ran in; work already extended past it (a
+    // chunk-stream tail share in this very step) is kept.
+    r.work_done_at = std::max(r.work_done_at, decode_end);
+  }
+  step_energy += static_cast<double>(d) * t.ar_per_req_energy_mj +
+                 t.ar_shared_energy_mj;
+  step_decode = true;
+  ++pm.decode_steps;
+  util::check(sp.stall <= t.ar_shared_cycles,
+              "BatchedEngine: decode stall exceeded one serial stream");
+  stats_.prefetch_stall_cycles += sp.stall;
+  stats_.stream_cycles_hidden += t.ar_shared_cycles - sp.stall;
+  pm.prefetch_stall_cycles += sp.stall;
+  pm.stream_cycles_hidden += t.ar_shared_cycles - sp.stall;
 }
 
 // --------------------------------------------------------------------------
-// Chunked-prefill mode (prefill_chunk_tokens > 0): heterogeneous steps.
+// Chunked-prefill sub-phase (this model's prompts advance one chunk per
+// step, co-scheduled with its decodes in heterogeneous steps).
 // --------------------------------------------------------------------------
-
-void BatchedEngine::admit_pending_chunked(int step_idx) {
-  while (!pending_.empty()) {
-    const auto slot = kv_slots_.acquire();
-    if (!slot.has_value()) break;
-    Request r = take_scheduled_pending();
-    r.slot = *slot;
-    r.admitted_step = step_idx;
-    // Provisional; refined to the start of the request's own first chunk
-    // once the step timeline is laid out.
-    r.admitted_at = pipeline_.now();
-    kv_pool_.reset_slot(r.slot);
-    active_.push_back(std::move(r));
-  }
-}
 
 int BatchedEngine::run_prefill_chunk(Request& r) {
+  Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
   const int len = static_cast<int>(r.prompt.size());
   const int begin = r.prefill_pos;
-  const int chunk_idx = begin / chunk_tokens_;
-  const int end = std::min(begin + chunk_tokens_, len);
+  const int chunk_idx = begin / t.chunk_tokens;
+  const int end = std::min(begin + t.chunk_tokens, len);
 
   const std::vector<int> chunk(r.prompt.begin() + begin,
                                r.prompt.begin() + end);
@@ -498,33 +748,31 @@ int BatchedEngine::run_prefill_chunk(Request& r) {
   if (r.prefill_done()) {
     r.tokens = r.prompt;
     r.pos = len;
-    if (r.new_tokens > 0) r.next = session_.embedding().greedy_next(h);
+    if (r.new_tokens > 0) r.next = t.session->embedding().greedy_next(h);
   }
   return chunk_idx;
 }
 
-bool BatchedEngine::step_chunked() {
-  if (pending_.empty() && active_.empty()) return false;
-  const int step_idx = stats_.steps;
-  double step_energy = 0.0;
-
-  admit_pending_chunked(step_idx);
-  stats_.peak_batch =
-      std::max(stats_.peak_batch, static_cast<int>(active_.size()));
+void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
+                                     double& step_energy, bool& step_prefill,
+                                     bool& step_decode) {
+  Tenant& t = tenants_[static_cast<std::size_t>(m)];
+  auto& pm = stats_.per_model[static_cast<std::size_t>(m)];
 
   // ---- functional work -------------------------------------------------
-  // Every prefilling request advances one chunk; a request completing its
-  // final chunk joins this step's token commit (its prefill output IS its
-  // first forward, mirroring the serial mode and generate()).
+  // Every prefilling request of this model advances one chunk; a request
+  // completing its final chunk joins this step's token commit (its
+  // prefill output IS its first forward, mirroring the serial mode and
+  // generate()).
   struct ChunkRun {
     std::size_t req;  // index into active_
-    int chunk;        // chunk position (indexes chunk_costs_)
+    int chunk;        // chunk position (indexes chunk_costs)
     bool first;       // the request's first chunk (admission point)
   };
   std::vector<ChunkRun> chunk_runs;
   for (std::size_t i = 0; i < active_.size(); ++i) {
     Request& r = active_[i];
-    if (r.prefill_done()) continue;
+    if (r.model != m || r.prefill_done()) continue;
     const bool first = r.prefill_pos == 0;
     const int ci = run_prefill_chunk(r);
     chunk_runs.push_back({i, ci, first});
@@ -534,20 +782,23 @@ bool BatchedEngine::step_chunked() {
   std::vector<std::size_t> finishers;    // leave at this boundary
   for (std::size_t i = 0; i < active_.size(); ++i) {
     Request& r = active_[i];
-    if (!r.prefill_done()) continue;
+    if (r.model != m || !r.prefill_done()) continue;
     if (r.new_tokens == 0) {
-      // Prefill-only request: done at its own last chunk.
+      // Prefill-only request (encoder classification): done at its own
+      // last chunk.
       finishers.push_back(i);
       continue;
     }
     r.tokens.push_back(r.next);
     ++r.generated;
     ++stats_.total_generated;
+    ++pm.total_generated;
     if (r.generated == r.new_tokens) {
       finishers.push_back(i);
       continue;
     }
-    r.next = session_.embedding().greedy_next(forward_tokens(r, {r.next}, r.pos));
+    r.next =
+        t.session->embedding().greedy_next(forward_tokens(r, {r.next}, r.pos));
     ++r.pos;
     decode_runs.push_back(i);
   }
@@ -557,7 +808,7 @@ bool BatchedEngine::step_chunked() {
   Cycles prefill_stream = 0;
   Bytes prefill_l3_bytes = 0;
   for (const auto& cr : chunk_runs) {
-    const ChunkCost& cc = chunk_costs_[static_cast<std::size_t>(cr.chunk)];
+    const ChunkCost& cc = t.chunk_costs[static_cast<std::size_t>(cr.chunk)];
     prefill_compute += cc.compute;
     prefill_stream += cc.stream;
     prefill_l3_bytes += cc.l3_bytes;
@@ -566,13 +817,20 @@ bool BatchedEngine::step_chunked() {
   const bool any_decode = !decode_runs.empty();
 
   if (!chunk_runs.empty() || any_decode) {
-    // Speculative fetch for the next decode step, issued only from steps
-    // that consume a stream themselves (a pure-prefill step leaves the
-    // staged weights untouched). Decode work remains while anything in
-    // the queue or the batch will still run a decode forward.
-    bool decode_work_remains = !pending_.empty();
-    for (std::size_t i = 0;
-         i < active_.size() && !decode_work_remains; ++i) {
+    // Speculative fetch for this model's next decode step, issued only
+    // from steps that consume a stream themselves (a pure-prefill step
+    // leaves the staged weights untouched). Decode work remains while
+    // anything of this model in the queue or the batch will still run a
+    // decode forward.
+    bool decode_work_remains = false;
+    for (const Request& p : pending_) {
+      if (p.model == m) {
+        decode_work_remains = true;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < active_.size() && !decode_work_remains; ++i) {
+      if (active_[i].model != m) continue;
       if (std::find(finishers.begin(), finishers.end(), i) !=
           finishers.end()) {
         continue;
@@ -582,36 +840,40 @@ bool BatchedEngine::step_chunked() {
                                              : r.new_tokens > 1;
     }
     const Bytes next_stream = any_decode && decode_work_remains
-                                  ? static_cast<Bytes>(ar_shared_cycles_)
+                                  ? static_cast<Bytes>(t.ar_shared_cycles)
                                   : Bytes{0};
 
     const auto sp = pipeline_.advance_step(
         prefill_compute, static_cast<Bytes>(prefill_stream), any_decode,
-        d * ar_per_req_cycles_, next_stream);
+        d * t.ar_per_req_cycles, next_stream, m);
 
-    // Trace the chunk streams' port service window (untagged: the DMA is
-    // a shared-port activity; the visible tail is charged per request
-    // below) and the consumed decode prefetch.
+    // Trace the chunk streams' port service window (untagged by request:
+    // the DMA is a shared-port activity; the visible tail is charged per
+    // request below) and the consumed decode prefetch.
     if (tracer_ != nullptr && prefill_stream > 0) {
+      if (trace_models_) tracer_->set_model(m);
       tracer_->record(0, sim::Category::dma_l3_l2, sp.chunk_stream_start,
                       sp.chunk_ready, prefill_l3_bytes, "prompt.stream");
+      if (trace_models_) tracer_->set_model(sim::kNoModel);
     }
     if (any_decode) {
-      if (tracer_ != nullptr && pending_fetch_ready_ > pending_fetch_start_) {
-        tracer_->record(0, sim::Category::dma_l3_l2, pending_fetch_start_,
-                        pending_fetch_ready_, stream_bytes_per_step_,
+      if (tracer_ != nullptr && t.pending_fetch_ready > t.pending_fetch_start) {
+        if (trace_models_) tracer_->set_model(m);
+        tracer_->record(0, sim::Category::dma_l3_l2, t.pending_fetch_start,
+                        t.pending_fetch_ready, t.stream_bytes_per_step,
                         "weights.prefetch");
+        if (trace_models_) tracer_->set_model(sim::kNoModel);
       }
-      pending_fetch_start_ = sp.fetch_start;
-      pending_fetch_ready_ = sp.fetch_ready;
+      t.pending_fetch_start = sp.fetch_start;
+      t.pending_fetch_ready = sp.fetch_ready;
     }
 
     // ---- exact attribution --------------------------------------------
-    // Prompt chunks at their serialized slots from the step start.
+    // Prompt chunks at their serialized slots from the sub-phase start.
     Cycles cum = sp.begin;
     for (const auto& cr : chunk_runs) {
       Request& r = active_[cr.req];
-      const ChunkCost& cc = chunk_costs_[static_cast<std::size_t>(cr.chunk)];
+      const ChunkCost& cc = t.chunk_costs[static_cast<std::size_t>(cr.chunk)];
       if (cr.first) {
         r.admitted_at = cum;
         trace_admission(r);
@@ -638,35 +900,15 @@ bool BatchedEngine::step_chunked() {
         r.work_done_at = sp.end;
       }
     }
-    // Decode forwards after the stall window, as in the serial mode.
+    // Decode forwards after the stall window, as in the serial mode;
+    // the chunk-stream tail belongs to the prefilling requests, not the
+    // decoders.
     if (any_decode) {
-      const Cycles share = sp.stall / d;
-      const Cycles rem = sp.stall % d;
-      const double e_share =
-          ar_shared_energy_mj_ / static_cast<double>(decode_runs.size());
-      const Cycles decode_end = sp.decode_start + d * ar_per_req_cycles_;
-      for (std::size_t j = 0; j < decode_runs.size(); ++j) {
-        Request& r = active_[decode_runs[j]];
-        charge(r, ar_per_req_cycles_, ar_per_req_energy_mj_,
-               sim::Category::compute, "decode",
-               sp.decode_start + static_cast<Cycles>(j) * ar_per_req_cycles_);
-        const Cycles c = share + (static_cast<Cycles>(j) < rem ? 1 : 0);
-        charge(r, c, e_share, sim::Category::dma_l3_l2, "weights.stall",
-               sp.decode_begin);
-        // Tokens commit at the decode phase boundary; the chunk-stream
-        // tail belongs to the prefilling requests, not the decoders —
-        // except a request that ran its own chunk this very step, whose
-        // tail share already extended its work to the step end.
-        r.work_done_at = std::max(r.work_done_at, decode_end);
-      }
-      step_energy += static_cast<double>(d) * ar_per_req_energy_mj_ +
-                     ar_shared_energy_mj_;
-      ++stats_.decode_steps;
-      stats_.prefetch_stall_cycles += sp.stall;
-      stats_.stream_cycles_hidden += ar_shared_cycles_ - sp.stall;
+      charge_decode_phase(m, decode_runs, sp, step_energy, step_decode);
     }
     if (!chunk_runs.empty()) {
-      ++stats_.prefill_steps;
+      step_prefill = true;
+      ++pm.prefill_steps;
       stats_.prefill_cycles += prefill_compute + sp.prefill_tail;
       stats_.prefill_stream_cycles += sp.prefill_window;
       stats_.prefill_stall_cycles += sp.prefill_tail;
@@ -689,15 +931,48 @@ bool BatchedEngine::step_chunked() {
     }
     active_ = std::move(still_active);
   }
+}
+
+void BatchedEngine::run_subphase(ModelId m, int step_idx, double& step_energy,
+                                 bool& step_prefill, bool& step_decode) {
+  if (tenants_[static_cast<std::size_t>(m)].chunk_tokens > 0) {
+    subphase_chunked(m, step_idx, step_energy, step_prefill, step_decode);
+  } else {
+    subphase_serial(m, step_idx, step_energy, step_decode);
+  }
+}
+
+bool BatchedEngine::step() {
+  if (pending_.empty() && active_.empty()) return false;
+  const int step_idx = stats_.steps;
+  double step_energy = 0.0;
+
+  std::vector<char> serial_admitted(tenants_.size(), 0);
+  admit_pending(step_idx, step_energy, serial_admitted);
+  bool step_prefill = false;
+  bool step_decode = false;
+  for (std::size_t m = 0; m < tenants_.size(); ++m) {
+    if (serial_admitted[m] != 0) {
+      step_prefill = true;
+      ++stats_.per_model[m].prefill_steps;
+    }
+  }
+  stats_.peak_batch =
+      std::max(stats_.peak_batch, static_cast<int>(active_.size()));
+
+  // Fixed-order model sub-phases: the grid is time-multiplexed between
+  // the deployments within a step, while their weight streams race each
+  // other's compute on the shared L3 port.
+  for (ModelId m = 0; m < model_count(); ++m) {
+    run_subphase(m, step_idx, step_energy, step_prefill, step_decode);
+  }
+  if (step_prefill) ++stats_.prefill_steps;
+  if (step_decode) ++stats_.decode_steps;
 
   stats_.total_cycles = pipeline_.now();
   stats_.total_energy_mj += step_energy;
   ++stats_.steps;
   return !(pending_.empty() && active_.empty());
-}
-
-bool BatchedEngine::step() {
-  return chunk_tokens_ > 0 ? step_chunked() : step_serial();
 }
 
 std::vector<RequestResult> BatchedEngine::run_to_completion() {

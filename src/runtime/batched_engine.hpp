@@ -3,11 +3,14 @@
 
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mem/arena.hpp"
 #include "model/kv_cache.hpp"
 #include "runtime/inference_session.hpp"
+#include "runtime/kv_budget.hpp"
+#include "runtime/model_registry.hpp"
 #include "runtime/prefetch_pipeline.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/tracer.hpp"
@@ -20,6 +23,8 @@ namespace distmcu::runtime {
 /// cycles/energy attributed to this request by the serving cost model.
 struct RequestResult {
   RequestId id = -1;
+  /// Deployed model this request ran against (0 in single-model serving).
+  ModelId model = 0;
   GenerationResult gen;
   int admitted_step = -1;
   int finished_step = -1;
@@ -54,6 +59,39 @@ struct RequestResult {
   }
 };
 
+/// Per-deployed-model slice of the serving metrics. Attribution is
+/// exact: summed over models, attributed cycles/energy equal the
+/// engine-wide totals, and generated-token counts partition
+/// ServingStats::total_generated.
+struct ModelServingStats {
+  std::string model;  ///< registry deployment name
+  int submitted = 0;  ///< accepted submits (rejects counted separately)
+  int completed = 0;
+  int rejected = 0;
+  int total_generated = 0;
+  /// Cycles/energy charged to this model's requests (its compute, its
+  /// stall shares, its prompt streams) — live running sums, equal to the
+  /// sum over its RequestResults once the engine drains.
+  Cycles attributed_cycles = 0;
+  double attributed_energy_mj = 0.0;
+  /// Steps in which this model ran prompt work / a decode phase.
+  int prefill_steps = 0;
+  int decode_steps = 0;
+  int slo_requests = 0;
+  int deadline_misses = 0;
+  /// This model's share of the decode-stream race: stall + hidden ==
+  /// decode_steps * (its per-step serial weight stream).
+  Cycles prefetch_stall_cycles = 0;
+  Cycles stream_cycles_hidden = 0;
+  /// Shared-KV-arena occupancy: the static-split reserve, the hard cap,
+  /// and the most slots this model ever held at once. Under the
+  /// static-split policy high_water <= quota always (zero cross-model
+  /// leakage); borrowing policies may exceed the quota up to the cap.
+  int kv_quota = 0;
+  int kv_cap = 0;
+  int kv_in_use_high_water = 0;
+};
+
 /// Aggregate serving metrics across all requests the engine processed.
 /// total_cycles is the engine's simulated wall-clock; per-request
 /// attributed cycles sum to it exactly (the visible remainder of the
@@ -64,7 +102,7 @@ struct ServingStats {
   int total_generated = 0;
   int steps = 0;
   /// Steps in which at least one request ran a decode forward (and the
-  /// batch consumed one shared block-weight stream).
+  /// batch consumed one shared block-weight stream per decoding model).
   int decode_steps = 0;
   /// Steps in which at least one request ran prompt work (a chunk in the
   /// chunked model, a whole prompt in the serial compatibility mode).
@@ -74,14 +112,15 @@ struct ServingStats {
   int rejected = 0;
   /// Decode cycles the batch spent waiting for the next step's weight
   /// prefetch to land — nonzero only when the step's compute (prompt
-  /// chunks included) cannot cover the stream. Per decode step:
-  /// max(0, stream - covering compute).
+  /// chunks included) cannot cover the stream. Per decoding model and
+  /// step: max(0, stream - covering compute).
   Cycles prefetch_stall_cycles = 0;
   /// Serial stream cycles hidden behind compute by the prefetch overlap;
   /// `total_cycles + stream_cycles_hidden` is what the serial-charging
   /// cost model (compute + stream per step) would have reported.
-  /// Invariant: prefetch_stall_cycles + stream_cycles_hidden ==
-  /// decode_steps * per-step serial stream cycles.
+  /// Invariant: prefetch_stall_cycles + stream_cycles_hidden == the sum
+  /// over decode phases of the consuming model's per-step serial stream
+  /// (decode_steps * stream in single-model serving).
   Cycles stream_cycles_hidden = 0;
   /// Prompt-phase cycles actually charged to requests: chunk compute
   /// plus the visible stream tails in the chunked model, whole prompts
@@ -112,6 +151,9 @@ struct ServingStats {
   Cycles queue_delay_p50 = 0;
   Cycles queue_delay_p95 = 0;
   Cycles queue_delay_p99 = 0;
+  /// Per-deployed-model breakdowns, indexed by ModelId (one entry for
+  /// the single-model engine). Exact partition of the engine totals.
+  std::vector<ModelServingStats> per_model;
 
   [[nodiscard]] double deadline_miss_rate() const {
     return slo_requests == 0
@@ -129,77 +171,72 @@ struct ServingStats {
   }
 };
 
-/// Batched serving runtime over one InferenceSession deployment:
-/// accepts many concurrent generation requests and multiplexes them
-/// over the shared partition::DistributedBlock executor with continuous
-/// batching — requests join and leave the running batch at token
-/// boundaries, never mid-block.
+/// Batched serving runtime over one or more deployed InferenceSessions:
+/// accepts many concurrent generation requests — each tagged with the
+/// deployed model it targets — and multiplexes them over the shared
+/// silicon with continuous batching; requests join and leave the running
+/// batch at token boundaries, never mid-block.
+///
+/// Single-model use (bit-identical to the historical engine):
 ///
 ///   BatchedEngine engine(session, {.max_batch = 4});
 ///   auto id = engine.submit({1, 17, 42}, 16);
 ///   auto results = engine.run_to_completion();
 ///
+/// Multi-model use: a ModelRegistry deploys N (model::Config,
+/// chip-count, block program) sessions, each with its own chunked- or
+/// serial-prefill mode and cost decomposition, while every KV slot comes
+/// from ONE shared, tenant-tagged mem::SlotArena partitioned by a
+/// pluggable KvBudgetPolicy (static split / proportional-to-load /
+/// watermark borrowing):
+///
+///   ModelRegistry reg;
+///   auto llama = reg.add(llama_session, "tinyllama", /*chunk=*/4);
+///   auto bert  = reg.add(bert_session, "mobilebert", /*chunk=*/8);
+///   BatchedEngine engine(reg, {.total_kv_slots = 4});
+///   auto a = engine.submit(llama, {1, 7, 3}, 12);
+///   auto b = engine.submit(bert, {5, 9, 2, 4}, 0);  // encoder: prefill-only
+///
 /// Functional contract: every request decodes against its own pooled
-/// KV-cache set, so its token stream is bit-identical to an independent
-/// InferenceSession::generate call regardless of what else shares the
-/// batch.
+/// KV-cache set from its model's KvCachePool, so its token stream is
+/// bit-identical to an independent InferenceSession::generate call
+/// regardless of what else shares the batch — across models included.
 ///
 /// Cost model (per engine step, from TimedBlockSimulation block
-/// reports): every step is a heterogeneous batch. With chunked prefill
-/// enabled (prefill_chunk_tokens > 0), each prompt is split into
-/// fixed-size chunks — the deployment's static prompt shape at chunk
-/// granularity — and every prefilling request advances one chunk per
-/// step, co-scheduled with the decoding requests:
+/// reports): a step is a heterogeneous multi-model batch. Models take
+/// fixed-order sub-phases on the shared grid; within a model's
+/// sub-phase the single-model step semantics apply unchanged — prompt
+/// chunks (or serially charged whole prompts at admission), then the
+/// decode phase gated on that model's staged weights. Every model owns
+/// one prefetch *channel* on the shared runtime::PrefetchPipeline L3
+/// port: its next decode-weight fetch is issued at its decode start and
+/// serializes FIFO behind every other model's in-flight streams, so
+/// cross-model port contention — and the cross-model overlap win, where
+/// one model's compute covers another model's weight stream — emerges
+/// from the port rather than from scheduling logic. Streaming energy is
+/// charged in full per consumed step: overlap hides time, not DMA
+/// activity.
 ///
-///   [chunk_0 .. chunk_{P-1} | stall | decode_0 .. decode_{D-1} | tail]
+/// Admission is a single queue ranked by the pluggable runtime::Scheduler
+/// across all models (per-model cost estimates feed EDF feasibility, so
+/// a deadline on one model's request can preempt admission of
+/// another's), gated by the KvBudgetPolicy: whenever a KV slot frees up
+/// the engine offers the scheduler exactly the pending requests whose
+/// model may take one more slot under the policy. Scheduling never
+/// preempts: once admitted, a request keeps its slot to completion.
 ///
-/// The chunks' own L3 streaming (their dma_l3_l2 share) is issued as an
-/// asynchronous DMA on the shared runtime::PrefetchPipeline port at the
-/// step start and races the whole step's compute; only the part of the
-/// stream window the compute cannot cover is visible, reported as
-/// ServingStats::prefill_stall_cycles and charged to the prefilling
-/// requests in exact integer shares (the hidden part is
-/// prefill_cycles_hidden). For the D requests decoding in a step,
-/// block-weight streaming is paid once and shared — prefetched during
-/// the previous step and raced against compute exactly as before, with
-/// the chunk compute of the same step helping to cover the stall. The
-/// port is FIFO multi-consumer: an in-flight decode fetch, the chunk
-/// streams behind it, and the next decode fetch behind those serialize
-/// in issue order, so prompt/decode contention emerges from the port.
-///
-/// With chunking disabled (prefill_chunk_tokens == 0) the engine runs
-/// the serial-prefill compatibility mode: a joining request's whole
-/// prompt is charged in full (compute + its own streaming) at admission,
-/// and only the decode phase races the weight prefetch. A single request
-/// in this mode reproduces InferenceSession::generate cycle-for-cycle on
-/// a fully resident deployment, and serial-minus-hidden on a streamed
-/// one.
-///
-/// The first stream of a serving window is staged ahead of time (the
-/// paper's steady-state setup), and streaming *energy* is charged in
-/// full per consumed step: overlap hides time, not DMA activity.
-///
-/// Admission order is a pluggable runtime::Scheduler policy: whenever a
-/// KV slot frees up, the policy picks the next pending request from a
-/// queue snapshot carrying each request's SloSpec (priority class,
-/// absolute deadline) and a cost-model service estimate. The default is
-/// FIFO (bit-exact with the pre-scheduler engine); PriorityScheduler and
-/// EdfScheduler reorder admission for latency SLOs, and ServingStats
-/// reports deadline misses and the queueing-delay distribution under
-/// every policy. Scheduling never preempts: once admitted, a request
-/// keeps its slot to completion.
-///
-/// KV-cache sets come from a model::KvCachePool sized at construction;
-/// the byte reservation is charged to a mem::Arena through a
-/// mem::SlotArena, so admission beyond max_batch queues and submits
-/// beyond the queue bound are rejected gracefully (nullopt, no UB).
-/// Construction throws PlanError when max_batch KV sets do not fit the
-/// deployment's L2 budget next to the single-request plan the memory
-/// planner already validated — with chunking enabled, the prompt-phase
-/// fit is checked at the chunk shape (chunked prefill shrinks prompt
-/// activations, admitting larger batches under a tight L2).
+/// KV-cache sets come from per-model pools sized at construction; the
+/// byte reservation is charged to a shared mem::Arena through one
+/// tenant-tagged mem::SlotArena (uniform slabs sized for the largest
+/// tenant's set — the MCUBERT-style static shared-pool discipline), so
+/// admission beyond the budget queues and submits beyond the queue bound
+/// are rejected gracefully (nullopt, no UB). Construction throws
+/// PlanError when any model's cap of resident KV sets does not fit its
+/// deployment's L2 next to the single-request plan the memory planner
+/// already validated.
 class BatchedEngine {
  public:
+  /// Single-model options (the historical surface).
   struct Options {
     int max_batch = 4;  ///< concurrent KV-cache pool slots
     /// Bound on the *queue* — the backlog beyond what the free KV slots
@@ -217,39 +254,74 @@ class BatchedEngine {
     std::shared_ptr<const Scheduler> scheduler = nullptr;
   };
 
-  /// `session` must outlive the engine. `tracer`, when non-null,
-  /// receives one span per charge with the owning request id tagged
-  /// (shared weight streaming is split into per-request shares).
+  /// Multi-model options. Per-model knobs (chunk size, quota, cap) live
+  /// on the ModelRegistry entries.
+  struct MultiOptions {
+    /// Shared KV arena size in slots, partitioned across the deployed
+    /// models by the budget policy. Must cover at least one slot per
+    /// deployment.
+    int total_kv_slots = 4;
+    int max_pending = 64;
+    std::shared_ptr<const Scheduler> scheduler = nullptr;
+    /// Shared-arena partitioning policy; null selects the built-in
+    /// static split (each model owns exactly its quota).
+    std::shared_ptr<const KvBudgetPolicy> kv_budget = nullptr;
+  };
+
+  /// Multi-model engine over `registry` (every session must outlive the
+  /// engine). `tracer`, when non-null, receives one span per charge with
+  /// the owning request id — and, when more than one model is deployed,
+  /// the model id — tagged.
+  explicit BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
+                         sim::Tracer* tracer = nullptr);
+
+  /// Single-model engine; `session` must outlive the engine. Exactly the
+  /// multi-model engine with one deployment whose quota and cap are
+  /// max_batch.
   explicit BatchedEngine(const InferenceSession& session, Options opts,
                          sim::Tracer* tracer = nullptr);
   explicit BatchedEngine(const InferenceSession& session)
       : BatchedEngine(session, Options{}) {}
 
-  /// Queue a generation request. Throws distmcu::Error on contract
-  /// violations (empty prompt, context overflow, prompt longer than the
-  /// deployment's static prefill shape `prompt_len`) exactly like InferenceSession::generate; returns nullopt when
-  /// the queue backlog beyond the free KV slots reaches max_pending
-  /// (graceful backpressure — rejects are not SLO misses). `slo` attaches
-  /// a priority class and a completion deadline relative to the
-  /// submit-time engine timeline; the configured Scheduler orders
-  /// admission on it, and ServingStats tracks attainment under every
-  /// policy.
-  [[nodiscard]] std::optional<RequestId> submit(std::vector<int> prompt,
+  /// Queue a generation request against deployed model `model`. Throws
+  /// distmcu::Error on contract violations (empty prompt, context
+  /// overflow, prompt longer than that deployment's static prefill shape
+  /// `prompt_len`) exactly like InferenceSession::generate; returns
+  /// nullopt when the queue backlog beyond the free KV slots reaches
+  /// max_pending (graceful backpressure — rejects are not SLO misses).
+  /// `slo` attaches a priority class and a completion deadline relative
+  /// to the submit-time engine timeline; the configured Scheduler orders
+  /// admission on it across models, and ServingStats tracks attainment
+  /// under every policy. `new_tokens == 0` serves encoder-style
+  /// prefill-only work (e.g. MobileBERT classification).
+  [[nodiscard]] std::optional<RequestId> submit(ModelId model,
+                                                std::vector<int> prompt,
                                                 int new_tokens,
                                                 SloSpec slo = {});
 
-  /// The admission policy in effect (the built-in FIFO instance when
-  /// Options::scheduler was null).
+  /// Single-model convenience: submit against model 0.
+  [[nodiscard]] std::optional<RequestId> submit(std::vector<int> prompt,
+                                                int new_tokens,
+                                                SloSpec slo = {}) {
+    return submit(0, std::move(prompt), new_tokens, slo);
+  }
+
+  /// The admission policy in effect (the built-in FIFO instance when the
+  /// options carried none).
   [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+  /// The KV partitioning policy in effect (the built-in static split
+  /// when the options carried none).
+  [[nodiscard]] const KvBudgetPolicy& kv_budget() const { return *budget_; }
 
   /// Advance one token boundary: admit pending requests into free KV
-  /// slots, advance every prefilling request by one prompt chunk (the
-  /// whole prompt when chunking is disabled), then decode one token for
-  /// every active request past its prefill. Returns false when no work
-  /// remains.
+  /// slots under the budget policy, then give every deployed model its
+  /// sub-phase — advance its prefilling requests by one prompt chunk
+  /// (the whole prompt at admission when chunking is disabled for it)
+  /// and decode one token for every of its active requests past
+  /// prefill. Returns false when no work remains.
   bool step();
 
-  /// Drain the engine and return all finished requests (admit order of
+  /// Drain the engine and return all finished requests (order of
   /// completion).
   [[nodiscard]] std::vector<RequestResult> run_to_completion();
 
@@ -261,12 +333,21 @@ class BatchedEngine {
   [[nodiscard]] int pending_requests() const { return static_cast<int>(pending_.size()); }
   [[nodiscard]] const mem::Arena& kv_arena() const { return kv_arena_; }
   [[nodiscard]] const mem::SlotArena& kv_slots() const { return kv_slots_; }
-  /// Effective prompt-chunk size (0 in serial-prefill mode).
-  [[nodiscard]] int chunk_tokens() const { return chunk_tokens_; }
+
+  [[nodiscard]] int model_count() const { return static_cast<int>(tenants_.size()); }
+  [[nodiscard]] const std::string& model_name(ModelId m) const;
+  /// Static-split reserve / hard cap of one deployed model, in slots.
+  [[nodiscard]] int model_kv_quota(ModelId m) const;
+  [[nodiscard]] int model_kv_cap(ModelId m) const;
+  /// Effective prompt-chunk size of one deployed model (0 = serial
+  /// prefill). The zero-arg form keeps the single-model surface.
+  [[nodiscard]] int chunk_tokens(ModelId m) const;
+  [[nodiscard]] int chunk_tokens() const { return chunk_tokens(0); }
 
  private:
   struct Request {
     RequestId id = -1;
+    ModelId model = 0;
     std::vector<int> prompt;
     int new_tokens = 0;
     std::vector<int> tokens;
@@ -274,7 +355,8 @@ class BatchedEngine {
     int prefill_pos = 0;  // prompt tokens already prefilled (chunked mode)
     int pos = 0;          // absolute position of the next decoded token
     int next = -1;        // pending token, emitted at the next boundary
-    int slot = -1;        // KV pool slot while active
+    int slot = -1;        // shared-arena budget slot while active
+    int set = -1;         // its model's KvCachePool set while active
     Cycles cycles = 0;    // attributed simulated cost
     double energy_mj = 0.0;
     int admitted_step = -1;
@@ -311,34 +393,105 @@ class BatchedEngine {
     Bytes l3_bytes = 0;  // real traffic, for trace fidelity
   };
 
-  bool step_serial();
-  bool step_chunked();
-  /// Returns the number of requests admitted (their prompts are charged
-  /// in full here, serial mode).
-  int admit_pending_serial(int step_idx, double& step_energy);
-  void admit_pending_chunked(int step_idx);
-  /// Pop the scheduler's choice out of the pending queue (the admission
-  /// point both modes share). Pre: pending_ is non-empty.
-  [[nodiscard]] Request take_scheduled_pending();
+  /// One deployed model's serving state: its session, its block-program
+  /// cost decomposition, its KvCachePool, and its staged-weights
+  /// prefetch channel. Index in tenants_ == ModelId == SlotArena tenant
+  /// tag == pipeline channel.
+  struct Tenant {
+    const InferenceSession* session = nullptr;
+    std::string name;
+    int chunk_tokens = 0;
+    std::vector<ChunkCost> chunk_costs;
+
+    // Cost decomposition derived from the block reports.
+    Cycles prompt_cycles = 0;      // full prefill cost, all layers
+    double prompt_energy_mj = 0.0;
+    Cycles prompt_stream_cycles = 0;  // prefill's own L3 port occupancy
+    Cycles ar_shared_cycles = 0;   // weight streaming, shared across the batch
+    double ar_shared_energy_mj = 0.0;
+    Cycles ar_per_req_cycles = 0;  // compute + tile DMA + C2C, per request
+    double ar_per_req_energy_mj = 0.0;
+    Bytes stream_bytes_per_step = 0;  // real L3 bytes, for trace fidelity
+
+    /// Memory plans backing this tenant's L2 fit checks (prompt or
+    /// chunked-prompt shape, plus autoregressive), kept so the engine
+    /// can re-validate the fit against the WHOLE shared arena once all
+    /// tenants are sized (a tenant must hold its working set next to
+    /// every other model's resident KV, not just its own).
+    struct FitPlan {
+      const char* mode = "";
+      partition::MemoryPlan plan;
+    };
+    std::vector<FitPlan> fit_plans;
+    /// Per-chip KV footprint of one of this model's sets (the memory
+    /// planner's worst-case-chip `kv_cache_bytes`, autoregressive
+    /// mode) — the unit of the cross-tenant L2 fit check.
+    Bytes chip_kv_bytes = 0;
+
+    /// Physical cache sets (functional state) — strictly this model's;
+    /// the shared budget lives in the engine's SlotArena. Optional only
+    /// because pools are built after the L2 fit check.
+    std::optional<model::KvCachePool> pool;
+    Bytes kv_set_bytes = 0;  // one pooled set at full capacity
+    int quota = 0;  // static-split reserve (slots)
+    int cap = 0;    // hard ceiling on concurrent slots (== pool size)
+
+    /// The in-flight stream DMA this model's next decode step will
+    /// consume; traced at consumption time so speculative fetches never
+    /// appear. Zero-width before its first decode step (weights staged).
+    Cycles pending_fetch_start = 0;
+    Cycles pending_fetch_ready = 0;
+  };
+
+  [[nodiscard]] static Tenant build_tenant(const ModelDeployment& dep,
+                                           int quota, int cap);
+
+  /// Admit pending requests into free slots under the budget policy;
+  /// serial-prefill models charge their whole prompt here.
+  /// `serial_admitted[m]` is set when model m admitted serial prompt
+  /// work this step.
+  void admit_pending(int step_idx, double& step_energy,
+                     std::vector<char>& serial_admitted);
+  /// Index into pending_ of the scheduler's choice among budget-
+  /// admissible requests, or -1 when nothing may be admitted.
+  [[nodiscard]] int pick_admissible_pending() const;
+  /// One model's slice of the step: chunk runs, token commits, decode
+  /// forwards, and its advance on the shared pipeline (its own channel).
+  void run_subphase(ModelId m, int step_idx, double& step_energy,
+                    bool& step_prefill, bool& step_decode);
+  void subphase_serial(ModelId m, int step_idx, double& step_energy,
+                       bool& step_decode);
+  void subphase_chunked(ModelId m, int step_idx, double& step_energy,
+                        bool& step_prefill, bool& step_decode);
+  /// Exact attribution of one model's decode phase, shared by both
+  /// sub-phase modes: per-request compute at its serialized slot,
+  /// integer stall shares in the wait window (remainder to the earliest
+  /// admitted), token commits at the phase boundary, and the model's
+  /// stall/hidden conservation counters. Pre: `decoders` is non-empty
+  /// and `sp` consumed the model's staged weights.
+  void charge_decode_phase(ModelId m, const std::vector<std::size_t>& decoders,
+                           const PrefetchPipeline::StepSpan& sp,
+                           double& step_energy, bool& step_decode);
   /// Cost-model service estimate for the scheduler: prefill charge
   /// (chunk decomposition when chunking is on) plus new_tokens decode
   /// forwards, excluding batch-shared streaming and queueing.
-  [[nodiscard]] Cycles estimate_request_cost(int prompt_tokens,
+  [[nodiscard]] Cycles estimate_request_cost(const Tenant& t,
+                                             int prompt_tokens,
                                              int new_tokens) const;
   /// Trace the admission decision on the request's lane: its queue wait
   /// as a sched-category span ending at the (final) admitted_at stamp.
   void trace_admission(const Request& r);
   void finish(Request& r, int step_idx);
-  /// Charge `cycles`/`energy` to a request and, when tracing, lay a
-  /// tagged span at [begin, begin + cycles] on the engine timeline —
-  /// spans of different requests get their own trace lanes and may
-  /// overlap within a step.
+  /// Charge `cycles`/`energy` to a request (and its model's attribution
+  /// counters) and, when tracing, lay a tagged span at
+  /// [begin, begin + cycles] on the engine timeline — spans of different
+  /// requests get their own trace lanes and may overlap within a step.
   void charge(Request& r, Cycles cycles, double energy_mj, sim::Category cat,
               const char* label, Cycles begin);
-  /// Embed `toks` and run them through every layer against the
-  /// request's KV slot, `pos_offset` being the absolute position of the
-  /// first row — the one functional forward path shared by prefills
-  /// (whole prompts and chunks) and decode steps.
+  /// Embed `toks` and run them through every layer of the request's
+  /// model against the request's KV set, `pos_offset` being the absolute
+  /// position of the first row — the one functional forward path shared
+  /// by prefills (whole prompts and chunks) and decode steps.
   [[nodiscard]] model::Tensor forward_tokens(const Request& r,
                                              const std::vector<int>& toks,
                                              int pos_offset);
@@ -347,47 +500,30 @@ class BatchedEngine {
   /// the prompt completes.
   int run_prefill_chunk(Request& r);
 
-  const InferenceSession& session_;
-  Options opts_;
+  [[nodiscard]] const Tenant& tenant(ModelId m) const;
+
+  /// Effective engine-level options (keeps the policy shared_ptrs
+  /// alive for the engine's lifetime).
+  MultiOptions opts_;
   sim::Tracer* tracer_;
 
-  // Block-level measurements of this deployment, simulated once;
-  // declared ahead of the pool so the L2 fit check can gate pool
-  // construction.
-  /// Effective chunk size: min(opts.prefill_chunk_tokens, prompt_len),
-  /// 0 when chunking is disabled. Declared first: it decides which
-  /// prompt-shape blocks the constructor simulates.
-  int chunk_tokens_ = 0;
-  /// Full prompt-shape measurement — serial mode only. Chunked mode
-  /// never plans the full prompt shape, so deployments whose full-prompt
-  /// activations do not fit L2 can still serve chunked.
-  std::optional<BlockResult> prompt_block_;
-  BlockResult ar_block_;
-  /// Chunk-shaped block measurements, indexed by chunk position within
-  /// the padded static prompt (span grows with the index); empty when
-  /// chunking is disabled, and released once chunk_costs_ and the pool
-  /// fit check have consumed them.
-  std::vector<BlockResult> chunk_blocks_;
-  std::vector<ChunkCost> chunk_costs_;
+  std::vector<Tenant> tenants_;
+  /// True once more than one model is deployed: charges additionally
+  /// tag the tracer with the owning model so traces grow per-model
+  /// request lanes (single-model traces are unchanged).
+  bool trace_models_ = false;
 
-  // Cost decomposition derived from the block reports.
-  Cycles prompt_cycles_ = 0;      // full prefill cost, all layers
-  double prompt_energy_mj_ = 0.0;
-  Cycles prompt_stream_cycles_ = 0;  // prefill's own L3 port occupancy
-  Cycles ar_shared_cycles_ = 0;   // weight streaming, shared across the batch
-  double ar_shared_energy_mj_ = 0.0;
-  Cycles ar_per_req_cycles_ = 0;  // compute + tile DMA + C2C, per request
-  double ar_per_req_energy_mj_ = 0.0;
-
-  model::KvCachePool kv_pool_;
-  Bytes kv_set_bytes_ = 0;  // one pooled set at full capacity
+  /// Shared KV budget: uniform slabs sized for the largest tenant's
+  /// set, charged to one arena, acquired/released per request with the
+  /// owning tenant tagged.
+  Bytes slab_bytes_ = 0;
   mem::Arena kv_arena_;
   mem::SlotArena kv_slots_;
 
-  /// Effective admission policy: Options::scheduler, or the process-wide
-  /// FIFO instance when none was configured (opts_ keeps the shared_ptr
-  /// alive for the engine's lifetime).
+  /// Effective admission/budget policies: the configured ones, or the
+  /// process-wide FIFO / static-split instances.
   const Scheduler* scheduler_ = nullptr;
+  const KvBudgetPolicy* budget_ = nullptr;
 
   std::deque<Request> pending_;
   std::vector<Request> active_;
@@ -398,21 +534,13 @@ class BatchedEngine {
   std::vector<Cycles> queue_delays_;
   RequestId next_id_ = 0;
 
-  /// Step timeline: decode compute races the next step's weight-stream
-  /// DMA, and prompt-chunk streams race the whole step. The port is
-  /// normalized (1 byte == 1 cycle of the measured serial stream, no
-  /// extra setup) because the block reports already include the per-tile
-  /// DMA setup costs the timed simulation charged.
-  PrefetchPipeline pipeline_{1.0, 0};
-  Bytes stream_bytes_per_step_ = 0;  // real L3 bytes, for trace fidelity
-  /// The in-flight stream DMA the next decode step will consume; traced
-  /// at consumption time so speculative fetches never appear. Zero-width
-  /// before the first decode step (weights staged). `pending_fetch_start_`
-  /// is the port service start — equal to the issue point in serial mode
-  /// (sole port consumer), later when queued behind chunk streams —
-  /// so DMA-lane spans never overlap.
-  Cycles pending_fetch_start_ = 0;
-  Cycles pending_fetch_ready_ = 0;
+  /// Step timeline: every model's decode compute races its next weight
+  /// stream on its own staged channel; all DMAs serialize on the one
+  /// FIFO L3 port. The port is normalized (1 byte == 1 cycle of the
+  /// measured serial stream, no extra setup) because the block reports
+  /// already include the per-tile DMA setup costs the timed simulation
+  /// charged.
+  PrefetchPipeline pipeline_;
 };
 
 }  // namespace distmcu::runtime

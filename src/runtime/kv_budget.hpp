@@ -1,0 +1,121 @@
+#ifndef DISTMCU_RUNTIME_KV_BUDGET_HPP
+#define DISTMCU_RUNTIME_KV_BUDGET_HPP
+
+#include <memory>
+#include <vector>
+
+namespace distmcu::runtime {
+
+/// Deployed-model index within one multi-model serving engine (order of
+/// ModelRegistry::add).
+using ModelId = int;
+
+/// Partitioning policy for the shared KV slot arena of a multi-model
+/// serving engine — the MCUBERT-style shared-pool discipline made
+/// pluggable. The engine owns the slots (a tenant-tagged mem::SlotArena)
+/// and asks the policy, at every admission point, whether a given model
+/// may take ONE more slot given everybody's occupancy and queued demand.
+/// Policies are stateless rankers, so one instance can be shared across
+/// engines and replay is deterministic by construction.
+///
+/// The engine independently enforces the hard invariants — a grant never
+/// exceeds the global free-slot count or the tenant's `cap` — so a
+/// policy only shapes *partitioning*, never correctness.
+class KvBudgetPolicy {
+ public:
+  /// Snapshot of one tenant (deployed model) at the admission point.
+  struct TenantView {
+    ModelId model = 0;
+    int in_use = 0;   ///< slots the model currently holds
+    int pending = 0;  ///< its queued (not yet admitted) requests
+    int quota = 0;    ///< static-split reserve, in slots (>= 1)
+    int cap = 0;      ///< hard ceiling on concurrently held slots
+  };
+
+  virtual ~KvBudgetPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Whether the policy can ever grant a tenant more slots than its
+  /// static quota. The engine uses this to derive each tenant's default
+  /// cap (and so its KvCachePool size and L2 fit check): quota-bound
+  /// policies pin the cap to the quota, borrowing policies to the whole
+  /// arena.
+  [[nodiscard]] virtual bool allows_borrowing() const { return true; }
+
+  /// May `tenant` take one more slot right now? `tenants` is indexed by
+  /// ModelId; `free_slots` counts unheld slots of the shared arena
+  /// (>= 1 whenever the engine asks).
+  [[nodiscard]] virtual bool may_acquire(ModelId tenant,
+                                         const std::vector<TenantView>& tenants,
+                                         int total_slots,
+                                         int free_slots) const = 0;
+};
+
+/// Hard static partition: every model owns exactly its quota, idle or
+/// not. Slots of one model are never handed to another — the
+/// zero-leakage baseline (and the single-model engine's behavior, where
+/// the sole tenant's quota is the whole arena).
+class StaticSplitPolicy final : public KvBudgetPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "static_split"; }
+  [[nodiscard]] bool allows_borrowing() const override { return false; }
+  [[nodiscard]] bool may_acquire(ModelId tenant,
+                                 const std::vector<TenantView>& tenants,
+                                 int total_slots,
+                                 int free_slots) const override;
+};
+
+/// Demand-proportional shares: each admission point recomputes every
+/// model's allowance as ceil(total * demand_m / total_demand) with
+/// demand = in_use + pending, floored at one slot so a model with any
+/// demand always makes progress. A model whose workload drains returns
+/// its share to the others automatically at the next admission point.
+class ProportionalSharePolicy final : public KvBudgetPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "proportional"; }
+  [[nodiscard]] bool may_acquire(ModelId tenant,
+                                 const std::vector<TenantView>& tenants,
+                                 int total_slots,
+                                 int free_slots) const override;
+};
+
+/// Reserved quotas with watermark-gated borrowing: under its quota a
+/// model is always granted; beyond it, the grant is a *borrow* allowed
+/// only while the arena keeps enough free slots to cover (a) the unmet
+/// reserves of every other model that has queued demand and (b) a
+/// configurable extra headroom. Borrowed slots return to the pool at
+/// request completion, so a burst tenant can soak up idle capacity
+/// without ever starving another tenant's guaranteed share.
+class WatermarkBorrowPolicy final : public KvBudgetPolicy {
+ public:
+  struct Options {
+    /// Free slots that must remain after a borrow is granted, on top of
+    /// the unmet reserves of demanding tenants. 0 lends every idle slot.
+    int headroom = 0;
+  };
+
+  WatermarkBorrowPolicy() : opts_{} {}
+  explicit WatermarkBorrowPolicy(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] const char* name() const override { return "watermark"; }
+  [[nodiscard]] bool may_acquire(ModelId tenant,
+                                 const std::vector<TenantView>& tenants,
+                                 int total_slots,
+                                 int free_slots) const override;
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+/// Built-in policy set, for benches and CLI surfaces.
+enum class KvBudget { static_split, proportional, watermark };
+
+[[nodiscard]] const char* kv_budget_name(KvBudget policy);
+[[nodiscard]] std::shared_ptr<const KvBudgetPolicy> make_kv_budget(
+    KvBudget policy);
+
+}  // namespace distmcu::runtime
+
+#endif  // DISTMCU_RUNTIME_KV_BUDGET_HPP

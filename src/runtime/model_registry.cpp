@@ -1,0 +1,41 @@
+#include "runtime/model_registry.hpp"
+
+#include "util/check.hpp"
+
+namespace distmcu::runtime {
+
+ModelId ModelRegistry::add(const InferenceSession& session, std::string name,
+                           int prefill_chunk_tokens, int kv_quota,
+                           int max_resident) {
+  util::check(!name.empty(), "ModelRegistry: deployment name must not be empty");
+  util::check(prefill_chunk_tokens >= 0,
+              "ModelRegistry: prefill_chunk_tokens must be >= 0");
+  util::check(kv_quota >= 0, "ModelRegistry: kv_quota must be >= 0");
+  util::check(max_resident >= 0, "ModelRegistry: max_resident must be >= 0");
+  for (const auto& e : entries_) {
+    util::check(e.name != name,
+                "ModelRegistry: duplicate deployment name '" + name + "'");
+  }
+  ModelDeployment d;
+  d.session = &session;
+  d.name = std::move(name);
+  d.prefill_chunk_tokens = prefill_chunk_tokens;
+  d.kv_quota = kv_quota;
+  d.max_resident = max_resident;
+  entries_.push_back(std::move(d));
+  return static_cast<ModelId>(entries_.size()) - 1;
+}
+
+const ModelDeployment& ModelRegistry::entry(ModelId id) const {
+  util::check(id >= 0 && id < count(), "ModelRegistry: ModelId out of range");
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+ModelId ModelRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<ModelId>(i);
+  }
+  throw Error("ModelRegistry: no deployment named '" + name + "'");
+}
+
+}  // namespace distmcu::runtime

@@ -1,0 +1,60 @@
+#ifndef DISTMCU_RUNTIME_MODEL_REGISTRY_HPP
+#define DISTMCU_RUNTIME_MODEL_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "runtime/inference_session.hpp"
+#include "runtime/kv_budget.hpp"
+
+namespace distmcu::runtime {
+
+/// One deployed (model::Config, chip-count, block program) tuple plus
+/// its serving shape. The session owns the model, the partition, and
+/// the timed block program; the registry entry adds the per-tenant
+/// serving knobs the multi-model engine needs.
+struct ModelDeployment {
+  const InferenceSession* session = nullptr;
+  std::string name;
+  /// Prompt-chunk size of the chunked-prefill step model for this
+  /// tenant; 0 = serial-prefill compatibility mode (per-model, so a
+  /// chunked generator can share the engine with a serial encoder).
+  int prefill_chunk_tokens = 0;
+  /// Static-split reserve in shared KV slots. 0 = filled in by the
+  /// engine with an equal split of the arena (remainder to the earliest
+  /// deployments).
+  int kv_quota = 0;
+  /// Hard ceiling on concurrently held slots (bounds this tenant's
+  /// KvCachePool and its L2 fit check). 0 = derived: the quota under
+  /// the static-split policy, the whole arena under borrowing policies.
+  int max_resident = 0;
+};
+
+/// The deployments one multi-model engine multiplexes: N sessions keyed
+/// by a dense ModelId (the add() order). Sessions are borrowed, not
+/// owned — they must outlive every engine built from the registry. The
+/// registry itself is a cheap value type; engines copy the entries at
+/// construction.
+class ModelRegistry {
+ public:
+  /// Register a deployment; returns its ModelId (dense, starting at 0).
+  ModelId add(const InferenceSession& session, std::string name,
+              int prefill_chunk_tokens = 0, int kv_quota = 0,
+              int max_resident = 0);
+
+  [[nodiscard]] int count() const { return static_cast<int>(entries_.size()); }
+  [[nodiscard]] const ModelDeployment& entry(ModelId id) const;
+  [[nodiscard]] const std::vector<ModelDeployment>& entries() const {
+    return entries_;
+  }
+
+  /// ModelId of the deployment named `name`; throws when absent.
+  [[nodiscard]] ModelId find(const std::string& name) const;
+
+ private:
+  std::vector<ModelDeployment> entries_;
+};
+
+}  // namespace distmcu::runtime
+
+#endif  // DISTMCU_RUNTIME_MODEL_REGISTRY_HPP

@@ -2,17 +2,26 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace distmcu::runtime {
 
 PrefetchPipeline::PrefetchPipeline(double bandwidth_bytes_per_cycle,
-                                   Cycles dma_setup)
-    : port_("l3_prefetch", bandwidth_bytes_per_cycle, dma_setup) {}
+                                   Cycles dma_setup, int channels)
+    : port_("l3_prefetch", bandwidth_bytes_per_cycle, dma_setup) {
+  util::check(channels > 0, "PrefetchPipeline: channels must be positive");
+  // Channel 0's weights are staged before the window opens (the paper's
+  // block-0 setup); later channels start the same way.
+  weights_ready_.assign(static_cast<std::size_t>(channels), 0);
+}
 
 PrefetchPipeline::Span PrefetchPipeline::advance(Cycles compute,
-                                                 Bytes next_bytes) {
-  const StepSpan sp = advance_step(/*prefill_compute=*/0,
-                                   /*prefill_stream_bytes=*/0,
-                                   /*consume_staged=*/true, compute, next_bytes);
+                                                 Bytes next_bytes,
+                                                 int channel) {
+  const StepSpan sp =
+      advance_step(/*prefill_compute=*/0,
+                   /*prefill_stream_bytes=*/0,
+                   /*consume_staged=*/true, compute, next_bytes, channel);
   Span span;
   span.begin = sp.begin;
   span.start = sp.decode_start;
@@ -25,13 +34,17 @@ PrefetchPipeline::Span PrefetchPipeline::advance(Cycles compute,
 
 PrefetchPipeline::StepSpan PrefetchPipeline::advance_step(
     Cycles prefill_compute, Bytes prefill_stream_bytes, bool consume_staged,
-    Cycles decode_compute, Bytes next_bytes) {
+    Cycles decode_compute, Bytes next_bytes, int channel) {
+  util::check(channel >= 0 &&
+                  channel < static_cast<int>(weights_ready_.size()),
+              "PrefetchPipeline: channel out of range");
+  Cycles& staged = weights_ready_[static_cast<std::size_t>(channel)];
   StepSpan sp;
   sp.begin = engine_.now();
 
   // This step's prompt-chunk streams go on the port at the step start;
   // the FIFO horizon serializes them behind any decode fetch still in
-  // flight (issued during an earlier step).
+  // flight (issued during an earlier step, any channel).
   if (prefill_stream_bytes > 0) {
     sp.chunk_stream_start = port_.earliest_start(sp.begin);
     sp.chunk_ready = port_.transfer(sp.begin, prefill_stream_bytes);
@@ -45,7 +58,7 @@ PrefetchPipeline::StepSpan PrefetchPipeline::advance_step(
   // cover whatever the staged fetch has not yet delivered.
   sp.decode_begin = sp.begin + prefill_compute;
   if (consume_staged) {
-    sp.decode_start = std::max(sp.decode_begin, weights_ready_);
+    sp.decode_start = std::max(sp.decode_begin, staged);
     sp.stall = sp.decode_start - sp.decode_begin;
     stall_total_ += sp.stall;
   } else {
@@ -54,17 +67,18 @@ PrefetchPipeline::StepSpan PrefetchPipeline::advance_step(
 
   // The prefetch for the following decode step is programmed the moment
   // this step's decode phase starts; the FIFO port serializes it behind
-  // the chunk streams issued above.
+  // the chunk streams issued above (and behind other channels' fetches
+  // still in flight).
   sp.fetch_issue = sp.decode_start;
   if (next_bytes > 0) {
     sp.fetch_start = port_.earliest_start(sp.decode_start);
     sp.fetch_ready = port_.transfer(sp.decode_start, next_bytes);
-    weights_ready_ = sp.fetch_ready;
+    staged = sp.fetch_ready;
   } else {
     sp.fetch_start = sp.decode_start;
     sp.fetch_ready = sp.decode_start;
     // Staged weights remain resident for the next consuming step.
-    if (consume_staged) weights_ready_ = sp.decode_start;
+    if (consume_staged) staged = sp.decode_start;
   }
 
   const Cycles work_end = sp.decode_start + decode_compute;
@@ -77,11 +91,13 @@ PrefetchPipeline::StepSpan PrefetchPipeline::advance_step(
 }
 
 void PrefetchPipeline::advance_opaque(Cycles compute, Cycles port_cycles) {
-  // The opaque span's own port traffic preempts an in-flight fetch for
-  // exactly the cycles it occupies; with nothing in flight (or weights
-  // already staged) the port is free and nothing moves.
-  if (port_cycles > 0 && weights_ready_ > engine_.now()) {
-    weights_ready_ += port_cycles;
+  // The opaque span's own port traffic preempts every in-flight fetch
+  // for exactly the cycles it occupies; with nothing in flight (or
+  // weights already staged) the port is free and nothing moves.
+  if (port_cycles > 0) {
+    for (Cycles& staged : weights_ready_) {
+      if (staged > engine_.now()) staged += port_cycles;
+    }
   }
   engine_.schedule_at(engine_.now() + compute, [] {});
   engine_.run();

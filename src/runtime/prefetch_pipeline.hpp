@@ -1,6 +1,8 @@
 #ifndef DISTMCU_RUNTIME_PREFETCH_PIPELINE_HPP
 #define DISTMCU_RUNTIME_PREFETCH_PIPELINE_HPP
 
+#include <vector>
+
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 
@@ -73,31 +75,37 @@ class PrefetchPipeline {
   };
 
   /// `bandwidth_bytes_per_cycle` / `dma_setup` configure the L3 port every
-  /// prefetch serializes on (FIFO, shared busy horizon).
-  PrefetchPipeline(double bandwidth_bytes_per_cycle, Cycles dma_setup);
+  /// prefetch serializes on (FIFO, shared busy horizon). `channels` is
+  /// the number of independent staged-weights slots sharing the port —
+  /// one per deployed model in multi-model serving, where each model's
+  /// decode weights are prefetched into its own staging buffer but every
+  /// DMA still serializes on the single off-chip link. The default (1)
+  /// is the historical single-deployment pipeline.
+  explicit PrefetchPipeline(double bandwidth_bytes_per_cycle, Cycles dma_setup,
+                            int channels = 1);
 
   /// Advance by one compute span of `compute` cycles that consumes the
-  /// currently staged weights (stalling until they are ready), and issue
-  /// the DMA of `next_bytes` for the following span at this span's start.
-  /// `next_bytes == 0` issues nothing: whatever is staged stays staged,
-  /// so the next consuming span starts stall-free. Equivalent to
-  /// advance_step with an empty prompt phase.
-  Span advance(Cycles compute, Bytes next_bytes);
+  /// currently staged weights of `channel` (stalling until they are
+  /// ready), and issue the DMA of `next_bytes` for the following span at
+  /// this span's start. `next_bytes == 0` issues nothing: whatever is
+  /// staged stays staged, so the next consuming span starts stall-free.
+  /// Equivalent to advance_step with an empty prompt phase.
+  Span advance(Cycles compute, Bytes next_bytes, int channel = 0);
 
   /// Advance by one heterogeneous step:
   ///  1. `prefill_compute` cycles of prompt-chunk work run from the step
   ///     start while the chunks' own `prefill_stream_bytes` stream on the
   ///     port (issued at step start, FIFO behind any in-flight fetch);
   ///  2. when `consume_staged`, a decode phase of `decode_compute` cycles
-  ///     follows, gated on the staged weights (the stall window sits
-  ///     after the prompt work, which therefore helps cover it);
+  ///     follows, gated on `channel`'s staged weights (the stall window
+  ///     sits after the prompt work, which therefore helps cover it);
   ///  3. `next_bytes` of the following decode fetch are issued at the
   ///     decode phase start, behind the chunk streams.
   /// The step ends at max(compute end, chunk streams landed); the
   /// overshoot is reported as `prefill_tail`.
   StepSpan advance_step(Cycles prefill_compute, Bytes prefill_stream_bytes,
                         bool consume_staged, Cycles decode_compute,
-                        Bytes next_bytes);
+                        Bytes next_bytes, int channel = 0);
 
   /// Advance the timeline by a span that does not touch the staged
   /// weights (the serial-prefill compatibility mode, where a prompt is
@@ -118,7 +126,9 @@ class PrefetchPipeline {
  private:
   sim::Engine engine_;
   sim::Resource port_;
-  Cycles weights_ready_ = 0;  // readiness of the next consuming span's weights
+  /// Readiness of the next consuming span's weights, one staging slot
+  /// per channel (all DMAs share the port's FIFO horizon).
+  std::vector<Cycles> weights_ready_;
   Cycles stall_total_ = 0;
 };
 

@@ -36,6 +36,11 @@ class Scheduler {
   /// Queue-snapshot view of one pending request, in submit order.
   struct Candidate {
     RequestId id = -1;
+    /// Deployed model this request targets (0 in single-model serving).
+    /// The built-in policies rank across models through the per-model
+    /// `estimated_cost` rather than consulting this directly; custom
+    /// policies may partition on it.
+    int model = 0;
     /// SloSpec fields, deadline already resolved to the absolute engine
     /// timeline (kNoDeadline when the request carries none).
     int priority = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <set>
 #include <string>
@@ -51,8 +52,11 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
        << "\",\"cat\":\"" << category_name(span.category) << "\",\"ph\":\"X\""
        << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"pid\":" << span.chip
        << ",\"tid\":" << lane_tid(span)
-       << ",\"args\":{\"bytes\":" << span.bytes << ",\"request\":" << span.request
-       << "}}";
+       << ",\"args\":{\"bytes\":" << span.bytes << ",\"request\":" << span.request;
+    // Model tags exist only in multi-model serving traces; single-model
+    // and block-level traces stay byte-identical to the historical form.
+    if (span.model != kNoModel) os << ",\"model\":" << span.model;
+    os << "}}";
   }
   // Process/thread names so Perfetto shows "chip N" / category labels /
   // "request N" serving lanes. Request-lane metadata is emitted only for
@@ -61,10 +65,17 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
   // phantom empty lanes on every other chip.
   int max_chip = -1;
   std::set<std::pair<int, int>> request_lanes;
+  // Model of each request lane (kNoModel outside multi-model serving):
+  // lane names grow a "model N:" prefix so Perfetto groups each
+  // deployment's requests visually.
+  std::map<std::pair<int, int>, int> lane_model;
   for (const auto& span : tracer.spans()) {
     max_chip = std::max(max_chip, span.chip);
     if (span.request != kNoRequest) {
       request_lanes.emplace(span.chip, span.request);
+      if (span.model != kNoModel) {
+        lane_model[{span.chip, span.request}] = span.model;
+      }
     }
   }
   for (int chip = 0; chip <= max_chip; ++chip) {
@@ -79,7 +90,12 @@ void write_chrome_trace(const Tracer& tracer, double freq_hz, std::ostream& os) 
   for (const auto& [chip, req] : request_lanes) {
     os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << chip
        << ",\"tid\":" << static_cast<int>(kNumCategories) + req
-       << ",\"args\":{\"name\":\"request " << req << "\"}}";
+       << ",\"args\":{\"name\":\"";
+    const auto model_it = lane_model.find({chip, req});
+    if (model_it != lane_model.end()) {
+      os << "model " << model_it->second << ": ";
+    }
+    os << "request " << req << "\"}}";
   }
   os << "]}";
   os.precision(saved_precision);

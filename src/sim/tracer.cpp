@@ -21,11 +21,13 @@ void Tracer::record(const Span& span) {
   util::check(span.end >= span.begin, "Tracer span ends before it begins");
   spans_.push_back(span);
   if (spans_.back().request == kNoRequest) spans_.back().request = request_;
+  if (spans_.back().model == kNoModel) spans_.back().model = model_;
 }
 
 void Tracer::record(int chip, Category cat, Cycles begin, Cycles end, Bytes bytes,
                     std::string label) {
-  record(Span{chip, cat, begin, end, bytes, std::move(label), kNoRequest});
+  record(Span{chip, cat, begin, end, bytes, std::move(label), kNoRequest,
+              kNoModel});
 }
 
 Cycles Tracer::total(int chip, Category cat) const {
@@ -66,9 +68,18 @@ Cycles Tracer::total_for_request(int request) const {
   return sum;
 }
 
+Cycles Tracer::total_for_model(int model) const {
+  Cycles sum = 0;
+  for (const auto& s : spans_) {
+    if (s.model == model) sum += s.duration();
+  }
+  return sum;
+}
+
 void Tracer::clear() {
   spans_.clear();
   request_ = kNoRequest;
+  model_ = kNoModel;
 }
 
 }  // namespace distmcu::sim

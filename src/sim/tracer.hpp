@@ -32,6 +32,11 @@ inline constexpr std::size_t kNumCategories = 5;
 /// prefetch for a whole batch).
 inline constexpr int kNoRequest = -1;
 
+/// Model id attached to spans recorded outside multi-model serving —
+/// single-model engines and the block-level simulation leave every span
+/// untagged, so their traces are unchanged.
+inline constexpr int kNoModel = -1;
+
 /// One traced activity interval on one chip.
 struct Span {
   int chip = 0;
@@ -43,6 +48,10 @@ struct Span {
   /// Serving request this span is attributed to (kNoRequest outside the
   /// batched engine). Stamped by the tracer's active tag at record time.
   int request = kNoRequest;
+  /// Deployed model this span belongs to (kNoModel outside multi-model
+  /// serving). Stamped by the tracer's active model tag at record time;
+  /// drives the per-model lane grouping of the Chrome-trace export.
+  int model = kNoModel;
 
   [[nodiscard]] Cycles duration() const { return end - begin; }
 };
@@ -80,15 +89,26 @@ class Tracer {
   void set_request(int request) { request_ = request; }
   [[nodiscard]] int current_request() const { return request_; }
 
+  /// Tag every subsequently recorded span with a deployed-model id (the
+  /// multi-model serving engine's per-model trace lanes). Reset with
+  /// set_model(kNoModel).
+  void set_model(int model) { model_ = model; }
+  [[nodiscard]] int current_model() const { return model_; }
+
   /// Sum of span durations attributed to one request, over all chips
   /// and categories.
   [[nodiscard]] Cycles total_for_request(int request) const;
+
+  /// Sum of span durations attributed to one model, over all chips and
+  /// categories.
+  [[nodiscard]] Cycles total_for_model(int model) const;
 
   void clear();
 
  private:
   std::vector<Span> spans_;
   int request_ = kNoRequest;
+  int model_ = kNoModel;
 };
 
 }  // namespace distmcu::sim

@@ -1,0 +1,76 @@
+#ifndef DISTMCU_TESTS_INVARIANT_ENV_HPP
+#define DISTMCU_TESTS_INVARIANT_ENV_HPP
+
+// Shared plumbing of the randomized invariant suites: the
+// DISTMCU_INVARIANT_SEEDS seed-count override (the nightly CI job runs
+// 1000) and the DISTMCU_REPRO_FILE failing-seed logger whose lines the
+// nightly job uploads as an artifact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace distmcu::testing {
+
+/// Seed count of one randomized suite, overridable via the
+/// DISTMCU_INVARIANT_SEEDS environment variable. The env value scales
+/// the *reference* suite (120 seeds); every suite passes its own
+/// default so the cheaper sweeps keep their relative weight —
+/// DISTMCU_INVARIANT_SEEDS=1000 grows a 120-seed suite to 1000 and a
+/// 12-seed suite to 100.
+inline std::uint64_t invariant_seed_count(std::uint64_t fallback,
+                                          std::uint64_t reference = 120) {
+  const char* env = std::getenv("DISTMCU_INVARIANT_SEEDS");
+  if (env == nullptr) return fallback;
+  const unsigned long long v = std::strtoull(env, nullptr, 10);
+  if (v == 0) return fallback;
+  return std::max<std::uint64_t>(fallback, fallback * v / reference);
+}
+
+/// Per-seed failure logger: when a seeded scenario fails, append an
+/// actionable repro line (environment assignments FIRST, then the
+/// command, so it can be pasted into a shell verbatim) to the file
+/// named by DISTMCU_REPRO_FILE. Detection compares the test's
+/// failure-part count around each seed, so one bad seed in a thousand
+/// is pinpointed without aborting the sweep.
+class SeedReproLog {
+ public:
+  /// `binary` / `suite` name the repro command, e.g.
+  /// ("./test_serving_invariants", "ServingInvariants.Randomized...").
+  SeedReproLog(const char* binary, const char* suite)
+      : binary_(binary), suite_(suite) {}
+
+  /// Call before running a seed.
+  void begin() { parts_before_ = failure_parts(); }
+
+  /// Call after running a seed; logs when the seed added failures.
+  void end(std::uint64_t seed) {
+    if (failure_parts() == parts_before_) return;
+    const char* path = std::getenv("DISTMCU_REPRO_FILE");
+    if (path == nullptr) return;
+    const char* seeds = std::getenv("DISTMCU_INVARIANT_SEEDS");
+    std::ofstream os(path, std::ios::app);
+    os << suite_ << ": failing seed " << seed << " — repro: ";
+    if (seeds != nullptr) os << "DISTMCU_INVARIANT_SEEDS=" << seeds << " ";
+    os << binary_ << " --gtest_filter=" << suite_ << "\n";
+  }
+
+ private:
+  static int failure_parts() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return info == nullptr ? 0 : info->result()->total_part_count();
+  }
+
+  const char* binary_;
+  const char* suite_;
+  int parts_before_ = 0;
+};
+
+}  // namespace distmcu::testing
+
+#endif  // DISTMCU_TESTS_INVARIANT_ENV_HPP

@@ -16,11 +16,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iterator>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "invariant_env.hpp"
 #include "runtime/batched_engine.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/scheduler.hpp"
@@ -39,6 +43,9 @@ using runtime::ServingStats;
 using runtime::SloSpec;
 
 namespace {
+
+using distmcu::testing::invariant_seed_count;
+using distmcu::testing::SeedReproLog;
 
 /// One shared deployment the randomized scenarios draw from, with its
 /// per-step serial decode stream precomputed for the conservation
@@ -299,14 +306,19 @@ void check_invariants(const Scenario& sc, const BatchedEngine& engine,
 
 TEST(ServingInvariants, RandomizedScenariosHoldConservation) {
   // >= 100 seeded scenarios across deployments, chunk sizes, batch
-  // shapes, and arrival patterns.
-  constexpr std::uint64_t kSeeds = 120;
+  // shapes, and arrival patterns (default 120; the nightly job raises
+  // it via DISTMCU_INVARIANT_SEEDS).
+  const std::uint64_t kSeeds = invariant_seed_count(120);
+  SeedReproLog repro("./test_serving_invariants",
+                     "ServingInvariants.RandomizedScenariosHoldConservation");
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    repro.begin();
     Scenario sc = make_scenario(seed);
     const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
     BatchedEngine engine(*dep.session, sc.opts);
     const auto results = run_scenario(sc, engine);
     check_invariants(sc, engine, results, seed);
+    repro.end(seed);
   }
 }
 
@@ -360,8 +372,12 @@ TEST(ServingInvariants, RandomizedSloScenariosHoldConservationUnderEveryPolicy) 
   // schedulers only permute admission, never the cost model. Every
   // scenario runs under all three built-in policies with randomized
   // priorities and deadlines.
-  constexpr std::uint64_t kSeeds = 25;
+  const std::uint64_t kSeeds = invariant_seed_count(25);
+  SeedReproLog repro(
+      "./test_serving_invariants",
+      "ServingInvariants.RandomizedSloScenariosHoldConservationUnderEveryPolicy");
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    repro.begin();
     for (const auto policy : {SchedulePolicy::fifo, SchedulePolicy::priority,
                               SchedulePolicy::edf}) {
       Scenario sc = make_scenario(seed);
@@ -374,6 +390,7 @@ TEST(ServingInvariants, RandomizedSloScenariosHoldConservationUnderEveryPolicy) 
       check_invariants(sc, engine, results, seed,
                        /*fifo_admission=*/policy == SchedulePolicy::fifo);
     }
+    repro.end(seed);
   }
 }
 

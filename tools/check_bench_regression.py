@@ -1,28 +1,42 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for the serving bench.
+"""CI perf-regression gate for the machine-readable benches.
 
-Compares a fresh ``serving_throughput --json`` run against the
-checked-in baseline (``bench/baselines/serving_baseline.json``,
-schema ``distmcu.serving.v1``) and exits nonzero on regression:
+Compares a fresh ``<bench> --json`` run against its checked-in baseline
+under ``bench/baselines/`` and exits nonzero on regression. The handler
+is selected by the baseline's ``schema`` field; the candidate must carry
+the same schema:
 
-* batch_sweep rows (matched by batch size): tokens_per_s must not drop
-  more than ``--tolerance`` below baseline; total_cycles and
-  mj_per_token must not grow more than ``--tolerance`` above it.
-* chunk_sweep rows (matched by chunk size): total_cycles bound as above.
-* slo_policies rows (matched by policy): deadline_misses must not
-  exceed the baseline count (the workload is deterministic, so any
-  increase is a scheduling regression), tokens_per_s and
-  queue_delay_p95 are tolerance-bounded.
-* cross-policy invariants of the mixed deadline workload: EDF must keep
-  strictly fewer misses than FIFO at equal-or-better throughput.
+* ``distmcu.serving.v1`` (serving_throughput): batch_sweep rows (matched
+  by batch size) bound tokens_per_s below and total_cycles/mj_per_token
+  above baseline by ``--tolerance``; chunk_sweep rows likewise;
+  slo_policies rows additionally pin deadline_misses (the workload is
+  deterministic, so any increase is a scheduling regression) and check
+  the cross-policy invariant that EDF keeps strictly fewer misses than
+  FIFO at equal-or-better throughput.
+* ``distmcu.headline.v1`` (headline_abstract): metrics rows (matched by
+  name) must stay within ``--tolerance`` of the baseline measurement in
+  BOTH directions, a band that passed in the baseline must still pass,
+  and all_bands_pass must hold.
+* ``distmcu.multimodel.v1`` (multimodel_serving): mixed rows (matched by
+  budget policy) bound requests_per_s/tokens_per_s below and
+  total_cycles above baseline, kv_cross_leak_slots must be zero, each
+  model's completed/generated counts are pinned exactly, and the shared
+  arena must keep speedup_vs_best_isolated >= 1.
+
+Structural strictness: every section, row, and metric field present in
+the BASELINE must exist in the candidate — a missing key fails the gate
+with a clear message instead of silently passing (or crashing with a
+bare KeyError).
 
 The simulator is an analytic, integer-cycle model seeded
 deterministically, so current and baseline numbers agree exactly when
 the code is unchanged; the tolerance only absorbs intentional small
 drifts (retuned constants) without letting real regressions through.
-Regenerate the baseline with:
+Regenerate a baseline with, e.g.:
 
     ./build/serving_throughput --json bench/baselines/serving_baseline.json
+    ./build/headline_abstract --json bench/baselines/headline_baseline.json
+    ./build/multimodel_serving --json bench/baselines/multimodel_baseline.json
 
 Uses only the Python standard library.
 """
@@ -31,43 +45,224 @@ import argparse
 import json
 import sys
 
-SCHEMA = "distmcu.serving.v1"
+SERVING_SCHEMA = "distmcu.serving.v1"
+HEADLINE_SCHEMA = "distmcu.headline.v1"
+MULTIMODEL_SCHEMA = "distmcu.multimodel.v1"
 
 
 def fail(errors, msg):
     errors.append(msg)
 
 
-def index_rows(rows, key):
-    return {row[key]: row for row in rows}
+def require(errors, doc, key, ctx):
+    """Fetch doc[key], failing the gate with a clear message when the
+    baseline expects a key the candidate does not carry."""
+    if not isinstance(doc, dict) or key not in doc:
+        fail(errors, f"{ctx}: required key '{key}' missing from candidate "
+                     f"JSON (present in baseline)")
+        return None
+    return doc[key]
+
+
+def index_rows(errors, section, rows, key):
+    out = {}
+    for i, row in enumerate(rows):
+        k = require(errors, row, key, f"{section}[{i}]")
+        if k is not None:
+            out[k] = row
+    return out
 
 
 def check_rows(errors, section, current, baseline, key, lower_is_better,
-               higher_is_better, tol):
-    cur = index_rows(current, key)
-    base = index_rows(baseline, key)
+               higher_is_better, tol, pinned=()):
+    """Field-wise drift bounds for baseline-keyed row lists. Fields in
+    `pinned` must match the baseline exactly (deterministic counts)."""
+    if current is None:
+        return
+    cur = index_rows(errors, f"current.{section}", current, key)
+    base = index_rows(errors, f"baseline.{section}", baseline, key)
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        fail(errors, f"{section}: baseline rows missing from candidate: "
+                     f"{missing}")
+        return
     if set(cur) != set(base):
         fail(errors, f"{section}: row keys differ "
                      f"(current {sorted(cur)} vs baseline {sorted(base)})")
         return
     for k, brow in base.items():
         crow = cur[k]
+        ctx = f"{section}[{key}={k}]"
         for field in higher_is_better:
-            if crow[field] < brow[field] * (1.0 - tol):
+            cval = require(errors, crow, field, ctx)
+            if cval is None:
+                continue
+            if cval < brow[field] * (1.0 - tol):
                 fail(errors,
-                     f"{section}[{key}={k}].{field}: {crow[field]:.6g} fell "
-                     f"more than {tol:.0%} below baseline {brow[field]:.6g}")
+                     f"{ctx}.{field}: {cval:.6g} fell more than {tol:.0%} "
+                     f"below baseline {brow[field]:.6g}")
         for field in lower_is_better:
-            if crow[field] > brow[field] * (1.0 + tol):
+            cval = require(errors, crow, field, ctx)
+            if cval is None:
+                continue
+            if cval > brow[field] * (1.0 + tol):
                 fail(errors,
-                     f"{section}[{key}={k}].{field}: {crow[field]:.6g} grew "
-                     f"more than {tol:.0%} above baseline {brow[field]:.6g}")
+                     f"{ctx}.{field}: {cval:.6g} grew more than {tol:.0%} "
+                     f"above baseline {brow[field]:.6g}")
+        for field in pinned:
+            cval = require(errors, crow, field, ctx)
+            if cval is None:
+                continue
+            if cval != brow[field]:
+                fail(errors, f"{ctx}.{field}: {cval!r} != baseline "
+                             f"{brow[field]!r} on the deterministic workload")
+
+
+def check_serving(errors, current, baseline, tol):
+    check_rows(errors, "batch_sweep",
+               require(errors, current, "batch_sweep", "current"),
+               baseline["batch_sweep"], "batch",
+               lower_is_better=("total_cycles", "mj_per_token"),
+               higher_is_better=("tokens_per_s",), tol=tol)
+    check_rows(errors, "chunk_sweep",
+               require(errors, current, "chunk_sweep", "current"),
+               baseline["chunk_sweep"], "chunk",
+               lower_is_better=("total_cycles",),
+               higher_is_better=("tokens_per_s",), tol=tol)
+    slo = require(errors, current, "slo_policies", "current")
+    check_rows(errors, "slo_policies", slo,
+               baseline["slo_policies"], "policy",
+               lower_is_better=("total_cycles", "queue_delay_p95"),
+               higher_is_better=("tokens_per_s",), tol=tol)
+    if slo is None:
+        return ""
+
+    policies = index_rows(errors, "current.slo_policies", slo, "policy")
+    base_policies = index_rows(errors, "baseline.slo_policies",
+                               baseline["slo_policies"], "policy")
+    for name, brow in base_policies.items():
+        row = policies.get(name)
+        if row is None:
+            continue  # already reported by check_rows
+        misses = require(errors, row, "deadline_misses",
+                         f"slo_policies[{name}]")
+        if misses is not None and misses > brow["deadline_misses"]:
+            fail(errors,
+                 f"slo_policies[{name}]: deadline_misses rose "
+                 f"{brow['deadline_misses']} -> {misses} on the "
+                 f"deterministic workload")
+    fifo, edf = policies.get("fifo"), policies.get("edf")
+    if fifo is None or edf is None:
+        fail(errors, "slo_policies: fifo/edf rows missing")
+        return ""
+    fifo_misses = require(errors, fifo, "deadline_misses",
+                          "slo_policies[fifo]")
+    edf_misses = require(errors, edf, "deadline_misses", "slo_policies[edf]")
+    fifo_tok = require(errors, fifo, "tokens_per_s", "slo_policies[fifo]")
+    edf_tok = require(errors, edf, "tokens_per_s", "slo_policies[edf]")
+    if None in (fifo_misses, edf_misses, fifo_tok, edf_tok):
+        return ""
+    if edf_misses >= fifo_misses:
+        fail(errors,
+             f"invariant: EDF misses ({edf_misses}) not below "
+             f"FIFO ({fifo_misses})")
+    if edf_tok < fifo_tok * (1.0 - 1e-9):
+        fail(errors,
+             f"invariant: EDF throughput {edf_tok:.6g} below "
+             f"FIFO {fifo_tok:.6g}")
+    return f"EDF {edf_misses} vs FIFO {fifo_misses} misses"
+
+
+def check_headline(errors, current, baseline, tol):
+    metrics = require(errors, current, "metrics", "current")
+    if metrics is None:
+        return ""
+    cur = index_rows(errors, "current.metrics", metrics, "metric")
+    base = index_rows(errors, "baseline.metrics", baseline["metrics"],
+                      "metric")
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        fail(errors, f"metrics: baseline metrics missing from candidate: "
+                     f"{missing}")
+        return ""
+    passing = 0
+    for name, brow in base.items():
+        crow = cur[name]
+        ctx = f"metrics[{name}]"
+        measured = require(errors, crow, "measured", ctx)
+        band = require(errors, crow, "band_pass", ctx)
+        if measured is not None:
+            lo = brow["measured"] - abs(brow["measured"]) * tol
+            hi = brow["measured"] + abs(brow["measured"]) * tol
+            if not (lo <= measured <= hi):
+                fail(errors,
+                     f"{ctx}.measured: {measured:.6g} drifted more than "
+                     f"{tol:.0%} from baseline {brow['measured']:.6g}")
+        if band is not None:
+            if brow["band_pass"] and not band:
+                fail(errors, f"{ctx}: band_pass regressed true -> false")
+            passing += bool(band)
+    all_pass = require(errors, current, "all_bands_pass", "current")
+    if all_pass is not None and baseline.get("all_bands_pass") and not all_pass:
+        fail(errors, "all_bands_pass regressed true -> false")
+    return f"{passing}/{len(base)} bands pass"
+
+
+def check_multimodel(errors, current, baseline, tol):
+    mixed = require(errors, current, "mixed", "current")
+    check_rows(errors, "mixed", mixed, baseline["mixed"], "policy",
+               lower_is_better=("total_cycles",),
+               higher_is_better=("requests_per_s", "tokens_per_s"), tol=tol,
+               pinned=("kv_cross_leak_slots",))
+    if mixed is not None:
+        for row in mixed:
+            name = row.get("policy", "?")
+            ctx = f"mixed[{name}]"
+            leak = require(errors, row, "kv_cross_leak_slots", ctx)
+            if leak not in (None, 0):
+                fail(errors, f"{ctx}: kv_cross_leak_slots = {leak} "
+                             f"(cross-model KV leakage)")
+            per_model = require(errors, row, "per_model", ctx)
+            base_row = next((b for b in baseline["mixed"]
+                             if b.get("policy") == name), None)
+            if per_model is None or base_row is None:
+                continue
+            check_rows(errors, f"{ctx}.per_model", per_model,
+                       base_row["per_model"], "model",
+                       lower_is_better=("attributed_cycles",),
+                       higher_is_better=(), tol=tol,
+                       pinned=("completed", "generated"))
+    check_rows(errors, "isolated",
+               require(errors, current, "isolated", "current"),
+               baseline["isolated"], "llama_slots",
+               lower_is_better=("total_cycles",),
+               higher_is_better=("requests_per_s",), tol=tol)
+    check_rows(errors, "budget_policies",
+               require(errors, current, "budget_policies", "current"),
+               baseline["budget_policies"], "policy",
+               lower_is_better=("total_cycles",),
+               higher_is_better=("requests_per_s",), tol=tol)
+    speedup = require(errors, current, "speedup_vs_best_isolated", "current")
+    if speedup is not None and speedup < 1.0 - 1e-9:
+        fail(errors,
+             f"invariant: mixed serving ({speedup:.4f}x) fell below the "
+             f"best isolated single-model split at equal total KV slots")
+    if speedup is None:
+        return ""
+    return f"mixed {speedup:.3f}x vs best isolated split"
+
+
+HANDLERS = {
+    SERVING_SCHEMA: check_serving,
+    HEADLINE_SCHEMA: check_headline,
+    MULTIMODEL_SCHEMA: check_multimodel,
+}
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("current", help="BENCH_serving.json from this build")
-    ap.add_argument("baseline", help="checked-in serving_baseline.json")
+    ap.add_argument("current", help="BENCH_*.json from this build")
+    ap.add_argument("baseline", help="checked-in bench/baselines/*.json")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="relative drift allowed on cycle/throughput fields "
                          "(default 0.05)")
@@ -79,56 +274,25 @@ def main():
         baseline = json.load(f)
 
     errors = []
-    for name, doc in (("current", current), ("baseline", baseline)):
-        if doc.get("schema") != SCHEMA:
-            fail(errors, f"{name}: schema {doc.get('schema')!r} != {SCHEMA!r}")
-    if errors:
-        print("\n".join(errors))
-        return 1
-
-    tol = args.tolerance
-    check_rows(errors, "batch_sweep", current["batch_sweep"],
-               baseline["batch_sweep"], "batch",
-               lower_is_better=("total_cycles", "mj_per_token"),
-               higher_is_better=("tokens_per_s",), tol=tol)
-    check_rows(errors, "chunk_sweep", current["chunk_sweep"],
-               baseline["chunk_sweep"], "chunk",
-               lower_is_better=("total_cycles",),
-               higher_is_better=("tokens_per_s",), tol=tol)
-    check_rows(errors, "slo_policies", current["slo_policies"],
-               baseline["slo_policies"], "policy",
-               lower_is_better=("total_cycles", "queue_delay_p95"),
-               higher_is_better=("tokens_per_s",), tol=tol)
-
-    policies = index_rows(current["slo_policies"], "policy")
-    base_policies = index_rows(baseline["slo_policies"], "policy")
-    for name, row in policies.items():
-        brow = base_policies.get(name)
-        if brow is not None and row["deadline_misses"] > brow["deadline_misses"]:
-            fail(errors,
-                 f"slo_policies[{name}]: deadline_misses rose "
-                 f"{brow['deadline_misses']} -> {row['deadline_misses']} on the "
-                 f"deterministic workload")
-    fifo, edf = policies.get("fifo"), policies.get("edf")
-    if fifo is None or edf is None:
-        fail(errors, "slo_policies: fifo/edf rows missing")
-    else:
-        if edf["deadline_misses"] >= fifo["deadline_misses"]:
-            fail(errors,
-                 f"invariant: EDF misses ({edf['deadline_misses']}) not below "
-                 f"FIFO ({fifo['deadline_misses']})")
-        if edf["tokens_per_s"] < fifo["tokens_per_s"] * (1.0 - 1e-9):
-            fail(errors,
-                 f"invariant: EDF throughput {edf['tokens_per_s']:.6g} below "
-                 f"FIFO {fifo['tokens_per_s']:.6g}")
+    schema = baseline.get("schema")
+    handler = HANDLERS.get(schema)
+    if handler is None:
+        fail(errors, f"baseline: unknown schema {schema!r} "
+                     f"(expected one of {sorted(HANDLERS)})")
+    if current.get("schema") != schema:
+        fail(errors, f"current: schema {current.get('schema')!r} != "
+                     f"baseline {schema!r}")
+    summary = ""
+    if not errors:
+        summary = handler(errors, current, baseline, args.tolerance)
 
     if errors:
         print("PERF REGRESSION GATE FAILED:")
         print("\n".join(f"  - {e}" for e in errors))
         return 1
-    print(f"perf gate OK: {args.current} within {tol:.0%} of {args.baseline} "
-          f"(EDF {edf['deadline_misses']} vs FIFO {fifo['deadline_misses']} "
-          f"misses)")
+    print(f"perf gate OK [{schema}]: {args.current} within "
+          f"{args.tolerance:.0%} of {args.baseline}"
+          + (f" ({summary})" if summary else ""))
     return 0
 
 

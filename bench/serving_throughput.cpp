@@ -23,12 +23,23 @@
 // throughput; the bench exits nonzero if it does not, so CI catches a
 // scheduling regression even without the JSON gate.
 //
+// The fourth table drives an identical overloaded offered load — a
+// burst of long best-effort background jobs from one tenant, then
+// tight-deadline interactive jobs from a second tenant, then a second
+// background flood that jams the bounded queue — through three engine
+// configurations: the non-preemptive EDF engine, EDF + deadline-aware
+// preemption (checkpoint/evict/resume), and the full overload stack
+// (preemption + fail-fast rejection + fair load shedding). Preemption
+// must cut the deadline misses, and the full stack must cut them
+// further (hopeless deadlines are refused at submit instead of
+// counting as misses); the bench exits nonzero otherwise.
+//
 // --json <path> additionally writes the machine-readable result used by
 // the CI perf-regression gate (tools/check_bench_regression.py compares
 // it against bench/baselines/serving_baseline.json). Stable schema:
 //
 //   {
-//     "schema": "distmcu.serving.v1",
+//     "schema": "distmcu.serving.v2",
 //     "model": "<config name>", "chips": N, "freq_hz": F,
 //     "batch_sweep": [            // first table, one row per batch size
 //       {"batch": B, "tokens_per_s": x, "total_cycles": n,
@@ -40,20 +51,31 @@
 //       {"policy": "fifo|priority|edf", "total_cycles": n,
 //        "tokens_per_s": x, "slo_requests": n, "deadline_misses": n,
 //        "miss_rate": x, "queue_delay_p50": n, "queue_delay_p95": n,
-//        "queue_delay_p99": n}]
+//        "queue_delay_p99": n}],
+//     "overload": [               // fourth table, one row per config
+//       {"config": "edf|edf+preempt|edf+preempt+failfast+shed",
+//        "offered": n, "accepted": n, "completed": n,
+//        "deadline_misses": n, "miss_rate": x,
+//        "rejected_queue_full": n, "rejected_hopeless": n, "shed": n,
+//        "preemptions": n, "resumes": n, "preemption_cycles": n,
+//        "queue_depth_peak": n, "total_cycles": n, "tokens_per_s": x}]
 //   }
 //
 // Integer fields are exact simulated cycles/counts; doubles are emitted
 // with enough digits to round-trip. Additive fields may appear in later
 // versions; consumers must key on "schema" and ignore unknown keys.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "runtime/batched_engine.hpp"
 #include "runtime/inference_session.hpp"
+#include "runtime/kv_budget.hpp"
+#include "runtime/model_registry.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -125,20 +147,123 @@ PolicyRow run_slo_scenario(const runtime::InferenceSession& session,
           engine.stats().aggregate_tokens_per_s(freq_hz)};
 }
 
+struct OverloadRow {
+  std::string config;
+  int offered = 0;
+  int accepted = 0;
+  runtime::ServingStats stats;
+  double tok_s = 0.0;
+};
+
+struct OverloadJob {
+  int step = 0;  ///< engine step at which the job is offered
+  runtime::ModelId model = 0;
+  std::vector<int> prompt;
+  int new_tokens = 0;
+  runtime::SloSpec slo;
+  bool attempted = false;
+};
+
+/// One fixed offered load, identical across the engine configurations:
+/// a burst of long background jobs from tenant 0 saturates both KV
+/// slots (borrowing tenant 1's reserve under the watermark policy),
+/// tight-deadline interactive jobs from tenant 1 arrive mid-serving —
+/// including two with hopeless sub-service deadlines — and a second
+/// background flood jams the bounded queue before a late interactive
+/// wave that only fair shedding can still seat.
+std::vector<OverloadJob> overload_jobs(Cycles fg_deadline) {
+  std::vector<OverloadJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({0, 0, {1 + i, 7 + i, 3, 9, 2 + i, 5, 8, 4}, 16,
+                    {.priority = 2, .deadline_cycles = runtime::kNoDeadline}});
+  }
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({2, 1, {20 + i, 11}, 3,
+                    {.priority = 0, .deadline_cycles = fg_deadline}});
+  }
+  for (int i = 0; i < 2; ++i) {
+    jobs.push_back({3, 1, {30 + i, 13}, 3,
+                    {.priority = 0, .deadline_cycles = 1'000}});
+  }
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back({4, 0, {40 + i, 9 - (i % 3), 3, 7}, 16,
+                    {.priority = 2, .deadline_cycles = runtime::kNoDeadline}});
+  }
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back({6, 1, {50 + i, 17}, 3,
+                    {.priority = 0, .deadline_cycles = fg_deadline}});
+  }
+  return jobs;
+}
+
+OverloadRow run_overload(const runtime::InferenceSession& session,
+                         std::string config, bool preempt, bool failfast,
+                         bool fair_shed, Cycles fg_deadline, double freq_hz) {
+  // Two tenants over one deployment: the tenancy (and the shed/reclaim
+  // fairness) is what is under test, not a second model's cost profile.
+  runtime::ModelRegistry reg;
+  (void)reg.add(session, "background");
+  (void)reg.add(session, "interactive");
+  runtime::BatchedEngine::MultiOptions opts;
+  opts.total_kv_slots = 2;
+  opts.max_pending = 12;
+  opts.scheduler = runtime::make_scheduler(runtime::SchedulePolicy::edf);
+  opts.kv_budget = runtime::make_kv_budget(runtime::KvBudget::watermark);
+  opts.fail_fast_deadlines = failfast;
+  opts.fair_shedding = fair_shed;
+  if (preempt) {
+    opts.preemption = std::make_shared<runtime::DeadlineAwarePreemption>();
+  }
+  runtime::BatchedEngine engine(reg, opts);
+
+  auto jobs = overload_jobs(fg_deadline);
+  OverloadRow row;
+  row.config = std::move(config);
+  row.offered = static_cast<int>(jobs.size());
+  int step = 0;
+  for (;;) {
+    bool submitted_any = false;
+    for (auto& job : jobs) {
+      if (job.attempted || job.step > step) continue;
+      if (engine.submit(job.model, job.prompt, job.new_tokens, job.slo)) {
+        ++row.accepted;
+      }
+      job.attempted = true;
+      submitted_any = true;
+    }
+    const bool pending_arrivals = std::any_of(
+        jobs.begin(), jobs.end(), [](const auto& j) { return !j.attempted; });
+    const bool work = engine.step();
+    ++step;
+    if (!work && !pending_arrivals && !submitted_any) break;
+    util::check(step <= 5000, "overload scenario did not drain");
+  }
+  row.stats = engine.stats();
+  row.tok_s = row.stats.aggregate_tokens_per_s(freq_hz);
+  // Conservation across the overload machinery, whatever the config:
+  // every offered request is accounted for exactly once.
+  util::check(row.accepted + row.stats.rejected == row.offered,
+              "overload: offered != accepted + rejected");
+  util::check(row.stats.completed + row.stats.shed == row.accepted,
+              "overload: accepted != completed + shed");
+  return row;
+}
+
 /// Minimal JSON emission (objects with number/string members only);
 /// max_digits10 keeps the doubles round-trip exact for the gate.
 void write_json(const std::string& path, const model::TransformerConfig& cfg,
                 int n_chips, double freq_hz,
                 const std::vector<BatchRow>& batches,
                 const std::vector<ChunkRow>& chunks,
-                const std::vector<PolicyRow>& policies) {
+                const std::vector<PolicyRow>& policies,
+                const std::vector<OverloadRow>& overload) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "cannot open --json path " << path << "\n";
     std::exit(2);
   }
   os.precision(17);
-  os << "{\n  \"schema\": \"distmcu.serving.v1\",\n"
+  os << "{\n  \"schema\": \"distmcu.serving.v2\",\n"
      << "  \"model\": \"" << bench::json_escape(cfg.name) << "\",\n"
      << "  \"chips\": " << n_chips << ",\n"
      << "  \"freq_hz\": " << freq_hz << ",\n  \"batch_sweep\": [";
@@ -173,6 +298,26 @@ void write_json(const std::string& path, const model::TransformerConfig& cfg,
        << ", \"queue_delay_p50\": " << p.stats.queue_delay_p50
        << ", \"queue_delay_p95\": " << p.stats.queue_delay_p95
        << ", \"queue_delay_p99\": " << p.stats.queue_delay_p99 << "}";
+  }
+  os << "\n  ],\n  \"overload\": [";
+  for (std::size_t i = 0; i < overload.size(); ++i) {
+    const auto& o = overload[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"config\": \""
+       << bench::json_escape(o.config) << "\""
+       << ", \"offered\": " << o.offered
+       << ", \"accepted\": " << o.accepted
+       << ", \"completed\": " << o.stats.completed
+       << ", \"deadline_misses\": " << o.stats.deadline_misses
+       << ", \"miss_rate\": " << o.stats.deadline_miss_rate()
+       << ", \"rejected_queue_full\": " << o.stats.rejected_queue_full
+       << ", \"rejected_hopeless\": " << o.stats.rejected_hopeless_deadline
+       << ", \"shed\": " << o.stats.shed
+       << ", \"preemptions\": " << o.stats.preemptions
+       << ", \"resumes\": " << o.stats.resumes
+       << ", \"preemption_cycles\": " << o.stats.preemption_cycles
+       << ", \"queue_depth_peak\": " << o.stats.queue_depth_peak
+       << ", \"total_cycles\": " << o.stats.total_cycles
+       << ", \"tokens_per_s\": " << o.tok_s << "}";
   }
   os << "\n  ]\n}\n";
 }
@@ -344,14 +489,95 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- overload: preemption, fail-fast, fair shedding --------------------
+  // Interactive deadline: generous for the jobs' own service plus one
+  // checkpoint round trip, far below the background drain — so the miss
+  // deltas isolate the overload machinery.
+  const auto ar_block = session.run_block(model::Mode::autoregressive);
+  const Cycles ar_serial = ar_block.report.block_cycles *
+                           static_cast<Cycles>(cfg.num_layers);
+  const Cycles prefill_serial =
+      session.run_block(model::Mode::prompt).report.block_cycles *
+      static_cast<Cycles>(cfg.num_layers);
+  const Cycles fg_deadline = prefill_serial + 6 * ar_serial;
+  std::cout << "\nOverload — identical offered load (6 long background, then "
+               "tight-deadline\ninteractive arrivals incl. 2 hopeless, then a "
+               "10-job background flood into a\n12-deep queue over 2 shared "
+               "KV slots, watermark borrowing, EDF admission):\n\n";
+  util::Table ovl_table({"config", "offered", "accepted", "completed",
+                         "misses", "rej_full", "rej_hopeless", "shed",
+                         "preempt", "qpeak", "agg_tok_per_s"});
+  std::vector<OverloadRow> overload_rows;
+  overload_rows.push_back(run_overload(session, "edf", /*preempt=*/false,
+                                       /*failfast=*/false, /*fair_shed=*/false,
+                                       fg_deadline, freq_hz));
+  overload_rows.push_back(run_overload(session, "edf+preempt",
+                                       /*preempt=*/true, /*failfast=*/false,
+                                       /*fair_shed=*/false, fg_deadline,
+                                       freq_hz));
+  overload_rows.push_back(run_overload(session, "edf+preempt+failfast+shed",
+                                       /*preempt=*/true, /*failfast=*/true,
+                                       /*fair_shed=*/true, fg_deadline,
+                                       freq_hz));
+  for (const auto& o : overload_rows) {
+    ovl_table.row()
+        .add(o.config)
+        .add(o.offered)
+        .add(o.accepted)
+        .add(o.stats.completed)
+        .add(o.stats.deadline_misses)
+        .add(o.stats.rejected_queue_full)
+        .add(o.stats.rejected_hopeless_deadline)
+        .add(o.stats.shed)
+        .add(o.stats.preemptions)
+        .add(o.stats.queue_depth_peak)
+        .add(o.tok_s, 1);
+  }
+  ovl_table.print(std::cout);
+  std::cout << "\nPreemption checkpoints a borrowed-slot background job out "
+               "of the arena so\nthe interactive deadlines are served in "
+               "time; fail-fast converts the\nhopeless deadlines into "
+               "rejections instead of misses; fair shedding seats\nthe late "
+               "interactive wave by dropping the flooding tenant's newest "
+               "backlog.\n";
+
+  const auto& nonpre = overload_rows[0];
+  const auto& pre = overload_rows[1];
+  const auto& full = overload_rows[2];
+  if (pre.stats.deadline_misses >= nonpre.stats.deadline_misses) {
+    std::cout << "FAIL: preemption misses (" << pre.stats.deadline_misses
+              << ") not below non-preemptive (" << nonpre.stats.deadline_misses
+              << ")\n";
+    ok = false;
+  }
+  if (full.stats.deadline_misses > pre.stats.deadline_misses) {
+    std::cout << "FAIL: full overload stack misses ("
+              << full.stats.deadline_misses << ") above preemption-only ("
+              << pre.stats.deadline_misses << ")\n";
+    ok = false;
+  }
+  if (pre.stats.preemptions == 0 || full.stats.preemptions == 0) {
+    std::cout << "FAIL: preemptive configs never preempted\n";
+    ok = false;
+  }
+  if (full.stats.shed == 0) {
+    std::cout << "FAIL: fair shedding never shed on the jammed queue\n";
+    ok = false;
+  }
+  if (full.stats.rejected_hopeless_deadline == 0) {
+    std::cout << "FAIL: fail-fast never rejected the hopeless deadlines\n";
+    ok = false;
+  }
+
   std::cout << "\nCSV:\n";
   table.write_csv(std::cout);
   chunk_table.write_csv(std::cout);
   slo_table.write_csv(std::cout);
+  ovl_table.write_csv(std::cout);
 
   if (!json_path.empty()) {
     write_json(json_path, cfg, n_chips, freq_hz, batch_rows, chunk_rows,
-               policy_rows);
+               policy_rows, overload_rows);
     std::cout << "\nwrote " << json_path << "\n";
   }
   return ok ? 0 : 1;

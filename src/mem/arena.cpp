@@ -102,6 +102,14 @@ void SlotArena::release(int slot, int tenant) {
   release(slot);
 }
 
+void SlotArena::reclaim(int slot, int tenant) {
+  release(slot, tenant);
+  const auto t = static_cast<std::size_t>(tenant);
+  if (t >= tenant_reclaimed_.size()) tenant_reclaimed_.resize(t + 1, 0);
+  ++tenant_reclaimed_[t];
+  ++total_reclaimed_;
+}
+
 int SlotArena::owner(int slot) const {
   util::check(slot >= 0 && slot < capacity(),
               "SlotArena '" + name_ + "': owner of out-of-range slot");
@@ -116,6 +124,11 @@ int SlotArena::tenant_in_use(int tenant) const {
 int SlotArena::tenant_high_water(int tenant) const {
   const auto t = static_cast<std::size_t>(tenant);
   return t < tenant_high_water_.size() ? tenant_high_water_[t] : 0;
+}
+
+int SlotArena::tenant_reclaimed(int tenant) const {
+  const auto t = static_cast<std::size_t>(tenant);
+  return t < tenant_reclaimed_.size() ? tenant_reclaimed_[t] : 0;
 }
 
 }  // namespace distmcu::mem

@@ -101,6 +101,13 @@ class SlotArena {
   /// `tenant` — the serving engine's cross-tenant leak guard.
   void release(int slot, int tenant);
 
+  /// Owner-checked release that additionally counts the slot as
+  /// *reclaimed* from `tenant` — the preemptive-eviction path, where a
+  /// slot is taken back mid-request rather than returned at completion.
+  /// Watermark borrows reclaim against the borrowing tenant (the slot's
+  /// recorded owner), so cross-model repayments are visible per tenant.
+  void reclaim(int slot, int tenant);
+
   [[nodiscard]] int capacity() const { return static_cast<int>(owner_.size()); }
   [[nodiscard]] int in_use() const { return n_in_use_; }
   [[nodiscard]] int free() const { return capacity() - n_in_use_; }
@@ -117,6 +124,10 @@ class SlotArena {
   [[nodiscard]] int tenant_in_use(int tenant) const;
   /// Most slots `tenant` ever held at once.
   [[nodiscard]] int tenant_high_water(int tenant) const;
+  /// Slots reclaimed (preemptively released) from `tenant` so far.
+  [[nodiscard]] int tenant_reclaimed(int tenant) const;
+  /// Reclaimed slots across all tenants.
+  [[nodiscard]] int total_reclaimed() const { return total_reclaimed_; }
 
  private:
   std::string name_;
@@ -125,6 +136,8 @@ class SlotArena {
   int n_in_use_ = 0;
   std::vector<int> tenant_in_use_;     // indexed by tenant, grown on demand
   std::vector<int> tenant_high_water_;
+  std::vector<int> tenant_reclaimed_;
+  int total_reclaimed_ = 0;
 };
 
 }  // namespace distmcu::mem

@@ -42,6 +42,18 @@ Tensor KvCache::v_slice(int c0, int c1) const {
   return v_store_.slice_rows(0, length_).slice_cols(c0, c1);
 }
 
+void KvCache::copy_state_from(const KvCache& src) {
+  util::check(src.max_positions_ == max_positions_ && src.dim_ == dim_,
+              "KvCache::copy_state_from: shape mismatch");
+  for (int p = 0; p < src.length_; ++p) {
+    const auto k = src.k_store_.row(p);
+    const auto v = src.v_store_.row(p);
+    std::copy(k.begin(), k.end(), k_store_.row(p).begin());
+    std::copy(v.begin(), v.end(), v_store_.row(p).begin());
+  }
+  length_ = src.length_;
+}
+
 KvCachePool::KvCachePool(int n_slots, const std::function<CacheSet()>& build_set) {
   util::check(n_slots > 0, "KvCachePool: slot count must be positive");
   slots_.reserve(static_cast<std::size_t>(n_slots));
@@ -60,6 +72,27 @@ void KvCachePool::reset_slot(int i) {
   for (auto& per_chip : slot(i)) {
     for (auto& cache : per_chip) cache.reset();
   }
+}
+
+void KvCachePool::restore_slot(int i, const CacheSet& snapshot) {
+  CacheSet& dst = slot(i);
+  util::check(snapshot.size() == dst.size(),
+              "KvCachePool::restore_slot: chip-count mismatch");
+  for (std::size_t chip = 0; chip < dst.size(); ++chip) {
+    util::check(snapshot[chip].size() == dst[chip].size(),
+                "KvCachePool::restore_slot: layer-count mismatch");
+    for (std::size_t l = 0; l < dst[chip].size(); ++l) {
+      dst[chip][l].copy_state_from(snapshot[chip][l]);
+    }
+  }
+}
+
+Bytes KvCachePool::set_filled_bytes(int i, Bytes elem_bytes) {
+  Bytes sum = 0;
+  for (const auto& per_chip : slot(i)) {
+    for (const auto& cache : per_chip) sum += cache.filled_bytes(elem_bytes);
+  }
+  return sum;
 }
 
 std::optional<int> KvCachePool::acquire_set() {

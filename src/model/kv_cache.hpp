@@ -37,10 +37,24 @@ class KvCache {
 
   void reset() { length_ = 0; }
 
+  /// Overwrite this cache's state (filled rows + length) from a
+  /// same-shape snapshot — the restore half of preemptive serving's
+  /// checkpoint/resume. Rows past the snapshot's length are outside the
+  /// filled prefix and never read, so they are left untouched.
+  void copy_state_from(const KvCache& src);
+
   /// Bytes this cache occupies at `elem_bytes` per element, for the full
   /// capacity (what the memory planner must reserve).
   [[nodiscard]] Bytes capacity_bytes(Bytes elem_bytes) const {
     return 2ull * static_cast<Bytes>(max_positions_) * static_cast<Bytes>(dim_) *
+           elem_bytes;
+  }
+
+  /// Bytes of the filled prefix at `elem_bytes` per element — the KV
+  /// traffic an eviction checkpoint (or its resume) must move off/on
+  /// chip.
+  [[nodiscard]] Bytes filled_bytes(Bytes elem_bytes) const {
+    return 2ull * static_cast<Bytes>(length_) * static_cast<Bytes>(dim_) *
            elem_bytes;
   }
 
@@ -75,6 +89,16 @@ class KvCachePool {
 
   /// Empty every cache in a set before handing it to a new request.
   void reset_slot(int i);
+
+  /// Overwrite set `i` from a snapshot taken off a same-shape set
+  /// (shape-checked cache by cache) — resuming a preempted request
+  /// restores its KV contents bit-exactly before its next decode step.
+  void restore_slot(int i, const CacheSet& snapshot);
+
+  /// Bytes of set `i`'s filled prefixes (all chips, all layers) at
+  /// `elem_bytes` per element — the eviction-checkpoint traffic of the
+  /// request currently holding the set.
+  [[nodiscard]] Bytes set_filled_bytes(int i, Bytes elem_bytes);
 
   /// Lowest free set index, or nullopt when every set is handed out.
   [[nodiscard]] std::optional<int> acquire_set();

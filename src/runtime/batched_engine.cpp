@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -308,7 +309,10 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
                     MultiOptions{.total_kv_slots = opts.max_batch,
                                  .max_pending = opts.max_pending,
                                  .scheduler = opts.scheduler,
-                                 .kv_budget = nullptr},
+                                 .kv_budget = nullptr,
+                                 .fail_fast_deadlines = opts.fail_fast_deadlines,
+                                 .fair_shedding = opts.fair_shedding,
+                                 .preemption = opts.preemption},
                     tracer) {}
 
 const BatchedEngine::Tenant& BatchedEngine::tenant(ModelId m) const {
@@ -353,6 +357,8 @@ Cycles BatchedEngine::estimate_request_cost(const Tenant& t, int prompt_tokens,
 std::optional<RequestId> BatchedEngine::submit(ModelId model,
                                                std::vector<int> prompt,
                                                int new_tokens, SloSpec slo) {
+  // The model guard must stay ahead of every per_model[...] index below:
+  // an unknown id must throw, not corrupt another deployment's counters.
   util::check(model >= 0 && model < model_count(),
               "submit: unknown model id " + std::to_string(model));
   const Tenant& t = tenants_[static_cast<std::size_t>(model)];
@@ -369,14 +375,43 @@ std::optional<RequestId> BatchedEngine::submit(ModelId model,
       "submit: prompt exceeds the deployment's prefill length (" +
           std::to_string(t.session->config().prompt_len) + ")");
 
+  last_rejection_ = Rejection::none;
+  auto& pm = stats_.per_model[static_cast<std::size_t>(model)];
+  const Cycles submitted_at = pipeline_.now();
+  // Saturating resolve: a near-max relative deadline must pin to the
+  // timeline's end (never missed), not wrap into the past (always
+  // "missed" and, under fail-fast, always refused).
+  const Cycles deadline_at =
+      slo.deadline_cycles != kNoDeadline
+          ? util::sat_add(submitted_at, slo.deadline_cycles)
+          : kNoDeadline;
+  const Cycles est =
+      estimate_request_cost(t, static_cast<int>(prompt.size()), new_tokens);
+
+  // Fail-fast: refuse a deadline the request's own service demand
+  // already blows on an idle engine — queueing and batching only add to
+  // it, so accepting would just burn slots on a guaranteed miss.
+  if (opts_.fail_fast_deadlines && deadline_at != kNoDeadline &&
+      util::sat_add(submitted_at, est) > deadline_at) {
+    last_rejection_ = Rejection::hopeless_deadline;
+    ++stats_.rejected;
+    ++stats_.rejected_hopeless_deadline;
+    ++pm.rejected;
+    return std::nullopt;
+  }
+
   // max_pending bounds the *queue*: only the backlog beyond what the
   // free KV slots can absorb at the next admission point counts against
   // it, so an idle engine with a free slot admits even at
-  // max_pending == 0.
+  // max_pending == 0. On a full queue fair shedding (when enabled) may
+  // drop a heavier tenant's newest queued request to make room.
   const int backlog = static_cast<int>(pending_.size()) - kv_slots_.free();
-  if (backlog >= opts_.max_pending) {
+  if (backlog >= opts_.max_pending &&
+      !(opts_.fair_shedding && shed_for_model(model))) {
+    last_rejection_ = Rejection::queue_full;
     ++stats_.rejected;
-    ++stats_.per_model[static_cast<std::size_t>(model)].rejected;
+    ++stats_.rejected_queue_full;
+    ++pm.rejected;
     return std::nullopt;
   }
   Request r;
@@ -385,20 +420,18 @@ std::optional<RequestId> BatchedEngine::submit(ModelId model,
   r.prompt = std::move(prompt);
   r.new_tokens = new_tokens;
   r.slo = slo;
-  r.submitted_at = pipeline_.now();
-  if (slo.deadline_cycles != kNoDeadline) {
-    r.deadline_at = r.submitted_at + slo.deadline_cycles;
-  }
-  r.estimated_cost =
-      estimate_request_cost(t, static_cast<int>(r.prompt.size()), new_tokens);
+  r.submitted_at = submitted_at;
+  r.deadline_at = deadline_at;
+  r.estimated_cost = est;
   const RequestId id = r.id;
   pending_.push_back(std::move(r));
-  ++stats_.per_model[static_cast<std::size_t>(model)].submitted;
+  ++pm.submitted;
+  stats_.queue_depth_peak =
+      std::max(stats_.queue_depth_peak, static_cast<int>(pending_.size()));
   return id;
 }
 
-int BatchedEngine::pick_admissible_pending() const {
-  // Budget snapshot: everybody's occupancy and queued demand.
+std::vector<KvBudgetPolicy::TenantView> BatchedEngine::budget_views() const {
   std::vector<KvBudgetPolicy::TenantView> views(tenants_.size());
   for (std::size_t m = 0; m < tenants_.size(); ++m) {
     views[m].model = static_cast<ModelId>(m);
@@ -409,6 +442,218 @@ int BatchedEngine::pick_admissible_pending() const {
   for (const Request& p : pending_) {
     ++views[static_cast<std::size_t>(p.model)].pending;
   }
+  return views;
+}
+
+bool BatchedEngine::admissible_now(
+    const Request& p, const std::vector<KvBudgetPolicy::TenantView>& views,
+    int free_slots) const {
+  if (free_slots <= 0) return false;
+  const auto m = static_cast<std::size_t>(p.model);
+  if (views[m].in_use >= tenants_[m].cap) return false;
+  return budget_->may_acquire(p.model, views, kv_slots_.capacity(), free_slots);
+}
+
+bool BatchedEngine::admits_after_evicting(const Request& starved,
+                                          const Request& victim) const {
+  // Post-eviction snapshot: the victim's slot frees and it rejoins the
+  // queue; then ask whether the budget would grant the starved request
+  // the freed slot (a watermark-borrowed victim slot repays the reserve
+  // cross-model, which is exactly what makes this reclaim useful).
+  auto views = budget_views();
+  auto& vv = views[static_cast<std::size_t>(victim.model)];
+  --vv.in_use;
+  ++vv.pending;
+  return admissible_now(starved, views, kv_slots_.free() + 1);
+}
+
+Cycles BatchedEngine::remaining_cost(const Request& r) const {
+  const Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
+  Cycles est = 0;
+  if (!r.prefill_done()) {
+    if (t.chunk_tokens > 0) {
+      const int len = static_cast<int>(r.prompt.size());
+      const int n_chunks = (len + t.chunk_tokens - 1) / t.chunk_tokens;
+      for (int ci = r.prefill_pos / t.chunk_tokens; ci < n_chunks; ++ci) {
+        const ChunkCost& cc = t.chunk_costs[static_cast<std::size_t>(ci)];
+        est += cc.compute + cc.stream;
+      }
+    } else {
+      est = t.prompt_cycles;
+    }
+    if (r.new_tokens > 1) {
+      est += static_cast<Cycles>(r.new_tokens - 1) * t.ar_per_req_cycles;
+    }
+    return est;
+  }
+  // Mid-decode: generate's composition leaves new_tokens - 1 - generated
+  // forwards ahead of a request whose next token is already pending.
+  const int decode_left = std::max(0, r.new_tokens - r.generated - 1);
+  return static_cast<Cycles>(decode_left) * t.ar_per_req_cycles;
+}
+
+void BatchedEngine::maybe_preempt(int step_idx, double& step_energy) {
+  if (opts_.preemption == nullptr) return;
+  // Bound the evictions per step by the step's initial batch size so a
+  // pathological policy cannot loop the step forever.
+  int evict_budget = static_cast<int>(active_.size());
+  while (evict_budget-- > 0 && !pending_.empty() && !active_.empty()) {
+    if (!attempt_preemption(step_idx, step_energy)) break;
+  }
+}
+
+bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
+  const Cycles now = pipeline_.now();
+  const auto views = budget_views();
+  const int free_slots = kv_slots_.free();
+
+  // Starved = pending with a deadline the cost estimator says is
+  // feasible started now, but that the budget will not admit right now.
+  // Earliest such deadline first (lowest id on ties).
+  int starved_idx = -1;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Request& p = pending_[i];
+    if (p.deadline_at == kNoDeadline) continue;
+    if (util::sat_add(now, p.estimated_cost) > p.deadline_at) continue;
+    if (admissible_now(p, views, free_slots)) continue;
+    const auto si = static_cast<std::size_t>(starved_idx);
+    if (starved_idx < 0 || p.deadline_at < pending_[si].deadline_at ||
+        (p.deadline_at == pending_[si].deadline_at &&
+         p.id < pending_[si].id)) {
+      starved_idx = static_cast<int>(i);
+    }
+  }
+  if (starved_idx < 0) return false;
+  const Request& s = pending_[static_cast<std::size_t>(starved_idx)];
+
+  // Victims: mid-decode running requests whose eviction actually
+  // unblocks the starved request under the budget.
+  std::vector<std::size_t> victim_idx;
+  std::vector<PreemptionPolicy::Victim> victims;
+  Cycles min_rem = std::numeric_limits<Cycles>::max();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const Request& v = active_[i];
+    if (!v.prefill_done() || v.new_tokens == 0 || v.generated >= v.new_tokens) {
+      continue;
+    }
+    if (!admits_after_evicting(s, v)) continue;
+    PreemptionPolicy::Victim pv;
+    pv.id = v.id;
+    pv.model = v.model;
+    pv.priority = v.slo.priority;
+    pv.deadline_at = v.deadline_at;
+    pv.remaining_cost = remaining_cost(v);
+    pv.generated = v.generated;
+    pv.new_tokens = v.new_tokens;
+    pv.borrowed = kv_slots_.tenant_in_use(v.model) >
+                  tenants_[static_cast<std::size_t>(v.model)].quota;
+    pv.times_evicted = v.times_evicted;
+    min_rem = std::min(min_rem, pv.remaining_cost);
+    victims.push_back(pv);
+    victim_idx.push_back(i);
+  }
+  if (victims.empty()) return false;
+
+  // The trigger proper: preempt only when waiting for the earliest
+  // natural release among the helpful victims would blow the starved
+  // deadline that is attainable today.
+  if (util::sat_add(util::sat_add(now, min_rem), s.estimated_cost) <=
+      s.deadline_at) {
+    return false;
+  }
+
+  Scheduler::Candidate c;
+  c.id = s.id;
+  c.model = s.model;
+  c.priority = s.slo.priority;
+  c.deadline_at = s.deadline_at;
+  c.submitted_at = s.submitted_at;
+  c.submit_seq = s.id;
+  c.estimated_cost = s.estimated_cost;
+  const int pick = opts_.preemption->pick_victim(victims, c, now);
+  if (pick < 0) return false;
+  util::check(pick < static_cast<int>(victims.size()),
+              std::string("BatchedEngine: preemption policy '") +
+                  opts_.preemption->name() +
+                  "' returned an out-of-range victim index");
+  evict_active(victim_idx[static_cast<std::size_t>(pick)], step_idx,
+               step_energy);
+  return true;
+}
+
+void BatchedEngine::evict_active(std::size_t idx, int /*step_idx*/,
+                                 double& step_energy) {
+  Request r = std::move(active_[idx]);
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
+  Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
+  const Bytes elem = t.session->system().precision.kv_bytes;
+  r.checkpoint_bytes = t.pool->set_filled_bytes(r.set, elem);
+  r.checkpoint = t.pool->slot(r.set);  // deep copy of the functional KV
+  // Checkpoint traffic: the filled KV moves out over the normalized L3
+  // port (1 byte == 1 cycle), charged to the evicted request itself;
+  // in-flight staged fetches are pushed back by exactly the advance, so
+  // the one-stream stall bound of every later decode phase holds.
+  const auto c = static_cast<Cycles>(r.checkpoint_bytes);
+  const double e = util::pj_to_mj(static_cast<double>(r.checkpoint_bytes) *
+                                  t.session->system().chip.e_l3_pj_per_byte);
+  charge(r, c, e, sim::Category::sched, "sched.evict", pipeline_.now(),
+         sched_chip(r.model));
+  if (c > 0) pipeline_.advance_opaque(c, c);
+  step_energy += e;
+  stats_.preemption_cycles += c;
+  r.work_done_at = pipeline_.now();
+
+  kv_slots_.reclaim(r.slot, r.model);
+  auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
+  pm.kv_slots_reclaimed = kv_slots_.tenant_reclaimed(r.model);
+  t.pool->release_set(r.set);
+  r.slot = -1;
+  r.set = -1;
+  ++r.times_evicted;
+  ++stats_.preemptions;
+  ++pm.preemptions;
+  // Future admission ranks on what is left of it — the remaining decode
+  // demand plus the resume restore it now owes.
+  r.estimated_cost = util::sat_add(remaining_cost(r), c);
+  pending_.push_back(std::move(r));
+  stats_.queue_depth_peak =
+      std::max(stats_.queue_depth_peak, static_cast<int>(pending_.size()));
+}
+
+bool BatchedEngine::shed_for_model(ModelId incoming) {
+  // Per-tenant fairness: the deepest backlog (counting the incoming
+  // request toward its own tenant) gives up its newest queued request.
+  // When the incoming tenant is itself among the heaviest, shedding
+  // somebody else for it would be churn, not fairness — refuse and let
+  // the caller reject queue_full. Checkpointed (evicted) requests are
+  // never shed: their already-charged service would be orphaned.
+  std::vector<int> depth(tenants_.size(), 0);
+  for (const Request& p : pending_) ++depth[static_cast<std::size_t>(p.model)];
+  ++depth[static_cast<std::size_t>(incoming)];
+  int max_depth = 0;
+  for (const int d : depth) max_depth = std::max(max_depth, d);
+  if (depth[static_cast<std::size_t>(incoming)] == max_depth) return false;
+  int victim = -1;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Request& p = pending_[i];
+    if (depth[static_cast<std::size_t>(p.model)] != max_depth) continue;
+    if (p.checkpoint.has_value()) continue;
+    if (victim < 0 || p.id > pending_[static_cast<std::size_t>(victim)].id) {
+      victim = static_cast<int>(i);
+    }
+  }
+  if (victim < 0) return false;
+  const Request shed = std::move(pending_[static_cast<std::size_t>(victim)]);
+  pending_.erase(pending_.begin() + victim);
+  ++stats_.shed;
+  ++stats_.per_model[static_cast<std::size_t>(shed.model)].shed;
+  shed_ids_.push_back(shed.id);
+  return true;
+}
+
+int BatchedEngine::pick_admissible_pending() const {
+  // Budget snapshot: everybody's occupancy and queued demand.
+  const std::vector<KvBudgetPolicy::TenantView> views = budget_views();
   const int free_slots = kv_slots_.free();
 
   // The scheduler ranks exactly the requests the budget would grant a
@@ -451,14 +696,15 @@ void BatchedEngine::trace_admission(const Request& r) {
   if (tracer_ == nullptr || r.admitted_at <= r.submitted_at) return;
   tracer_->set_request(r.id);
   if (trace_models_) tracer_->set_model(r.model);
-  tracer_->record(0, sim::Category::sched, r.submitted_at, r.admitted_at, 0,
-                  "sched.queue");
+  tracer_->record(sched_chip(r.model), sim::Category::sched, r.submitted_at,
+                  r.admitted_at, 0, "sched.queue");
   tracer_->set_request(sim::kNoRequest);
   if (trace_models_) tracer_->set_model(sim::kNoModel);
 }
 
 void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
-                           sim::Category cat, const char* label, Cycles begin) {
+                           sim::Category cat, const char* label, Cycles begin,
+                           int chip) {
   r.cycles += cycles;
   r.energy_mj += energy_mj;
   auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
@@ -467,7 +713,7 @@ void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
   if (tracer_ != nullptr && cycles > 0) {
     tracer_->set_request(r.id);
     if (trace_models_) tracer_->set_model(r.model);
-    tracer_->record(0, cat, begin, begin + cycles, 0, label);
+    tracer_->record(chip, cat, begin, begin + cycles, 0, label);
     tracer_->set_request(sim::kNoRequest);
     if (trace_models_) tracer_->set_model(sim::kNoModel);
   }
@@ -491,6 +737,7 @@ void BatchedEngine::finish(Request& r, int step_idx) {
   out.slo = r.slo;
   out.submitted_at = r.submitted_at;
   out.deadline_at = r.deadline_at;
+  out.times_evicted = r.times_evicted;
   out.gen.tokens = std::move(r.tokens);
   out.gen.generated = r.generated;
   out.gen.total_cycles = r.cycles;
@@ -515,13 +762,16 @@ void BatchedEngine::finish(Request& r, int step_idx) {
     if (out.missed_deadline()) {
       ++stats_.deadline_misses;
       ++pm.deadline_misses;
-      // Instant marker on the request's lane at the moment the deadline
-      // was finally blown (its own finish boundary).
+      // Instant marker on the request's own lane — routed to its
+      // model's scheduler lane in multi-model traces rather than pinned
+      // to chip 0 — at the moment the deadline was finally blown (its
+      // own finish boundary).
       if (tracer_ != nullptr) {
         tracer_->set_request(out.id);
         if (trace_models_) tracer_->set_model(out.model);
-        tracer_->record(0, sim::Category::sched, out.finished_at,
-                        out.finished_at, 0, "sched.deadline.miss");
+        tracer_->record(sched_chip(out.model), sim::Category::sched,
+                        out.finished_at, out.finished_at, 0,
+                        "sched.deadline.miss");
         tracer_->set_request(sim::kNoRequest);
         if (trace_models_) tracer_->set_model(sim::kNoModel);
       }
@@ -561,16 +811,57 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy,
                 "BatchedEngine['" + t.name + "']: budget granted a slot "
                 "beyond the model's cache-set cap");
     r.set = *set;
-    r.admitted_step = step_idx;
-    // The request's own position on the step timeline: prefills of
-    // requests admitted earlier this step have already advanced the
-    // pipeline, so their cycles never leak into this request's
-    // residence latency. (Chunked models refine the stamp to the start
-    // of the request's own first chunk.)
-    r.admitted_at = pipeline_.now();
+    const bool resuming = r.checkpoint.has_value();
+    if (!resuming) {
+      r.admitted_step = step_idx;
+      // The request's own position on the step timeline: prefills of
+      // requests admitted earlier this step have already advanced the
+      // pipeline, so their cycles never leak into this request's
+      // residence latency. (Chunked models refine the stamp to the start
+      // of the request's own first chunk. A resumed request keeps its
+      // first-admission stamps — queue delay and residence latency span
+      // the whole life of the request, evictions included.)
+      r.admitted_at = pipeline_.now();
+    }
     t.pool->reset_slot(r.set);
     auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
     pm.kv_in_use_high_water = kv_slots_.tenant_high_water(r.model);
+
+    if (resuming) {
+      // Resume: restore the checkpointed KV into the fresh set and
+      // charge the restore traffic symmetrically to the eviction; the
+      // request then rejoins decode at the next boundary with its
+      // pending token intact, so its stream is bit-exact.
+      const Cycles resume_begin = pipeline_.now();
+      t.pool->restore_slot(r.set, *r.checkpoint);
+      const auto c = static_cast<Cycles>(r.checkpoint_bytes);
+      const double e =
+          util::pj_to_mj(static_cast<double>(r.checkpoint_bytes) *
+                         t.session->system().chip.e_l3_pj_per_byte);
+      // The re-queue wait, as a second sched.queue span on the
+      // request's lane: eviction end to re-admission (never overlapping
+      // the first — the eviction span sits between them).
+      if (tracer_ != nullptr && resume_begin > r.work_done_at) {
+        tracer_->set_request(r.id);
+        if (trace_models_) tracer_->set_model(r.model);
+        tracer_->record(sched_chip(r.model), sim::Category::sched,
+                        r.work_done_at, resume_begin, 0, "sched.queue");
+        tracer_->set_request(sim::kNoRequest);
+        if (trace_models_) tracer_->set_model(sim::kNoModel);
+      }
+      charge(r, c, e, sim::Category::sched, "sched.resume", resume_begin,
+             sched_chip(r.model));
+      if (c > 0) pipeline_.advance_opaque(c, c);
+      step_energy += e;
+      stats_.preemption_cycles += c;
+      r.work_done_at = pipeline_.now();
+      r.checkpoint.reset();
+      r.checkpoint_bytes = 0;
+      ++stats_.resumes;
+      ++pm.resumes;
+      active_.push_back(std::move(r));
+      continue;
+    }
 
     if (t.chunk_tokens > 0) {
       active_.push_back(std::move(r));
@@ -681,16 +972,20 @@ void BatchedEngine::subphase_serial(ModelId m, int step_idx,
                     "weights.prefetch");
     if (trace_models_) tracer_->set_model(sim::kNoModel);
   }
+  const Cycles consumed_margin = t.pending_fetch_margin;
   t.pending_fetch_start = sp.fetch_start;
   t.pending_fetch_ready = sp.fetch_ready;
+  t.pending_fetch_margin =
+      sp.fetch_ready > sp.end ? sp.fetch_ready - sp.end : Cycles{0};
 
-  charge_decode_phase(m, decoders, sp, step_energy, step_decode);
+  charge_decode_phase(m, decoders, sp, consumed_margin, step_energy,
+                      step_decode);
 }
 
 void BatchedEngine::charge_decode_phase(
     ModelId m, const std::vector<std::size_t>& decoders,
-    const PrefetchPipeline::StepSpan& sp, double& step_energy,
-    bool& step_decode) {
+    const PrefetchPipeline::StepSpan& sp, Cycles stall_bound,
+    double& step_energy, bool& step_decode) {
   Tenant& t = tenants_[static_cast<std::size_t>(m)];
   auto& pm = stats_.per_model[static_cast<std::size_t>(m)];
 
@@ -721,12 +1016,19 @@ void BatchedEngine::charge_decode_phase(
                  t.ar_shared_energy_mj;
   step_decode = true;
   ++pm.decode_steps;
-  util::check(sp.stall <= t.ar_shared_cycles,
-              "BatchedEngine: decode stall exceeded one serial stream");
+  // With the port to itself a model never stalls longer than its own
+  // serial stream (double buffering); behind other tenants' traffic the
+  // honest bound is the consumed fetch's issue-time margin, which only
+  // shrinks between issue and consume.
+  util::check(sp.stall <= std::max(t.ar_shared_cycles, stall_bound),
+              "BatchedEngine: decode stall exceeded the consumed fetch's "
+              "port latency");
+  const Cycles hidden =
+      sp.stall < t.ar_shared_cycles ? t.ar_shared_cycles - sp.stall : Cycles{0};
   stats_.prefetch_stall_cycles += sp.stall;
-  stats_.stream_cycles_hidden += t.ar_shared_cycles - sp.stall;
+  stats_.stream_cycles_hidden += hidden;
   pm.prefetch_stall_cycles += sp.stall;
-  pm.stream_cycles_hidden += t.ar_shared_cycles - sp.stall;
+  pm.stream_cycles_hidden += hidden;
 }
 
 // --------------------------------------------------------------------------
@@ -856,6 +1158,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
                       sp.chunk_ready, prefill_l3_bytes, "prompt.stream");
       if (trace_models_) tracer_->set_model(sim::kNoModel);
     }
+    Cycles consumed_margin = 0;
     if (any_decode) {
       if (tracer_ != nullptr && t.pending_fetch_ready > t.pending_fetch_start) {
         if (trace_models_) tracer_->set_model(m);
@@ -864,8 +1167,11 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
                         "weights.prefetch");
         if (trace_models_) tracer_->set_model(sim::kNoModel);
       }
+      consumed_margin = t.pending_fetch_margin;
       t.pending_fetch_start = sp.fetch_start;
       t.pending_fetch_ready = sp.fetch_ready;
+      t.pending_fetch_margin =
+          sp.fetch_ready > sp.end ? sp.fetch_ready - sp.end : Cycles{0};
     }
 
     // ---- exact attribution --------------------------------------------
@@ -904,7 +1210,8 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
     // the chunk-stream tail belongs to the prefilling requests, not the
     // decoders.
     if (any_decode) {
-      charge_decode_phase(m, decode_runs, sp, step_energy, step_decode);
+      charge_decode_phase(m, decode_runs, sp, consumed_margin, step_energy,
+                          step_decode);
     }
     if (!chunk_runs.empty()) {
       step_prefill = true;
@@ -947,6 +1254,7 @@ bool BatchedEngine::step() {
   const int step_idx = stats_.steps;
   double step_energy = 0.0;
 
+  maybe_preempt(step_idx, step_energy);
   std::vector<char> serial_admitted(tenants_.size(), 0);
   admit_pending(step_idx, step_energy, serial_admitted);
   bool step_prefill = false;

@@ -17,6 +17,21 @@
 
 namespace distmcu::runtime {
 
+/// Why the engine's last submit() returned nullopt (none after an
+/// accepted submit). Distinguishing the backpressure reject from the
+/// fail-fast one lets a client retry queue_full later but re-plan a
+/// hopeless_deadline — resubmitting the same SLO would be refused again
+/// even on an idle engine.
+enum class Rejection {
+  none,
+  /// The queue backlog beyond the free KV slots reached max_pending
+  /// (and fair shedding, when enabled, found nobody heavier to shed).
+  queue_full,
+  /// Fail-fast: the cost model proves the deadline unattainable even if
+  /// the request started immediately on an idle engine.
+  hopeless_deadline,
+};
+
 /// Final outcome of one served request. `gen` carries the request's own
 /// token stream (bit-identical to an independent
 /// InferenceSession::generate call with the same prompt) plus the
@@ -44,6 +59,10 @@ struct RequestResult {
   SloSpec slo;
   Cycles submitted_at = 0;
   Cycles deadline_at = kNoDeadline;
+  /// Times the request was preempted (checkpointed out of its KV slot)
+  /// before completing; 0 on the non-preemptive path. Its token stream
+  /// is bit-identical either way — eviction costs cycles, not tokens.
+  int times_evicted = 0;
 
   [[nodiscard]] Cycles latency_cycles() const { return finished_at - admitted_at; }
   [[nodiscard]] Cycles queue_delay_cycles() const {
@@ -79,6 +98,14 @@ struct ModelServingStats {
   int decode_steps = 0;
   int slo_requests = 0;
   int deadline_misses = 0;
+  /// Overload-path counters: accepted-then-shed requests, evictions of
+  /// this model's running requests, their later resumes, and the
+  /// SlotArena's running reclaim count for this tenant (== preemptions
+  /// once the engine drains).
+  int shed = 0;
+  int preemptions = 0;
+  int resumes = 0;
+  int kv_slots_reclaimed = 0;
   /// This model's share of the decode-stream race: stall + hidden ==
   /// decode_steps * (its per-step serial weight stream).
   Cycles prefetch_stall_cycles = 0;
@@ -110,6 +137,24 @@ struct ServingStats {
   int peak_batch = 0;
   int completed = 0;
   int rejected = 0;
+  /// Split of `rejected` by reason: backpressure vs fail-fast. Always
+  /// rejected == rejected_queue_full + rejected_hopeless_deadline.
+  int rejected_queue_full = 0;
+  int rejected_hopeless_deadline = 0;
+  /// Requests accepted at submit but dropped from the queue by fair
+  /// load shedding before admission (never served, never completed).
+  /// Conservation: submitted == completed + shed once the engine
+  /// drains; offered == submitted + rejected.
+  int shed = 0;
+  /// Preemption totals: evictions, resumes, and the checkpoint traffic
+  /// both directions cost on the engine timeline (cycles attributed to
+  /// the evicted requests themselves).
+  int preemptions = 0;
+  int resumes = 0;
+  Cycles preemption_cycles = 0;
+  /// Deepest the pending queue ever got (evicted requests re-entering
+  /// the queue count toward it).
+  int queue_depth_peak = 0;
   /// Decode cycles the batch spent waiting for the next step's weight
   /// prefetch to land — nonzero only when the step's compute (prompt
   /// chunks included) cannot cover the stream. Per decoding model and
@@ -222,8 +267,14 @@ struct ServingStats {
 /// a deadline on one model's request can preempt admission of
 /// another's), gated by the KvBudgetPolicy: whenever a KV slot frees up
 /// the engine offers the scheduler exactly the pending requests whose
-/// model may take one more slot under the policy. Scheduling never
-/// preempts: once admitted, a request keeps its slot to completion.
+/// model may take one more slot under the policy. By default admission
+/// is non-preemptive — once admitted, a request keeps its slot to
+/// completion. Configuring a PreemptionPolicy lifts that: when a
+/// pending request's feasible deadline would be lost waiting for a
+/// natural slot release, a running victim is checkpointed out of its
+/// slot (KV contents + position, charged as L3 traffic on the shared
+/// port) and later re-admitted to resume with a bit-identical token
+/// stream.
 ///
 /// KV-cache sets come from per-model pools sized at construction; the
 /// byte reservation is charged to a shared mem::Arena through one
@@ -252,6 +303,25 @@ class BatchedEngine {
     /// stateless, so one instance may be shared across engines; see
     /// runtime::make_scheduler for the built-in set.
     std::shared_ptr<const Scheduler> scheduler = nullptr;
+    /// Fail-fast admission control: refuse at submit() any deadline the
+    /// cost model proves unattainable even on an idle engine (reported
+    /// as Rejection::hopeless_deadline, distinct from queue_full). Off
+    /// by default — the default config stays bit-exact with the
+    /// non-preemptive engine.
+    bool fail_fast_deadlines = false;
+    /// Fair load shedding under sustained overload: when the bounded
+    /// queue is full, a submit sheds the newest queued request of the
+    /// tenant with the deepest backlog instead of rejecting the
+    /// newcomer — unless the newcomer's own tenant is (one of) the
+    /// heaviest, in which case the submit is rejected queue_full as
+    /// before. Off by default.
+    bool fair_shedding = false;
+    /// Eviction policy enabling preemptive serving: when a pending
+    /// request's feasible deadline would be missed by waiting for the
+    /// earliest natural slot release, the engine checkpoints a running
+    /// victim out of its KV slot (to be resumed later, bit-exactly).
+    /// Null disables preemption entirely (the default).
+    std::shared_ptr<const PreemptionPolicy> preemption = nullptr;
   };
 
   /// Multi-model options. Per-model knobs (chunk size, quota, cap) live
@@ -266,6 +336,12 @@ class BatchedEngine {
     /// Shared-arena partitioning policy; null selects the built-in
     /// static split (each model owns exactly its quota).
     std::shared_ptr<const KvBudgetPolicy> kv_budget = nullptr;
+    /// Overload controls, same semantics as the single-model Options;
+    /// all default off so the default config is bit-exact with the
+    /// non-preemptive engine.
+    bool fail_fast_deadlines = false;
+    bool fair_shedding = false;
+    std::shared_ptr<const PreemptionPolicy> preemption = nullptr;
   };
 
   /// Multi-model engine over `registry` (every session must outlive the
@@ -312,6 +388,15 @@ class BatchedEngine {
   /// The KV partitioning policy in effect (the built-in static split
   /// when the options carried none).
   [[nodiscard]] const KvBudgetPolicy& kv_budget() const { return *budget_; }
+  /// Why the most recent submit() returned nullopt (none after an
+  /// accepted submit).
+  [[nodiscard]] Rejection last_rejection() const { return last_rejection_; }
+  /// Ids of requests accepted at submit but later dropped by fair load
+  /// shedding, in shed order. Disjoint from finished() — conservation
+  /// is submitted == completed + shed once the engine drains.
+  [[nodiscard]] const std::vector<RequestId>& shed_ids() const {
+    return shed_ids_;
+  }
 
   /// Advance one token boundary: admit pending requests into free KV
   /// slots under the budget policy, then give every deployed model its
@@ -377,6 +462,15 @@ class BatchedEngine {
     /// it so a request that merely commits its final token is not
     /// charged the rest of the step.
     Cycles work_done_at = 0;
+    /// Preemption state: a deep copy of the request's KV set taken at
+    /// eviction (functional state; the generation bookkeeping —
+    /// tokens, pos, next — stays in this struct), the filled bytes the
+    /// checkpoint and its resume each move over the L3 port, and how
+    /// many times the request has been evicted so far. Empty on the
+    /// non-preempted path.
+    std::optional<model::KvCachePool::CacheSet> checkpoint;
+    Bytes checkpoint_bytes = 0;
+    int times_evicted = 0;
 
     [[nodiscard]] bool prefill_done() const {
       return prefill_pos >= static_cast<int>(prompt.size());
@@ -441,6 +535,13 @@ class BatchedEngine {
     /// appear. Zero-width before its first decode step (weights staged).
     Cycles pending_fetch_start = 0;
     Cycles pending_fetch_ready = 0;
+    /// Worst-case stall the pending fetch can inflict on its consuming
+    /// step, recorded at issue: its port completion past the issuing
+    /// step's end (genuine FIFO queueing behind other tenants' traffic
+    /// plus the uncovered part of this model's own stream). Opaque port
+    /// spans (KV checkpoints) push in-flight fetches and engine time in
+    /// lockstep, so the margin never grows after issue.
+    Cycles pending_fetch_margin = 0;
   };
 
   [[nodiscard]] static Tenant build_tenant(const ModelDeployment& dep,
@@ -455,6 +556,45 @@ class BatchedEngine {
   /// Index into pending_ of the scheduler's choice among budget-
   /// admissible requests, or -1 when nothing may be admitted.
   [[nodiscard]] int pick_admissible_pending() const;
+  /// Budget-policy snapshot of every tenant's occupancy and queued
+  /// demand (shared by admission, preemption, and shedding decisions).
+  [[nodiscard]] std::vector<KvBudgetPolicy::TenantView> budget_views() const;
+  /// Whether the budget would grant `p` a slot right now, given the
+  /// snapshot (false when no slot is free or p's model is at cap).
+  [[nodiscard]] bool admissible_now(
+      const Request& p, const std::vector<KvBudgetPolicy::TenantView>& views,
+      int free_slots) const;
+  /// Whether evicting `victim` would let the budget admit `starved`
+  /// (simulates the post-eviction snapshot; cross-model reclaim of a
+  /// watermark-borrowed slot included).
+  [[nodiscard]] bool admits_after_evicting(const Request& starved,
+                                           const Request& victim) const;
+  /// Cost-model estimate of a request's service demand still ahead of
+  /// it (remaining prefill chunks plus remaining decode forwards).
+  [[nodiscard]] Cycles remaining_cost(const Request& r) const;
+  /// Preemption driver, run at the top of each step: while a pending
+  /// feasible deadline would be starved past its deadline by waiting
+  /// for the earliest natural slot release, offer the policy the
+  /// running requests whose eviction would unblock it (bounded by the
+  /// step's initial batch size).
+  void maybe_preempt(int step_idx, double& step_energy);
+  /// One trigger evaluation + eviction; true when a victim was evicted.
+  bool attempt_preemption(int step_idx, double& step_energy);
+  /// Checkpoint active_[idx] out of its KV slot: deep-copy its KV set,
+  /// charge the checkpoint traffic to it on the L3 port, reclaim its
+  /// tenant-tagged slot, and push it back to pending_ to resume later.
+  void evict_active(std::size_t idx, int step_idx, double& step_energy);
+  /// Fair load shedding on a full queue: drop the newest non-
+  /// checkpointed queued request of the heaviest tenant (counting the
+  /// incoming request toward `incoming`'s tenant). False — and no
+  /// shed — when incoming's own tenant is among the heaviest.
+  bool shed_for_model(ModelId incoming);
+  /// Trace lane (pid) for scheduler-category spans: the owning model in
+  /// multi-model traces, chip 0 in single-model traces (bit-exact with
+  /// the historical single-model layout).
+  [[nodiscard]] int sched_chip(ModelId m) const {
+    return trace_models_ ? static_cast<int>(m) : 0;
+  }
   /// One model's slice of the step: chunk runs, token commits, decode
   /// forwards, and its advance on the shared pipeline (its own channel).
   void run_subphase(ModelId m, int step_idx, double& step_energy,
@@ -469,9 +609,13 @@ class BatchedEngine {
   /// admitted), token commits at the phase boundary, and the model's
   /// stall/hidden conservation counters. Pre: `decoders` is non-empty
   /// and `sp` consumed the model's staged weights.
+  /// `stall_bound` is the consumed fetch's issue-time margin (worst
+  /// case stall, see Tenant::pending_fetch_margin), captured before the
+  /// pending-fetch fields were overwritten by this step's own issue.
   void charge_decode_phase(ModelId m, const std::vector<std::size_t>& decoders,
                            const PrefetchPipeline::StepSpan& sp,
-                           double& step_energy, bool& step_decode);
+                           Cycles stall_bound, double& step_energy,
+                           bool& step_decode);
   /// Cost-model service estimate for the scheduler: prefill charge
   /// (chunk decomposition when chunking is on) plus new_tokens decode
   /// forwards, excluding batch-shared streaming and queueing.
@@ -486,8 +630,10 @@ class BatchedEngine {
   /// counters) and, when tracing, lay a tagged span at
   /// [begin, begin + cycles] on the engine timeline — spans of different
   /// requests get their own trace lanes and may overlap within a step.
+  /// `chip` is the trace pid (sched-category spans route through
+  /// sched_chip; everything else stays on chip 0).
   void charge(Request& r, Cycles cycles, double energy_mj, sim::Category cat,
-              const char* label, Cycles begin);
+              const char* label, Cycles begin, int chip = 0);
   /// Embed `toks` and run them through every layer of the request's
   /// model against the request's KV set, `pos_offset` being the absolute
   /// position of the first row — the one functional forward path shared
@@ -533,6 +679,11 @@ class BatchedEngine {
   /// snapshot in ServingStats can be refreshed at every completion.
   std::vector<Cycles> queue_delays_;
   RequestId next_id_ = 0;
+  /// Outcome of the most recent submit(), for clients distinguishing
+  /// backpressure from fail-fast refusal.
+  Rejection last_rejection_ = Rejection::none;
+  /// Requests dropped by fair load shedding, in shed order.
+  std::vector<RequestId> shed_ids_;
 
   /// Step timeline: every model's decode compute races its next weight
   /// stream on its own staged channel; all DMAs serialize on the one

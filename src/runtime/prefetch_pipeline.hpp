@@ -114,8 +114,8 @@ class PrefetchPipeline {
   /// span itself occupies the shared port (its own streaming, already
   /// inside `compute`); an in-flight fetch is pushed back by that
   /// occupancy since the port serializes. Must satisfy
-  /// port_cycles <= compute so a later consuming span never stalls
-  /// longer than one full stream.
+  /// port_cycles <= compute so the span never grows an in-flight
+  /// fetch's stall margin beyond what its issue recorded.
   void advance_opaque(Cycles compute, Cycles port_cycles = 0);
 
   [[nodiscard]] Cycles now() const { return engine_.now(); }

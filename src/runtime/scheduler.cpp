@@ -58,7 +58,9 @@ std::size_t EdfScheduler::pick(const std::vector<Candidate>& queue,
   // best-effort (no deadline), FIFO.
   const auto band = [&](const Candidate& c) -> int {
     if (c.deadline_at == kNoDeadline) return 2;
-    return now + c.estimated_cost <= c.deadline_at ? 0 : 1;
+    // Saturating: a huge estimate late in a run must read as infeasible,
+    // not wrap past the deadline.
+    return util::sat_add(now, c.estimated_cost) <= c.deadline_at ? 0 : 1;
   };
   const auto better = [&](const Candidate& a, const Candidate& b) {
     const int ba = band(a);
@@ -72,6 +74,46 @@ std::size_t EdfScheduler::pick(const std::vector<Candidate>& queue,
   std::size_t best = 0;
   for (std::size_t i = 1; i < queue.size(); ++i) {
     if (better(queue[i], queue[best])) best = i;
+  }
+  return best;
+}
+
+int DeadlineAwarePreemption::pick_victim(const std::vector<Victim>& victims,
+                                         const Scheduler::Candidate& starved,
+                                         Cycles now) const {
+  const auto feasible = [&](const Victim& v) {
+    return v.deadline_at != kNoDeadline &&
+           util::sat_add(now, v.remaining_cost) <= v.deadline_at;
+  };
+  // Bands: 0 watermark-borrowed slot, 1 best-effort, 2 deadline already
+  // lost, 3 feasible-but-later deadline (most slack sacrificed last).
+  const auto band = [&](const Victim& v) -> int {
+    if (v.borrowed) return 0;
+    if (v.deadline_at == kNoDeadline) return 1;
+    return feasible(v) ? 3 : 2;
+  };
+  const auto protected_victim = [&](const Victim& v) {
+    if (opts_.max_evictions >= 0 && v.times_evicted >= opts_.max_evictions) {
+      return true;
+    }
+    return feasible(v) && v.deadline_at <= starved.deadline_at;
+  };
+  const auto better = [&](const Victim& a, const Victim& b) {
+    const int ba = band(a);
+    const int bb = band(b);
+    if (ba != bb) return ba < bb;
+    if (ba == 3 && a.deadline_at != b.deadline_at) {
+      return a.deadline_at > b.deadline_at;  // latest deadline first
+    }
+    if (a.generated != b.generated) return a.generated < b.generated;
+    return a.id < b.id;
+  };
+  int best = -1;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    if (protected_victim(victims[i])) continue;
+    if (best < 0 || better(victims[i], victims[static_cast<std::size_t>(best)])) {
+      best = static_cast<int>(i);
+    }
   }
   return best;
 }

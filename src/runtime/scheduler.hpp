@@ -114,6 +114,81 @@ class EdfScheduler final : public Scheduler {
                                  Cycles now) const override;
 };
 
+/// Eviction-ranking policy of the preemptive serving engine. The engine
+/// detects the trigger itself — a pending request whose deadline the
+/// cost estimator proves feasible if started now but infeasible after
+/// the earliest natural slot release — and offers the policy the
+/// running requests whose eviction would actually unblock it under the
+/// KV budget; the policy names the victim or declines. A victim is
+/// checkpointed (KV contents + position), its tenant-tagged slot
+/// reclaimed, and it re-enters the queue to resume later with a
+/// bit-exact token stream. Like Scheduler, policies are stateless
+/// rankers, so replay stays deterministic and instances can be shared.
+class PreemptionPolicy {
+ public:
+  /// Snapshot of one evictable running request (mid-decode: prefill
+  /// complete, tokens still to generate).
+  struct Victim {
+    RequestId id = -1;
+    int model = 0;
+    int priority = 0;
+    /// Absolute deadline (kNoDeadline when best-effort).
+    Cycles deadline_at = kNoDeadline;
+    /// Estimated service demand still ahead of it.
+    Cycles remaining_cost = 0;
+    /// Decode progress: tokens committed of new_tokens. Less progress
+    /// means a smaller KV checkpoint to move.
+    int generated = 0;
+    int new_tokens = 0;
+    /// Slot held beyond the model's static-split quota (a watermark
+    /// borrow) — reclaiming it repays another tenant's reserve.
+    bool borrowed = false;
+    int times_evicted = 0;
+  };
+
+  virtual ~PreemptionPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Index into `victims` (non-empty) of the request to evict so that
+  /// `starved` — a pending request with a feasible deadline about to
+  /// become infeasible — can take its slot, or -1 to decline. The
+  /// engine rejects out-of-range picks.
+  [[nodiscard]] virtual int pick_victim(const std::vector<Victim>& victims,
+                                        const Scheduler::Candidate& starved,
+                                        Cycles now) const = 0;
+};
+
+/// Built-in eviction ranking. Protections first: a victim already
+/// evicted `max_evictions` times is never picked again (bounding
+/// checkpoint thrash), and neither is one whose own deadline is still
+/// feasible and no later than the starved request's (preemption must
+/// not trade one attainable deadline for an equal-or-worse one).
+/// Among the rest it prefers, in order: watermark-borrowed slots,
+/// best-effort requests, already-infeasible deadlines, then
+/// latest-deadline-first — and within a band the least decode progress
+/// (smallest checkpoint), then the lowest id.
+class DeadlineAwarePreemption final : public PreemptionPolicy {
+ public:
+  struct Options {
+    /// Evictions one request may suffer before it becomes untouchable;
+    /// bounds the total checkpoint traffic any request can generate.
+    int max_evictions = 2;
+  };
+
+  DeadlineAwarePreemption() : opts_{} {}
+  explicit DeadlineAwarePreemption(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] const char* name() const override { return "deadline_aware"; }
+  [[nodiscard]] int pick_victim(const std::vector<Victim>& victims,
+                                const Scheduler::Candidate& starved,
+                                Cycles now) const override;
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
 /// Built-in policy set, for benches and CLI surfaces.
 enum class SchedulePolicy { fifo, priority, edf };
 

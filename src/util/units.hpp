@@ -2,6 +2,7 @@
 #define DISTMCU_UTIL_UNITS_HPP
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 /// Common strong-ish unit aliases and conversion helpers used across the
@@ -27,6 +28,16 @@ namespace util {
 /// Convert cycles at a given clock frequency to seconds.
 [[nodiscard]] constexpr double cycles_to_s(Cycles cycles, double freq_hz) {
   return static_cast<double>(cycles) / freq_hz;
+}
+
+/// Saturating add on the cycle timeline. Absolute deadlines are
+/// submit-stamp + relative deadline; a huge relative deadline late in a
+/// run must clamp to the latest representable instant instead of
+/// wrapping (a wrapped deadline would read as already missed).
+[[nodiscard]] constexpr Cycles sat_add(Cycles a, Cycles b) {
+  return a > std::numeric_limits<Cycles>::max() - b
+             ? std::numeric_limits<Cycles>::max()
+             : a + b;
 }
 
 /// Convert picojoules to millijoules.

@@ -6,6 +6,9 @@
 // metrics must survive their zero-input edge cases.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <vector>
@@ -909,6 +912,33 @@ TEST(SlotArena, ExhaustionReturnsNulloptNotUB) {
   EXPECT_THROW(slots.release(*s1), Error);  // double release
 }
 
+TEST(SlotArena, ReclaimIsOwnerCheckedAndCounted) {
+  // The preemption path returns slots through reclaim(): an owner-
+  // checked release that additionally counts the slot as reclaimed,
+  // per tenant and in total. A plain release never bumps the counters.
+  mem::Arena arena("l2.kv_pool", 4096);
+  mem::SlotArena slots(arena, "kv_set", 2, 1024);
+  const auto s0 = slots.acquire(/*tenant=*/0);
+  const auto s1 = slots.acquire(/*tenant=*/1);
+  ASSERT_TRUE(s0.has_value() && s1.has_value());
+
+  EXPECT_THROW(slots.reclaim(*s0, /*tenant=*/1), Error);  // cross-tenant
+  EXPECT_EQ(slots.total_reclaimed(), 0);  // failed reclaim left no trace
+  EXPECT_EQ(slots.tenant_in_use(0), 1);
+
+  slots.reclaim(*s0, /*tenant=*/0);
+  EXPECT_EQ(slots.tenant_reclaimed(0), 1);
+  EXPECT_EQ(slots.tenant_reclaimed(1), 0);
+  EXPECT_EQ(slots.total_reclaimed(), 1);
+  EXPECT_EQ(slots.free(), 1);  // the slot really freed
+
+  slots.release(*s1, /*tenant=*/1);  // plain release: not a reclaim
+  EXPECT_EQ(slots.tenant_reclaimed(1), 0);
+  EXPECT_EQ(slots.total_reclaimed(), 1);
+  // Unseen tenant ids read as zero, never UB.
+  EXPECT_EQ(slots.tenant_reclaimed(7), 0);
+}
+
 TEST(SlotArena, PoolThatDoesNotFitThrowsPlanError) {
   mem::Arena arena("l2.kv_pool", 1024);
   EXPECT_THROW(mem::SlotArena(arena, "kv_set", 2, 1024), PlanError);
@@ -1025,4 +1055,224 @@ TEST(BatchedEngine, GenerateWithZeroNewTokensStaysConsistent) {
   EXPECT_EQ(gen.tokens, (std::vector<int>{1, 2}));
   EXPECT_EQ(gen.mj_per_token(), 0.0);
   EXPECT_GT(gen.total_cycles, 0u);  // prefill cost
+}
+
+// --- overload safety: fail-fast, shedding, preemption ----------------------
+
+TEST(BatchedEngine, SubmitRejectsOutOfRangeModelBeforeAnyCounter) {
+  // Regression: the model-id guard must run before any per_model[...]
+  // indexing on the reject path — a bad id throws and leaves the stats
+  // and the queue exactly as they were.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  BatchedEngine engine(session, {.max_batch = 1, .max_pending = 1});
+  EXPECT_THROW((void)engine.submit(/*model=*/1, {1, 2}, 1), Error);
+  EXPECT_THROW((void)engine.submit(/*model=*/-1, {1, 2}, 1), Error);
+  EXPECT_THROW((void)engine.submit(/*model=*/1000, {1, 2}, 1), Error);
+  EXPECT_EQ(engine.stats().rejected, 0);
+  EXPECT_EQ(engine.stats().per_model[0].rejected, 0);
+  EXPECT_EQ(engine.stats().per_model[0].submitted, 0);
+  EXPECT_EQ(engine.pending_requests(), 0);
+  EXPECT_EQ(engine.last_rejection(), runtime::Rejection::none);
+}
+
+TEST(BatchedEngine, SaturatingDeadlineNeverWrapsIntoAMiss) {
+  // Regression: submitted_at + deadline_cycles used to wrap for huge
+  // relative deadlines, turning "practically no deadline" into an
+  // absolute deadline in the past — reported missed on every request.
+  // The saturating resolve pins it to the timeline's end instead.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  BatchedEngine engine(session, {.max_batch = 1, .max_pending = 4});
+  const auto a = engine.submit(
+      {1, 2}, 3,
+      {.priority = 0,
+       .deadline_cycles = std::numeric_limits<Cycles>::max()});
+  ASSERT_TRUE(a.has_value());
+  (void)engine.step();  // submitted_at now nonzero for the second request
+  const auto b = engine.submit(
+      {3, 4}, 3,
+      {.priority = 0,
+       .deadline_cycles = std::numeric_limits<Cycles>::max() - 1});
+  ASSERT_TRUE(b.has_value());
+  const auto results = engine.run_to_completion();
+  EXPECT_EQ(result_for(results, *a).deadline_at,
+            std::numeric_limits<Cycles>::max());
+  EXPECT_EQ(result_for(results, *b).deadline_at,
+            std::numeric_limits<Cycles>::max());  // saturated, not wrapped
+  EXPECT_FALSE(result_for(results, *a).missed_deadline());
+  EXPECT_FALSE(result_for(results, *b).missed_deadline());
+  EXPECT_EQ(engine.stats().slo_requests, 2);
+  EXPECT_EQ(engine.stats().deadline_misses, 0);
+}
+
+TEST(BatchedEngine, FailFastRejectsHopelessDeadlinesDistinctly) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+
+  // Default engine: a hopeless deadline is accepted and becomes a miss.
+  BatchedEngine lax(session, {.max_batch = 1, .max_pending = 4});
+  ASSERT_TRUE(
+      lax.submit({1, 2}, 2, {.priority = 0, .deadline_cycles = 1}).has_value());
+  (void)lax.run_to_completion();
+  EXPECT_EQ(lax.stats().deadline_misses, 1);
+
+  // Fail-fast engine: the same submit is refused up front with its own
+  // rejection reason, and never counts as an SLO miss.
+  BatchedEngine strict(session, {.max_batch = 1,
+                                 .max_pending = 4,
+                                 .fail_fast_deadlines = true});
+  EXPECT_FALSE(
+      strict.submit({1, 2}, 2, {.priority = 0, .deadline_cycles = 1})
+          .has_value());
+  EXPECT_EQ(strict.last_rejection(), runtime::Rejection::hopeless_deadline);
+  EXPECT_EQ(strict.stats().rejected, 1);
+  EXPECT_EQ(strict.stats().rejected_hopeless_deadline, 1);
+  EXPECT_EQ(strict.stats().rejected_queue_full, 0);
+  EXPECT_EQ(strict.stats().deadline_misses, 0);
+  EXPECT_EQ(strict.stats().slo_requests, 0);
+
+  // A feasible deadline passes fail-fast; an accepted submit resets the
+  // last-rejection readback. Queue-full rejects report their own reason.
+  const auto ok = strict.submit(
+      {1, 2}, 2, {.priority = 0, .deadline_cycles = 1'000'000'000});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(strict.last_rejection(), runtime::Rejection::none);
+  (void)strict.step();  // the accepted request takes the only KV slot
+  ASSERT_TRUE(strict.submit({3}, 1).has_value());
+  ASSERT_TRUE(strict.submit({4}, 1).has_value());
+  ASSERT_TRUE(strict.submit({5}, 1).has_value());
+  ASSERT_TRUE(strict.submit({6}, 1).has_value());  // backlog now at max_pending
+  EXPECT_FALSE(strict.submit({7}, 1).has_value());
+  EXPECT_EQ(strict.last_rejection(), runtime::Rejection::queue_full);
+  EXPECT_EQ(strict.stats().rejected_queue_full, 1);
+  // The reason split partitions the total.
+  EXPECT_EQ(strict.stats().rejected, strict.stats().rejected_queue_full +
+                                         strict.stats().rejected_hopeless_deadline);
+}
+
+TEST(BatchedEngine, SingleTenantSheddingRefusesTheNewcomer) {
+  // Fair shedding drops the heaviest tenant's newest queued request —
+  // and with one tenant the incoming request IS the heaviest tenant's
+  // newest, so the submit is refused queue_full and nobody already
+  // queued is shed (tail-drop semantics).
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 2);
+  BatchedEngine engine(session, {.max_batch = 1,
+                                 .max_pending = 1,
+                                 .fair_shedding = true});
+  ASSERT_TRUE(engine.submit({1, 2}, 2).has_value());
+  (void)engine.step();
+  ASSERT_TRUE(engine.submit({3, 4}, 2).has_value());
+  EXPECT_FALSE(engine.submit({5, 6}, 2).has_value());
+  EXPECT_EQ(engine.last_rejection(), runtime::Rejection::queue_full);
+  EXPECT_EQ(engine.stats().shed, 0);
+  EXPECT_TRUE(engine.shed_ids().empty());
+  (void)engine.run_to_completion();
+  EXPECT_EQ(engine.stats().completed, 2);
+}
+
+TEST(BatchedEngine, PreemptionEvictsAndResumesBitExact) {
+  // The tentpole property in one deterministic scenario: a long
+  // best-effort request is checkpointed out of the only KV slot when a
+  // tight-deadline request would otherwise starve past its feasible
+  // deadline; both token streams stay bit-identical to dedicated
+  // generate() calls and the cycle/energy books still balance exactly.
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  const Cycles per_req =
+      (ar.report.block_cycles - ar.report.breakdown.dma_l3_l2) * layers;
+  const Cycles prefill =
+      session.run_block(model::Mode::prompt).report.block_cycles * layers;
+  const Cycles est_b = prefill + per_req;  // prompt + (2-1) decode forwards
+
+  BatchedEngine engine(
+      session,
+      {.max_batch = 1,
+       .max_pending = 8,
+       .scheduler = std::make_shared<runtime::EdfScheduler>(),
+       .preemption = std::make_shared<runtime::DeadlineAwarePreemption>()});
+  const auto a = engine.submit({1, 2}, 12);  // best-effort, long
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(engine.step());  // A admitted, one decode forward in
+  // B's deadline is feasible started now but blown by waiting for A's
+  // ten remaining decode forwards — the preemption trigger.
+  const auto b = engine.submit(
+      {3, 4}, 2, {.priority = 0, .deadline_cycles = est_b + 2 * per_req});
+  ASSERT_TRUE(b.has_value());
+  const auto results = engine.run_to_completion();
+  ASSERT_EQ(results.size(), 2u);
+
+  const auto& stats = engine.stats();
+  EXPECT_EQ(stats.preemptions, 1);
+  EXPECT_EQ(stats.resumes, 1);
+  EXPECT_GT(stats.preemption_cycles, 0u);
+  EXPECT_EQ(stats.per_model[0].preemptions, 1);
+  EXPECT_EQ(stats.per_model[0].resumes, 1);
+  EXPECT_EQ(stats.per_model[0].kv_slots_reclaimed, 1);
+
+  // B overtook A through the eviction and finished first.
+  EXPECT_EQ(results[0].id, *b);
+  EXPECT_EQ(result_for(results, *a).times_evicted, 1);
+  EXPECT_EQ(result_for(results, *b).times_evicted, 0);
+
+  // Bit-exact streams despite the checkpoint/restore round trip.
+  EXPECT_EQ(result_for(results, *a).gen.tokens,
+            session.generate({1, 2}, 12).tokens);
+  EXPECT_EQ(result_for(results, *b).gen.tokens,
+            session.generate({3, 4}, 2).tokens);
+
+  // Exact conservation: the eviction/resume traffic is charged to A,
+  // and per-request cycles/energy still sum to the engine totals.
+  Cycles cycle_sum = 0;
+  double energy_sum = 0.0;
+  for (const auto& r : results) {
+    cycle_sum += r.gen.total_cycles;
+    energy_sum += r.gen.total_energy_mj;
+  }
+  EXPECT_EQ(cycle_sum, stats.total_cycles);
+  EXPECT_NEAR(energy_sum, stats.total_energy_mj,
+              1e-9 * std::max(1.0, stats.total_energy_mj));
+}
+
+namespace {
+
+/// Returns one past the end — the engine must reject it, not evict UB.
+class OutOfRangePreemption final : public runtime::PreemptionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "broken"; }
+  [[nodiscard]] int pick_victim(const std::vector<Victim>& victims,
+                                const runtime::Scheduler::Candidate&,
+                                Cycles) const override {
+    return static_cast<int>(victims.size());
+  }
+};
+
+}  // namespace
+
+TEST(BatchedEngine, OutOfRangeVictimPickIsRejected) {
+  const auto cfg = streamed_llama();
+  const InferenceSession session(cfg, 4);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  const Cycles per_req =
+      (ar.report.block_cycles - ar.report.breakdown.dma_l3_l2) * layers;
+  const Cycles prefill =
+      session.run_block(model::Mode::prompt).report.block_cycles * layers;
+
+  BatchedEngine engine(
+      session, {.max_batch = 1,
+                .max_pending = 8,
+                .scheduler = std::make_shared<runtime::EdfScheduler>(),
+                .preemption = std::make_shared<OutOfRangePreemption>()});
+  ASSERT_TRUE(engine.submit({1, 2}, 12).has_value());
+  EXPECT_TRUE(engine.step());
+  ASSERT_TRUE(engine
+                  .submit({3, 4}, 2,
+                          {.priority = 0,
+                           .deadline_cycles = prefill + 3 * per_req})
+                  .has_value());
+  EXPECT_THROW((void)engine.step(), Error);
 }

@@ -550,3 +550,121 @@ TEST(KvBudgetPolicy, WatermarkProtectsUnmetReservesOfDemandingTenants) {
   runtime::WatermarkBorrowPolicy strict({.headroom = 2});
   EXPECT_FALSE(strict.may_acquire(0, views2(2, 3, 2, 0, 2, 2, 6), 6, 4));
 }
+
+// --- overload controls across tenants --------------------------------------
+
+namespace {
+
+const RequestResult& result_for(const std::vector<RequestResult>& results,
+                                RequestId id) {
+  for (const auto& r : results) {
+    if (r.id == id) return r;
+  }
+  throw Error("result_for: no such request id");
+}
+
+}  // namespace
+
+TEST(MultiModelServing, FairSheddingDropsTheHeaviestTenantsNewest) {
+  auto reg = make_registry(0, 0);
+  BatchedEngine engine(reg, {.total_kv_slots = 2,
+                             .max_pending = 2,
+                             .fair_shedding = true});
+
+  // Four generator submits: two absorbable by the free slots, two of
+  // backlog — the queue bound is now exactly reached.
+  std::vector<RequestId> gen_ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = engine.submit(0, {1, 2, 3}, 2);
+    ASSERT_TRUE(id.has_value());
+    gen_ids.push_back(*id);
+  }
+
+  // An encoder submit on the full queue sheds the generator tenant's
+  // newest queued request instead of bouncing the newcomer.
+  const auto enc_id = engine.submit(1, {4, 5, 6, 7}, 0);
+  ASSERT_TRUE(enc_id.has_value());
+  EXPECT_EQ(engine.last_rejection(), runtime::Rejection::none);
+  ASSERT_EQ(engine.shed_ids().size(), 1u);
+  EXPECT_EQ(engine.shed_ids()[0], gen_ids.back());
+  EXPECT_EQ(engine.stats().shed, 1);
+  EXPECT_EQ(engine.stats().per_model[0].shed, 1);
+  EXPECT_EQ(engine.stats().per_model[1].shed, 0);
+
+  // The reverse direction: the generator tenant is itself the heaviest,
+  // so its next submit is refused queue_full — fairness never churns
+  // another tenant out for the aggressor.
+  EXPECT_FALSE(engine.submit(0, {9}, 1).has_value());
+  EXPECT_EQ(engine.last_rejection(), runtime::Rejection::queue_full);
+  EXPECT_EQ(engine.stats().shed, 1);
+  EXPECT_EQ(engine.stats().rejected_queue_full, 1);
+
+  while (engine.step()) {}
+  const auto results = engine.finished();
+  // Conservation: accepted == completed + shed; the shed id never
+  // reaches the finished list.
+  int accepted = 0;
+  for (const auto& pm : engine.stats().per_model) accepted += pm.submitted;
+  EXPECT_EQ(accepted, engine.stats().completed + engine.stats().shed);
+  for (const auto& r : results) EXPECT_NE(r.id, engine.shed_ids()[0]);
+  check_per_model_attribution(engine, results);
+}
+
+TEST(MultiModelServing, PreemptionReclaimsBorrowedSlotAcrossModels) {
+  // Watermark borrowing lets the generator take the whole arena while
+  // the encoder is idle; when an encoder deadline then arrives, the
+  // preemption policy checkpoints a generator request out of the
+  // borrowed slot, the arena reclaims it cross-model, and every token
+  // stream still matches a dedicated generate() run bit-exactly.
+  const auto& s = sessions();
+  auto reg = make_registry(0, 0, /*gen_quota=*/1, /*enc_quota=*/1);
+  BatchedEngine engine(
+      reg,
+      {.total_kv_slots = 2,
+       .max_pending = 8,
+       .scheduler = std::make_shared<runtime::EdfScheduler>(),
+       .kv_budget = runtime::make_kv_budget(KvBudget::watermark),
+       .preemption = std::make_shared<runtime::DeadlineAwarePreemption>()});
+
+  const auto a = engine.submit(0, {1, 2, 3}, 10);
+  const auto b = engine.submit(0, {4, 5, 6}, 10);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_TRUE(engine.step());  // both admitted: quota slot + borrowed slot
+
+  const auto gen_layers = static_cast<Cycles>(s.gen.config().num_layers);
+  const auto gen_ar = s.gen.run_block(model::Mode::autoregressive);
+  const Cycles gen_per_req =
+      (gen_ar.report.block_cycles - gen_ar.report.breakdown.dma_l3_l2) *
+      gen_layers;
+  const Cycles enc_prefill =
+      s.enc.run_block(model::Mode::prompt).report.block_cycles *
+      static_cast<Cycles>(s.enc.config().num_layers);
+
+  // Feasible if admitted promptly, lost if it waits out a generator.
+  const auto c = engine.submit(
+      1, {7, 8, 9, 10}, 0,
+      {.priority = 0, .deadline_cycles = enc_prefill + gen_per_req});
+  ASSERT_TRUE(c.has_value());
+
+  while (engine.step()) {}
+  const auto results = engine.finished();
+  ASSERT_EQ(results.size(), 3u);
+
+  const auto& stats = engine.stats();
+  EXPECT_EQ(stats.preemptions, 1);
+  EXPECT_EQ(stats.resumes, 1);
+  EXPECT_EQ(stats.per_model[0].preemptions, 1);
+  EXPECT_EQ(stats.per_model[0].kv_slots_reclaimed, 1);
+  EXPECT_EQ(stats.per_model[1].preemptions, 0);
+  EXPECT_EQ(stats.per_model[1].kv_slots_reclaimed, 0);
+
+  // One generator took the checkpoint round trip; streams unharmed.
+  const auto& ra = result_for(results, *a);
+  const auto& rb = result_for(results, *b);
+  EXPECT_EQ(ra.times_evicted + rb.times_evicted, 1);
+  EXPECT_EQ(ra.gen.tokens, s.gen.generate({1, 2, 3}, 10).tokens);
+  EXPECT_EQ(rb.gen.tokens, s.gen.generate({4, 5, 6}, 10).tokens);
+  EXPECT_EQ(result_for(results, *c).gen.tokens,
+            s.enc.generate({7, 8, 9, 10}, 0).tokens);
+  check_per_model_attribution(engine, results);
+}

@@ -196,3 +196,89 @@ TEST(SchedulerPluggability, NullSchedulerOptionMeansFifo) {
   runtime::BatchedEngine engine(session, {.max_batch = 1, .max_pending = 8});
   EXPECT_STREQ(engine.scheduler().name(), "fifo");
 }
+
+// --- preemption policy ------------------------------------------------------
+
+namespace {
+
+runtime::PreemptionPolicy::Victim victim(int id, Cycles deadline_at,
+                                         Cycles remaining_cost,
+                                         int generated = 0,
+                                         bool borrowed = false,
+                                         int times_evicted = 0) {
+  runtime::PreemptionPolicy::Victim v;
+  v.id = id;
+  v.deadline_at = deadline_at;
+  v.remaining_cost = remaining_cost;
+  v.generated = generated;
+  v.new_tokens = 16;
+  v.borrowed = borrowed;
+  v.times_evicted = times_evicted;
+  return v;
+}
+
+}  // namespace
+
+TEST(DeadlineAwarePreemption, BorrowedSlotsGoFirstThenBestEffort) {
+  const runtime::DeadlineAwarePreemption pol;
+  const auto starved = cand(9, 0, /*deadline_at=*/1'000, 0, /*cost=*/500);
+  // Band order: a watermark-borrowed slot repays another tenant's
+  // reserve, so it goes first; best-effort next; a lost deadline last
+  // among the unprotected.
+  EXPECT_EQ(pol.pick_victim({victim(0, kNoDeadline, 100),
+                             victim(1, kNoDeadline, 100, 0, /*borrowed=*/true),
+                             victim(2, /*deadline_at=*/10, 100)},
+                            starved, /*now=*/100),
+            1);
+  EXPECT_EQ(pol.pick_victim(
+                {victim(0, kNoDeadline, 100), victim(2, /*deadline_at=*/10, 100)},
+                starved, 100),
+            0);
+  EXPECT_STREQ(pol.name(), "deadline_aware");
+}
+
+TEST(DeadlineAwarePreemption, FeasibleEarlierDeadlineIsProtected) {
+  const runtime::DeadlineAwarePreemption pol;
+  const auto starved = cand(9, 0, 1'000, 0, 500);
+  // Still-feasible (100 + 100 <= 800) and no later than the starved
+  // deadline: evicting it would trade one attainable deadline for an
+  // equal-or-worse one — the policy declines outright.
+  EXPECT_EQ(pol.pick_victim({victim(0, 800, 100)}, starved, /*now=*/100), -1);
+  // Feasible but LATER than the starved deadline: evictable (most slack
+  // sacrificed).
+  EXPECT_EQ(pol.pick_victim({victim(0, 2'000, 100)}, starved, 100), 0);
+  // Infeasible (100 + 900 > 800): already lost, evictable.
+  EXPECT_EQ(pol.pick_victim({victim(0, 800, 900)}, starved, 100), 0);
+}
+
+TEST(DeadlineAwarePreemption, LatestFeasibleDeadlineSacrificedFirst) {
+  const runtime::DeadlineAwarePreemption pol;
+  const auto starved = cand(9, 0, 1'000, 0, 500);
+  EXPECT_EQ(pol.pick_victim({victim(0, 2'000, 100), victim(1, 3'000, 100)},
+                            starved, 100),
+            1);
+  // Same band and deadline: least decode progress (smallest checkpoint)
+  // first, then lowest id.
+  EXPECT_EQ(pol.pick_victim({victim(0, 2'000, 100, /*generated=*/5),
+                             victim(1, 2'000, 100, /*generated=*/2)},
+                            starved, 100),
+            1);
+  EXPECT_EQ(pol.pick_victim(
+                {victim(1, kNoDeadline, 100), victim(0, kNoDeadline, 100)},
+                starved, 100),
+            1);
+}
+
+TEST(DeadlineAwarePreemption, MaxEvictionsBoundsThrash) {
+  const runtime::DeadlineAwarePreemption pol(
+      runtime::DeadlineAwarePreemption::Options{.max_evictions = 1});
+  const auto starved = cand(9, 0, 1'000, 0, 500);
+  EXPECT_EQ(pol.pick_victim(
+                {victim(0, kNoDeadline, 100, 0, false, /*times_evicted=*/1)},
+                starved, 100),
+            -1);
+  EXPECT_EQ(pol.pick_victim({victim(0, kNoDeadline, 100, 0, false, 1),
+                             victim(1, kNoDeadline, 100)},
+                            starved, 100),
+            1);
+}

@@ -31,6 +31,7 @@
 #include "runtime/steady_state.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 using namespace distmcu;
 using runtime::BatchedEngine;
@@ -287,7 +288,10 @@ void check_invariants(const Scenario& sc, const BatchedEngine& engine,
     qd_total += r.queue_delay_cycles();
     qd_max = std::max(qd_max, r.queue_delay_cycles());
     if (r.deadline_at != kNoDeadline) {
-      EXPECT_EQ(r.deadline_at, r.submitted_at + r.slo.deadline_cycles);
+      // Saturating resolve: a near-max relative deadline pins to the end
+      // of the timeline instead of wrapping into the past.
+      EXPECT_EQ(r.deadline_at,
+                util::sat_add(r.submitted_at, r.slo.deadline_cycles));
       ++slo_requests;
       if (r.missed_deadline()) ++deadline_misses;
     } else {
@@ -556,6 +560,111 @@ TEST(ServingInvariants, EdfMeetsFeasibleDeadlinesAndNeverExceedsFifoMisses) {
   // The adversarial submit orders must have cost FIFO something, or the
   // comparison is vacuous.
   EXPECT_GT(fifo_misses_total, 0);
+}
+
+// --- overload safety -------------------------------------------------------
+
+TEST(ServingInvariants, OverloadScenariosConserveEveryRequest) {
+  // Under sustained overload with bounded queues, fail-fast rejection,
+  // and fair shedding, every offered request is accounted for exactly
+  // once: offered == accepted + rejected, accepted == completed + shed,
+  // and the rejection reasons partition the rejects. The cycle/energy
+  // books must balance over the completions alone (shed requests were
+  // never admitted, so they carry no charge).
+  const std::uint64_t kSeeds = invariant_seed_count(40);
+  SeedReproLog repro("./test_serving_invariants",
+                     "ServingInvariants.OverloadScenariosConserveEveryRequest");
+  const int pending_bounds[] = {0, 1, 64};
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    repro.begin();
+    for (const int max_pending : pending_bounds) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " max_pending " +
+                   std::to_string(max_pending));
+      Scenario sc = make_scenario(seed);
+      decorate_slo(sc, seed);
+      sc.opts.max_pending = max_pending;
+      sc.opts.fair_shedding = true;
+      sc.opts.fail_fast_deadlines = (seed % 2) == 0;
+      const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+      BatchedEngine engine(*dep.session, sc.opts);
+      const auto results = run_scenario(sc, engine);
+      const ServingStats& stats = engine.stats();
+
+      const int offered = static_cast<int>(sc.jobs.size());
+      int accepted = 0;
+      for (const auto& job : sc.jobs) accepted += job.id.has_value() ? 1 : 0;
+      EXPECT_EQ(stats.rejected, offered - accepted);
+      EXPECT_EQ(stats.rejected,
+                stats.rejected_queue_full + stats.rejected_hopeless_deadline);
+      if (!sc.opts.fail_fast_deadlines) {
+        EXPECT_EQ(stats.rejected_hopeless_deadline, 0);
+      }
+      EXPECT_EQ(stats.completed, accepted - stats.shed);
+      EXPECT_EQ(static_cast<int>(results.size()), stats.completed);
+      EXPECT_EQ(static_cast<int>(engine.shed_ids().size()), stats.shed);
+      EXPECT_EQ(engine.active_requests(), 0);
+      EXPECT_EQ(engine.pending_requests(), 0);
+
+      // Shed ids were accepted, and never finish.
+      for (const RequestId shed : engine.shed_ids()) {
+        EXPECT_TRUE(std::any_of(
+            sc.jobs.begin(), sc.jobs.end(),
+            [&](const auto& j) { return j.id && *j.id == shed; }));
+        EXPECT_FALSE(std::any_of(
+            results.begin(), results.end(),
+            [&](const RequestResult& r) { return r.id == shed; }));
+      }
+
+      Cycles cycle_sum = 0;
+      double energy_sum = 0.0;
+      for (const auto& r : results) {
+        cycle_sum += r.gen.total_cycles;
+        energy_sum += r.gen.total_energy_mj;
+      }
+      EXPECT_EQ(cycle_sum, stats.total_cycles);
+      EXPECT_NEAR(energy_sum, stats.total_energy_mj,
+                  1e-9 * std::max(1.0, energy_sum));
+    }
+    repro.end(seed);
+  }
+}
+
+TEST(ServingInvariants, PreemptionKeepsEveryInvariantUnderEveryPolicy) {
+  // Preemption-safety property: with deadline-aware eviction live,
+  // every serving invariant — exact cycle/energy conservation, SLO
+  // bookkeeping, drain completeness — still holds under all three
+  // admission policies, and on the cheap deployments every completed
+  // stream stays bit-identical to a dedicated generate() call however
+  // many checkpoint round trips it took.
+  const std::uint64_t kSeeds = invariant_seed_count(15);
+  SeedReproLog repro(
+      "./test_serving_invariants",
+      "ServingInvariants.PreemptionKeepsEveryInvariantUnderEveryPolicy");
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    repro.begin();
+    for (const auto policy : {SchedulePolicy::fifo, SchedulePolicy::priority,
+                              SchedulePolicy::edf}) {
+      Scenario sc = make_scenario(seed);
+      decorate_slo(sc, seed);
+      sc.opts.scheduler = runtime::make_scheduler(policy);
+      sc.opts.preemption = std::make_shared<runtime::DeadlineAwarePreemption>();
+      const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+      BatchedEngine engine(*dep.session, sc.opts);
+      const auto results = run_scenario(sc, engine);
+      SCOPED_TRACE(std::string("policy ") + runtime::policy_name(policy));
+      check_invariants(sc, engine, results, seed, /*fifo_admission=*/false);
+      EXPECT_EQ(engine.stats().preemptions, engine.stats().resumes);
+      if (dep.cheap_numerics) {
+        for (const auto& job : sc.jobs) {
+          if (!job.id.has_value()) continue;
+          EXPECT_EQ(result_for(results, *job.id).gen.tokens,
+                    dep.session->generate(job.prompt, job.new_tokens).tokens)
+              << "seed " << seed;
+        }
+      }
+    }
+    repro.end(seed);
+  }
 }
 
 // --- deterministic cross-checks against the single-stream runtimes --------

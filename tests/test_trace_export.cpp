@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <sstream>
 #include <string>
@@ -18,6 +19,7 @@
 #include "partition/plan.hpp"
 #include "runtime/batched_engine.hpp"
 #include "runtime/inference_session.hpp"
+#include "runtime/model_registry.hpp"
 #include "runtime/timed_simulation.hpp"
 #include "sim/trace_export.hpp"
 #include "sim/tracer.hpp"
@@ -307,4 +309,93 @@ TEST(TraceExportGolden, EmptyTracerProducesValidEmptyTrace) {
   sim::Tracer tracer;
   const std::string json = export_trace(tracer);
   EXPECT_EQ(json, "{\"traceEvents\":[]}");
+}
+
+TEST(TraceExportGolden, ServingTraceCarriesEvictResumeSpans) {
+  // Preemptive serving adds checkpoint traffic to the request lanes:
+  // a sched.evict span when the victim is checkpointed out of its KV
+  // slot and a sched.resume span when it is restored, plus a second
+  // sched.queue span covering the re-queue wait between them. Lane
+  // guarantees (per-request tids, no overlap) must survive all three.
+  const auto cfg = trace_cfg();
+  const runtime::InferenceSession session(cfg, 4);
+  const auto layers = static_cast<Cycles>(cfg.num_layers);
+  const auto ar = session.run_block(model::Mode::autoregressive);
+  const Cycles per_req =
+      (ar.report.block_cycles - ar.report.breakdown.dma_l3_l2) * layers;
+  const Cycles prefill =
+      session.run_block(model::Mode::prompt).report.block_cycles * layers;
+
+  sim::Tracer tracer;
+  runtime::BatchedEngine engine(
+      session,
+      {.max_batch = 1,
+       .max_pending = 8,
+       .scheduler = runtime::make_scheduler(runtime::SchedulePolicy::edf),
+       .preemption = std::make_shared<runtime::DeadlineAwarePreemption>()},
+      &tracer);
+  const auto a = *engine.submit({1, 2, 3}, 12);  // long, best-effort
+  EXPECT_TRUE(engine.step());
+  // Feasible if admitted promptly, lost if it waits out request A.
+  (void)*engine.submit({7}, 2,
+                       {.priority = 0,
+                        .deadline_cycles = prefill + 3 * per_req});
+  (void)engine.run_to_completion();
+  ASSERT_EQ(engine.stats().preemptions, 1);
+  ASSERT_EQ(engine.stats().resumes, 1);
+
+  const auto events = parse_trace(export_trace(tracer));
+  check_serving_trace(events);
+
+  int evict_spans = 0;
+  int resume_spans = 0;
+  for (const auto& ev : events) {
+    if (ev.name == "sched.evict") {
+      ++evict_spans;
+      EXPECT_EQ(ev.request, static_cast<long long>(a));
+      EXPECT_GT(ev.dur, 0.0);  // checkpoint bytes cross the L3 port
+      EXPECT_EQ(ev.pid, 0);    // single-model: sched spans stay on chip 0
+    }
+    if (ev.name == "sched.resume") {
+      ++resume_spans;
+      EXPECT_EQ(ev.request, static_cast<long long>(a));
+      EXPECT_GT(ev.dur, 0.0);
+      EXPECT_EQ(ev.pid, 0);
+    }
+  }
+  EXPECT_EQ(evict_spans, 1);
+  EXPECT_EQ(resume_spans, 1);
+}
+
+TEST(TraceExportGolden, MultiModelMissMarkersLandOnTheModelsLane) {
+  // Regression: sched.deadline.miss markers used to hard-code chip 0,
+  // so in a multi-model trace every model's misses piled onto model 0's
+  // process row. They must land on the finishing request's own model
+  // lane (pid == model id) like every other sched-category span.
+  const auto cfg = trace_cfg();
+  const runtime::InferenceSession session(cfg, 4);
+  runtime::ModelRegistry reg;
+  (void)reg.add(session, "a");
+  (void)reg.add(session, "b");
+  sim::Tracer tracer;
+  runtime::BatchedEngine engine(reg, {.total_kv_slots = 2, .max_pending = 8},
+                                &tracer);
+  (void)*engine.submit(0, {1, 2, 3}, 2);  // best-effort on model 0
+  // Hopeless deadline on model 1 guarantees exactly one miss there.
+  (void)*engine.submit(1, {7}, 2, {.priority = 0, .deadline_cycles = 1});
+  (void)engine.run_to_completion();
+  ASSERT_EQ(engine.stats().deadline_misses, 1);
+  ASSERT_EQ(engine.stats().per_model[1].deadline_misses, 1);
+
+  const auto events = parse_trace(export_trace(tracer));
+  check_serving_trace(events);
+
+  int miss_markers = 0;
+  for (const auto& ev : events) {
+    if (ev.name != "sched.deadline.miss") continue;
+    ++miss_markers;
+    EXPECT_EQ(ev.pid, 1) << "miss marker must ride its model's lane";
+    EXPECT_NE(ev.request, sim::kNoRequest);
+  }
+  EXPECT_EQ(miss_markers, 1);
 }

@@ -13,6 +13,14 @@ the same schema:
   deterministic, so any increase is a scheduling regression) and check
   the cross-policy invariant that EDF keeps strictly fewer misses than
   FIFO at equal-or-better throughput.
+* ``distmcu.serving.v2``: everything in v1, plus overload rows (matched
+  by engine config) with every admission/shedding/preemption counter
+  pinned exactly, cycle/throughput fields bounded by ``--tolerance``,
+  and the cross-config invariants that preemption strictly cuts
+  deadline misses versus the non-preemptive engine at identical offered
+  load, the full overload stack never misses more than preemption
+  alone, and fail-fast/shedding actually reject and shed on the
+  overloaded workload.
 * ``distmcu.headline.v1`` (headline_abstract): metrics rows (matched by
   name) must stay within ``--tolerance`` of the baseline measurement in
   BOTH directions, a band that passed in the baseline must still pass,
@@ -46,6 +54,7 @@ import json
 import sys
 
 SERVING_SCHEMA = "distmcu.serving.v1"
+SERVING_V2_SCHEMA = "distmcu.serving.v2"
 HEADLINE_SCHEMA = "distmcu.headline.v1"
 MULTIMODEL_SCHEMA = "distmcu.multimodel.v1"
 
@@ -173,6 +182,62 @@ def check_serving(errors, current, baseline, tol):
     return f"EDF {edf_misses} vs FIFO {fifo_misses} misses"
 
 
+def check_serving_v2(errors, current, baseline, tol):
+    """v1 tables plus the overload section: pinned admission-control
+    counters per engine config and the preemption miss-cut invariants."""
+    v1_summary = check_serving(errors, current, baseline, tol)
+    overload = require(errors, current, "overload", "current")
+    check_rows(errors, "overload", overload, baseline["overload"], "config",
+               lower_is_better=("total_cycles", "preemption_cycles"),
+               higher_is_better=("tokens_per_s",), tol=tol,
+               pinned=("offered", "accepted", "completed", "deadline_misses",
+                       "rejected_queue_full", "rejected_hopeless", "shed",
+                       "preemptions", "resumes", "queue_depth_peak"))
+    if overload is None:
+        return v1_summary
+    rows = index_rows(errors, "current.overload", overload, "config")
+    plain = rows.get("edf")
+    pre = rows.get("edf+preempt")
+    full = rows.get("edf+preempt+failfast+shed")
+    if plain is None or pre is None or full is None:
+        fail(errors, "overload: expected configs edf / edf+preempt / "
+                     "edf+preempt+failfast+shed")
+        return v1_summary
+    vals = {}
+    for name, row in (("edf", plain), ("pre", pre), ("full", full)):
+        for field in ("deadline_misses", "preemptions", "shed",
+                      "rejected_hopeless"):
+            vals[(name, field)] = require(errors, row, field,
+                                          f"overload[{name}]")
+    if None in vals.values():
+        return v1_summary
+    if vals[("pre", "deadline_misses")] >= vals[("edf", "deadline_misses")]:
+        fail(errors,
+             f"invariant: preemption misses "
+             f"({vals[('pre', 'deadline_misses')]}) not below the "
+             f"non-preemptive engine ({vals[('edf', 'deadline_misses')]}) "
+             f"at identical offered load")
+    if vals[("full", "deadline_misses")] > vals[("pre", "deadline_misses")]:
+        fail(errors,
+             f"invariant: full overload stack misses "
+             f"({vals[('full', 'deadline_misses')]}) above preemption-only "
+             f"({vals[('pre', 'deadline_misses')]})")
+    for name in ("pre", "full"):
+        if vals[(name, "preemptions")] < 1:
+            fail(errors, f"invariant: overload[{name}] never preempted on "
+                         f"the overloaded workload")
+    if vals[("full", "shed")] < 1:
+        fail(errors, "invariant: fair shedding never shed under overload")
+    if vals[("full", "rejected_hopeless")] < 1:
+        fail(errors, "invariant: fail-fast never rejected a hopeless "
+                     "deadline under overload")
+    overload_summary = (f"overload misses {vals[('edf', 'deadline_misses')]}"
+                        f" -> {vals[('pre', 'deadline_misses')]}"
+                        f" -> {vals[('full', 'deadline_misses')]}")
+    return (f"{v1_summary}; {overload_summary}" if v1_summary
+            else overload_summary)
+
+
 def check_headline(errors, current, baseline, tol):
     metrics = require(errors, current, "metrics", "current")
     if metrics is None:
@@ -254,6 +319,7 @@ def check_multimodel(errors, current, baseline, tol):
 
 HANDLERS = {
     SERVING_SCHEMA: check_serving,
+    SERVING_V2_SCHEMA: check_serving_v2,
     HEADLINE_SCHEMA: check_headline,
     MULTIMODEL_SCHEMA: check_multimodel,
 }

@@ -44,7 +44,7 @@ ReplicatedSeqParallel::ReplicatedSeqParallel(runtime::SystemConfig sys)
 
 BaselineReport ReplicatedSeqParallel::run(const model::TransformerConfig& cfg,
                                           int n_chips, model::Mode mode) const {
-  util::check(n_chips >= 1, "ReplicatedSeqParallel: need at least one chip");
+  DISTMCU_CHECK(n_chips >= 1, "ReplicatedSeqParallel: need at least one chip");
   BaselineReport out;
   out.name = "replicated seq-parallel [21]";
   out.num_chips = n_chips;
@@ -100,7 +100,7 @@ PipelineParallel::PipelineParallel(runtime::SystemConfig sys) : sys_(std::move(s
 
 BaselineReport PipelineParallel::run(const model::TransformerConfig& cfg, int n_chips,
                                      model::Mode mode) const {
-  util::check(n_chips >= 1 && n_chips <= cfg.num_layers,
+  DISTMCU_CHECK(n_chips >= 1 && n_chips <= cfg.num_layers,
               "PipelineParallel: chips must not exceed layers");
   BaselineReport out;
   out.name = "pipeline-parallel [22,31]";

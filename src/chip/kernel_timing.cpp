@@ -20,7 +20,7 @@ Cycles KernelTiming::ceil_div_work(double work, double rate) const {
 KernelCost KernelTiming::gemm(std::int64_t m, std::int64_t n, std::int64_t k,
                               Precision op_precision, Bytes weight_elem_bytes,
                               Bytes act_elem_bytes) const {
-  util::check(m > 0 && n > 0 && k > 0, "gemm dimensions must be positive");
+  DISTMCU_CHECK(m > 0 && n > 0 && k > 0, "gemm dimensions must be positive");
   const int cores = cfg_.cores;
   const double mpc = cfg_.macs_per_cycle(op_precision);
   const double per_out = static_cast<double>(k) / mpc + cfg_.out_elem_overhead;
@@ -54,7 +54,7 @@ KernelCost KernelTiming::gemm(std::int64_t m, std::int64_t n, std::int64_t k,
 
 KernelCost KernelTiming::softmax(std::int64_t rows, std::int64_t cols,
                                  Bytes act_elem_bytes) const {
-  util::check(rows > 0 && cols > 0, "softmax dimensions must be positive");
+  DISTMCU_CHECK(rows > 0 && cols > 0, "softmax dimensions must be positive");
   const std::int64_t rows_per_core = ceil_div(rows, cfg_.cores);
   KernelCost cost;
   cost.compute_cycles = static_cast<Cycles>(
@@ -68,7 +68,7 @@ KernelCost KernelTiming::softmax(std::int64_t rows, std::int64_t cols,
 
 KernelCost KernelTiming::norm(std::int64_t rows, std::int64_t cols,
                               Bytes act_elem_bytes) const {
-  util::check(rows > 0 && cols > 0, "norm dimensions must be positive");
+  DISTMCU_CHECK(rows > 0 && cols > 0, "norm dimensions must be positive");
   const std::int64_t rows_per_core = ceil_div(rows, cfg_.cores);
   KernelCost cost;
   cost.compute_cycles = static_cast<Cycles>(
@@ -81,7 +81,7 @@ KernelCost KernelTiming::norm(std::int64_t rows, std::int64_t cols,
 }
 
 KernelCost KernelTiming::elementwise(std::int64_t n, Bytes act_elem_bytes) const {
-  util::check(n > 0, "elementwise size must be positive");
+  DISTMCU_CHECK(n > 0, "elementwise size must be positive");
   const std::int64_t per_core = ceil_div(n, cfg_.cores);
   KernelCost cost;
   cost.compute_cycles =
@@ -94,7 +94,7 @@ KernelCost KernelTiming::elementwise(std::int64_t n, Bytes act_elem_bytes) const
 
 KernelCost KernelTiming::rope(std::int64_t rows, std::int64_t dim,
                               Bytes act_elem_bytes) const {
-  util::check(rows > 0 && dim > 0, "rope dimensions must be positive");
+  DISTMCU_CHECK(rows > 0 && dim > 0, "rope dimensions must be positive");
   const std::int64_t per_core = ceil_div(rows, cfg_.cores) * dim;
   KernelCost cost;
   cost.compute_cycles = static_cast<Cycles>(
@@ -106,7 +106,7 @@ KernelCost KernelTiming::rope(std::int64_t rows, std::int64_t dim,
 }
 
 KernelCost KernelTiming::accumulate(std::int64_t n, Bytes act_elem_bytes) const {
-  util::check(n > 0, "accumulate size must be positive");
+  DISTMCU_CHECK(n > 0, "accumulate size must be positive");
   const std::int64_t per_core = ceil_div(n, cfg_.cores);
   KernelCost cost;
   cost.compute_cycles =

@@ -13,13 +13,13 @@ namespace distmcu::kernels {
 void attention_head(std::span<const float> q, std::span<const float> k,
                     std::span<const float> v, std::span<float> out, int s_q,
                     int s_kv, int p, bool causal, int pos_offset) {
-  util::check(s_q > 0 && s_kv > 0 && p > 0, "attention: dimensions must be positive");
-  util::check(q.size() == static_cast<std::size_t>(s_q) * static_cast<std::size_t>(p),
+  DISTMCU_CHECK(s_q > 0 && s_kv > 0 && p > 0, "attention: dimensions must be positive");
+  DISTMCU_CHECK(q.size() == static_cast<std::size_t>(s_q) * static_cast<std::size_t>(p),
               "attention: Q size mismatch");
-  util::check(k.size() == static_cast<std::size_t>(s_kv) * static_cast<std::size_t>(p),
+  DISTMCU_CHECK(k.size() == static_cast<std::size_t>(s_kv) * static_cast<std::size_t>(p),
               "attention: K size mismatch");
-  util::check(v.size() == k.size(), "attention: V size mismatch");
-  util::check(out.size() == q.size(), "attention: out size mismatch");
+  DISTMCU_CHECK(v.size() == k.size(), "attention: V size mismatch");
+  DISTMCU_CHECK(out.size() == q.size(), "attention: out size mismatch");
 
   std::vector<float> scores(static_cast<std::size_t>(s_q) * static_cast<std::size_t>(s_kv));
   gemm_nt(q, k, scores, s_q, s_kv, p);

@@ -7,11 +7,11 @@ namespace distmcu::kernels {
 namespace {
 void check_sizes(std::span<const float> a, std::span<const float> b,
                  std::span<float> c, int m, int n, int k, std::size_t b_expected) {
-  util::check(m > 0 && n > 0 && k > 0, "gemm: dimensions must be positive");
-  util::check(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(k),
+  DISTMCU_CHECK(m > 0 && n > 0 && k > 0, "gemm: dimensions must be positive");
+  DISTMCU_CHECK(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(k),
               "gemm: A size mismatch");
-  util::check(b.size() == b_expected, "gemm: B size mismatch");
-  util::check(c.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+  DISTMCU_CHECK(b.size() == b_expected, "gemm: B size mismatch");
+  DISTMCU_CHECK(c.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
               "gemm: C size mismatch");
 }
 }  // namespace
@@ -20,7 +20,7 @@ void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c
           int m, int n, int k, std::span<const float> bias) {
   check_sizes(a, b, c, m, n, k,
               static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
-  util::check(bias.empty() || bias.size() == static_cast<std::size_t>(n),
+  DISTMCU_CHECK(bias.empty() || bias.size() == static_cast<std::size_t>(n),
               "gemm: bias size mismatch");
   for (int i = 0; i < m; ++i) {
     float* crow = c.data() + static_cast<std::size_t>(i) * n;

@@ -8,8 +8,8 @@
 namespace distmcu::kernels {
 
 void softmax_rows(std::span<float> x, int rows, int cols) {
-  util::check(rows > 0 && cols > 0, "softmax: dimensions must be positive");
-  util::check(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+  DISTMCU_CHECK(rows > 0 && cols > 0, "softmax: dimensions must be positive");
+  DISTMCU_CHECK(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
               "softmax: size mismatch");
   for (int r = 0; r < rows; ++r) {
     float* row = x.data() + static_cast<std::size_t>(r) * cols;
@@ -26,10 +26,10 @@ void softmax_rows(std::span<float> x, int rows, int cols) {
 
 void rmsnorm_rows(std::span<const float> x, std::span<const float> gamma,
                   std::span<float> out, int rows, int cols, float eps) {
-  util::check(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+  DISTMCU_CHECK(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
               "rmsnorm: size mismatch");
-  util::check(gamma.size() == static_cast<std::size_t>(cols), "rmsnorm: gamma size mismatch");
-  util::check(out.size() == x.size(), "rmsnorm: out size mismatch");
+  DISTMCU_CHECK(gamma.size() == static_cast<std::size_t>(cols), "rmsnorm: gamma size mismatch");
+  DISTMCU_CHECK(out.size() == x.size(), "rmsnorm: out size mismatch");
   for (int r = 0; r < rows; ++r) {
     const float* xi = x.data() + static_cast<std::size_t>(r) * cols;
     float* oi = out.data() + static_cast<std::size_t>(r) * cols;
@@ -43,12 +43,12 @@ void rmsnorm_rows(std::span<const float> x, std::span<const float> gamma,
 void layernorm_rows(std::span<const float> x, std::span<const float> gamma,
                     std::span<const float> beta, std::span<float> out, int rows,
                     int cols, float eps) {
-  util::check(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+  DISTMCU_CHECK(x.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
               "layernorm: size mismatch");
-  util::check(gamma.size() == static_cast<std::size_t>(cols) &&
+  DISTMCU_CHECK(gamma.size() == static_cast<std::size_t>(cols) &&
                   beta.size() == static_cast<std::size_t>(cols),
               "layernorm: param size mismatch");
-  util::check(out.size() == x.size(), "layernorm: out size mismatch");
+  DISTMCU_CHECK(out.size() == x.size(), "layernorm: out size mismatch");
   for (int r = 0; r < rows; ++r) {
     const float* xi = x.data() + static_cast<std::size_t>(r) * cols;
     float* oi = out.data() + static_cast<std::size_t>(r) * cols;
@@ -84,12 +84,12 @@ void relu(std::span<float> x) {
 }
 
 void add_inplace(std::span<float> out, std::span<const float> x) {
-  util::check(out.size() == x.size(), "add_inplace: size mismatch");
+  DISTMCU_CHECK(out.size() == x.size(), "add_inplace: size mismatch");
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += x[i];
 }
 
 void mul_inplace(std::span<float> out, std::span<const float> x) {
-  util::check(out.size() == x.size(), "mul_inplace: size mismatch");
+  DISTMCU_CHECK(out.size() == x.size(), "mul_inplace: size mismatch");
   for (std::size_t i = 0; i < out.size(); ++i) out[i] *= x[i];
 }
 

@@ -8,9 +8,9 @@ namespace distmcu::kernels {
 
 void rope_apply(std::span<float> x, int n_pos, int head_dim, int pos_offset,
                 float base) {
-  util::check(n_pos > 0 && head_dim > 0, "rope: dimensions must be positive");
-  util::check(head_dim % 2 == 0, "rope: head_dim must be even");
-  util::check(x.size() == static_cast<std::size_t>(n_pos) * static_cast<std::size_t>(head_dim),
+  DISTMCU_CHECK(n_pos > 0 && head_dim > 0, "rope: dimensions must be positive");
+  DISTMCU_CHECK(head_dim % 2 == 0, "rope: head_dim must be even");
+  DISTMCU_CHECK(x.size() == static_cast<std::size_t>(n_pos) * static_cast<std::size_t>(head_dim),
               "rope: size mismatch");
   for (int i = 0; i < n_pos; ++i) {
     const auto pos = static_cast<float>(pos_offset + i);

@@ -9,7 +9,7 @@ namespace distmcu::mem {
 
 Arena::Arena(std::string name, Bytes capacity, Bytes alignment)
     : name_(std::move(name)), capacity_(capacity), alignment_(alignment) {
-  util::check(alignment_ > 0 && (alignment_ & (alignment_ - 1)) == 0,
+  DISTMCU_CHECK(alignment_ > 0 && (alignment_ & (alignment_ - 1)) == 0,
               "Arena alignment must be a power of two");
 }
 
@@ -25,7 +25,7 @@ bool Arena::try_allocate(const std::string& name, Bytes size) {
 }
 
 Allocation Arena::allocate(const std::string& name, Bytes size) {
-  util::check_plan(try_allocate(name, size),
+  DISTMCU_CHECK_PLAN(try_allocate(name, size),
                    "Arena '" + name_ + "': allocation '" + name + "' of " +
                        util::format_bytes(size) + " exceeds capacity (" +
                        util::format_bytes(remaining()) + " free of " +
@@ -52,8 +52,8 @@ std::string Arena::memory_map() const {
 SlotArena::SlotArena(Arena& arena, const std::string& name, int n_slots,
                      Bytes slot_bytes)
     : name_(name), slot_bytes_(slot_bytes) {
-  util::check(n_slots > 0, "SlotArena: slot count must be positive");
-  util::check(slot_bytes > 0, "SlotArena: slot size must be positive");
+  DISTMCU_CHECK(n_slots > 0, "SlotArena: slot count must be positive");
+  DISTMCU_CHECK(slot_bytes > 0, "SlotArena: slot size must be positive");
   owner_.assign(static_cast<std::size_t>(n_slots), kFreeSlot);
   for (int i = 0; i < n_slots; ++i) {
     (void)arena.allocate(name + "." + std::to_string(i), slot_bytes);
@@ -61,7 +61,7 @@ SlotArena::SlotArena(Arena& arena, const std::string& name, int n_slots,
 }
 
 std::optional<int> SlotArena::acquire(int tenant) {
-  util::check(tenant >= 0, "SlotArena '" + name_ + "': negative tenant");
+  DISTMCU_CHECK(tenant >= 0, "SlotArena '" + name_ + "': negative tenant");
   for (std::size_t i = 0; i < owner_.size(); ++i) {
     if (owner_[i] == kFreeSlot) {
       owner_[i] = tenant;
@@ -80,10 +80,10 @@ std::optional<int> SlotArena::acquire(int tenant) {
 }
 
 void SlotArena::release(int slot) {
-  util::check(slot >= 0 && slot < capacity(),
+  DISTMCU_CHECK(slot >= 0 && slot < capacity(),
               "SlotArena '" + name_ + "': release of out-of-range slot");
   const int tenant = owner_[static_cast<std::size_t>(slot)];
-  util::check(tenant != kFreeSlot,
+  DISTMCU_CHECK(tenant != kFreeSlot,
               "SlotArena '" + name_ + "': double release of slot " +
                   std::to_string(slot));
   owner_[static_cast<std::size_t>(slot)] = kFreeSlot;
@@ -92,9 +92,9 @@ void SlotArena::release(int slot) {
 }
 
 void SlotArena::release(int slot, int tenant) {
-  util::check(slot >= 0 && slot < capacity(),
+  DISTMCU_CHECK(slot >= 0 && slot < capacity(),
               "SlotArena '" + name_ + "': release of out-of-range slot");
-  util::check(owner_[static_cast<std::size_t>(slot)] == tenant,
+  DISTMCU_CHECK(owner_[static_cast<std::size_t>(slot)] == tenant,
               "SlotArena '" + name_ + "': tenant " + std::to_string(tenant) +
                   " released slot " + std::to_string(slot) + " owned by " +
                   std::to_string(owner_[static_cast<std::size_t>(slot)]) +
@@ -111,7 +111,7 @@ void SlotArena::reclaim(int slot, int tenant) {
 }
 
 int SlotArena::owner(int slot) const {
-  util::check(slot >= 0 && slot < capacity(),
+  DISTMCU_CHECK(slot >= 0 && slot < capacity(),
               "SlotArena '" + name_ + "': owner of out-of-range slot");
   return owner_[static_cast<std::size_t>(slot)];
 }

@@ -27,13 +27,13 @@ std::uint64_t TransformerConfig::block_norm_elems() const {
 }
 
 void TransformerConfig::validate() const {
-  util::check(embed_dim > 0 && ffn_dim > 0 && num_heads > 0 && head_dim > 0 &&
+  DISTMCU_CHECK(embed_dim > 0 && ffn_dim > 0 && num_heads > 0 && head_dim > 0 &&
                   num_layers > 0,
               "TransformerConfig: dimensions must be positive");
-  util::check(vocab_size > 0, "TransformerConfig: vocab_size must be positive");
-  util::check(ar_context > 0 && prompt_len > 0,
+  DISTMCU_CHECK(vocab_size > 0, "TransformerConfig: vocab_size must be positive");
+  DISTMCU_CHECK(ar_context > 0 && prompt_len > 0,
               "TransformerConfig: sequence parameters must be positive");
-  util::check(head_dim % 2 == 0 || pos != PosEmbed::rope,
+  DISTMCU_CHECK(head_dim % 2 == 0 || pos != PosEmbed::rope,
               "TransformerConfig: RoPE requires an even head_dim");
 }
 
@@ -77,7 +77,7 @@ TransformerConfig TransformerConfig::mobile_bert() {
 
 TransformerConfig TransformerConfig::tiny_llama_scaled(int heads) {
   TransformerConfig cfg = tiny_llama_42m();
-  util::check(heads > 0 && cfg.proj_dim() % heads == 0,
+  DISTMCU_CHECK(heads > 0 && cfg.proj_dim() % heads == 0,
               "tiny_llama_scaled: heads must divide P*H = 512");
   cfg.name = "tinyllama-scaled-" + std::to_string(heads) + "h";
   cfg.head_dim = cfg.proj_dim() / heads;  // keep P*H constant first

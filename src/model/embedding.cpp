@@ -15,10 +15,10 @@ Embedding::Embedding(const TransformerConfig& cfg, std::uint64_t seed)
 }
 
 Tensor Embedding::lookup(const std::vector<int>& ids) const {
-  util::check(!ids.empty(), "Embedding::lookup: empty id list");
+  DISTMCU_CHECK(!ids.empty(), "Embedding::lookup: empty id list");
   Tensor out(static_cast<int>(ids.size()), table_.cols());
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    util::check(ids[i] >= 0 && ids[i] < table_.rows(),
+    DISTMCU_CHECK(ids[i] >= 0 && ids[i] < table_.rows(),
                 "Embedding::lookup: id out of vocabulary");
     const auto src = table_.row(ids[i]);
     auto dst = out.row(static_cast<int>(i));
@@ -28,7 +28,7 @@ Tensor Embedding::lookup(const std::vector<int>& ids) const {
 }
 
 Tensor Embedding::logits(const Tensor& x) const {
-  util::check(x.cols() == table_.cols(), "Embedding::logits: width mismatch");
+  DISTMCU_CHECK(x.cols() == table_.cols(), "Embedding::logits: width mismatch");
   Tensor out(x.rows(), table_.rows());
   kernels::gemm_nt(x.span(), table_.span(), out.span(), x.rows(), table_.rows(),
                    x.cols());

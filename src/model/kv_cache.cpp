@@ -9,12 +9,12 @@ namespace distmcu::model {
 KvCache::KvCache(int max_positions, int dim)
     : max_positions_(max_positions), dim_(dim), k_store_(max_positions, dim),
       v_store_(max_positions, dim) {
-  util::check(max_positions > 0 && dim > 0, "KvCache: dimensions must be positive");
+  DISTMCU_CHECK(max_positions > 0 && dim > 0, "KvCache: dimensions must be positive");
 }
 
 void KvCache::append(std::span<const float> k, std::span<const float> v) {
-  util::check(length_ < max_positions_, "KvCache: capacity exceeded");
-  util::check(k.size() == static_cast<std::size_t>(dim_) &&
+  DISTMCU_CHECK(length_ < max_positions_, "KvCache: capacity exceeded");
+  DISTMCU_CHECK(k.size() == static_cast<std::size_t>(dim_) &&
                   v.size() == static_cast<std::size_t>(dim_),
               "KvCache: row size mismatch");
   std::copy(k.begin(), k.end(), k_store_.row(length_).begin());
@@ -33,17 +33,17 @@ std::span<const float> KvCache::v() const {
 }
 
 Tensor KvCache::k_slice(int c0, int c1) const {
-  util::check(length_ > 0, "KvCache::k_slice: cache is empty");
+  DISTMCU_CHECK(length_ > 0, "KvCache::k_slice: cache is empty");
   return k_store_.slice_rows(0, length_).slice_cols(c0, c1);
 }
 
 Tensor KvCache::v_slice(int c0, int c1) const {
-  util::check(length_ > 0, "KvCache::v_slice: cache is empty");
+  DISTMCU_CHECK(length_ > 0, "KvCache::v_slice: cache is empty");
   return v_store_.slice_rows(0, length_).slice_cols(c0, c1);
 }
 
 void KvCache::copy_state_from(const KvCache& src) {
-  util::check(src.max_positions_ == max_positions_ && src.dim_ == dim_,
+  DISTMCU_CHECK(src.max_positions_ == max_positions_ && src.dim_ == dim_,
               "KvCache::copy_state_from: shape mismatch");
   for (int p = 0; p < src.length_; ++p) {
     const auto k = src.k_store_.row(p);
@@ -55,16 +55,16 @@ void KvCache::copy_state_from(const KvCache& src) {
 }
 
 KvCachePool::KvCachePool(int n_slots, const std::function<CacheSet()>& build_set) {
-  util::check(n_slots > 0, "KvCachePool: slot count must be positive");
+  DISTMCU_CHECK(n_slots > 0, "KvCachePool: slot count must be positive");
   slots_.reserve(static_cast<std::size_t>(n_slots));
   for (int i = 0; i < n_slots; ++i) slots_.push_back(build_set());
-  util::check(!slots_.front().empty() && !slots_.front().front().empty(),
+  DISTMCU_CHECK(!slots_.front().empty() && !slots_.front().front().empty(),
               "KvCachePool: builder produced an empty cache set");
   set_in_use_.assign(static_cast<std::size_t>(n_slots), false);
 }
 
 KvCachePool::CacheSet& KvCachePool::slot(int i) {
-  util::check(i >= 0 && i < capacity(), "KvCachePool: slot index out of range");
+  DISTMCU_CHECK(i >= 0 && i < capacity(), "KvCachePool: slot index out of range");
   return slots_[static_cast<std::size_t>(i)];
 }
 
@@ -76,10 +76,10 @@ void KvCachePool::reset_slot(int i) {
 
 void KvCachePool::restore_slot(int i, const CacheSet& snapshot) {
   CacheSet& dst = slot(i);
-  util::check(snapshot.size() == dst.size(),
+  DISTMCU_CHECK(snapshot.size() == dst.size(),
               "KvCachePool::restore_slot: chip-count mismatch");
   for (std::size_t chip = 0; chip < dst.size(); ++chip) {
-    util::check(snapshot[chip].size() == dst[chip].size(),
+    DISTMCU_CHECK(snapshot[chip].size() == dst[chip].size(),
                 "KvCachePool::restore_slot: layer-count mismatch");
     for (std::size_t l = 0; l < dst[chip].size(); ++l) {
       dst[chip][l].copy_state_from(snapshot[chip][l]);
@@ -107,9 +107,9 @@ std::optional<int> KvCachePool::acquire_set() {
 }
 
 void KvCachePool::release_set(int i) {
-  util::check(i >= 0 && i < capacity(),
+  DISTMCU_CHECK(i >= 0 && i < capacity(),
               "KvCachePool: release of out-of-range set");
-  util::check(set_in_use_[static_cast<std::size_t>(i)],
+  DISTMCU_CHECK(set_in_use_[static_cast<std::size_t>(i)],
               "KvCachePool: double release of set " + std::to_string(i));
   set_in_use_[static_cast<std::size_t>(i)] = false;
   --sets_in_use_;

@@ -13,7 +13,7 @@ namespace distmcu::model {
 ReferenceModel::ReferenceModel(const TransformerConfig& cfg, const Weights& weights)
     : cfg_(cfg), weights_(weights) {
   cfg_.validate();
-  util::check(weights.num_layers() == cfg.num_layers,
+  DISTMCU_CHECK(weights.num_layers() == cfg.num_layers,
               "ReferenceModel: weights/config layer mismatch");
 }
 
@@ -125,7 +125,7 @@ Tensor ReferenceModel::ffn(const Tensor& x, int layer) const {
 
 Tensor ReferenceModel::block_prompt(const Tensor& x, int layer,
                                     std::vector<KvCache>* caches, int pos_offset) const {
-  util::check(x.cols() == cfg_.embed_dim, "block_prompt: input width != E");
+  DISTMCU_CHECK(x.cols() == cfg_.embed_dim, "block_prompt: input width != E");
   const LayerWeights& w = weights_.layer(layer);
 
   if (cfg_.pre_norm) {
@@ -149,8 +149,8 @@ Tensor ReferenceModel::block_prompt(const Tensor& x, int layer,
 
 Tensor ReferenceModel::block_ar(const Tensor& x, int layer, std::vector<KvCache>& caches,
                                 int pos) const {
-  util::check(x.rows() == 1, "block_ar: autoregressive input must be a single row");
-  util::check(caches[static_cast<std::size_t>(layer)].length() == pos,
+  DISTMCU_CHECK(x.rows() == 1, "block_ar: autoregressive input must be a single row");
+  DISTMCU_CHECK(caches[static_cast<std::size_t>(layer)].length() == pos,
               "block_ar: cache length inconsistent with position");
   return block_prompt(x, layer, &caches, pos);
 }

@@ -10,7 +10,7 @@ namespace distmcu::model {
 Tensor::Tensor(int rows, int cols)
     : rows_(rows), cols_(cols),
       data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f) {
-  util::check(rows > 0 && cols > 0, "Tensor dimensions must be positive");
+  DISTMCU_CHECK(rows > 0 && cols > 0, "Tensor dimensions must be positive");
 }
 
 float& Tensor::at(int r, int c) {
@@ -38,7 +38,7 @@ void Tensor::random_init(util::Rng& rng, float scale) {
 }
 
 Tensor Tensor::slice_cols(int c0, int c1) const {
-  util::check(0 <= c0 && c0 < c1 && c1 <= cols_, "Tensor::slice_cols: bad range");
+  DISTMCU_CHECK(0 <= c0 && c0 < c1 && c1 <= cols_, "Tensor::slice_cols: bad range");
   Tensor out(rows_, c1 - c0);
   for (int r = 0; r < rows_; ++r) {
     for (int c = c0; c < c1; ++c) out.at(r, c - c0) = at(r, c);
@@ -47,7 +47,7 @@ Tensor Tensor::slice_cols(int c0, int c1) const {
 }
 
 Tensor Tensor::slice_rows(int r0, int r1) const {
-  util::check(0 <= r0 && r0 < r1 && r1 <= rows_, "Tensor::slice_rows: bad range");
+  DISTMCU_CHECK(0 <= r0 && r0 < r1 && r1 <= rows_, "Tensor::slice_rows: bad range");
   Tensor out(r1 - r0, cols_);
   for (int r = r0; r < r1; ++r) {
     for (int c = 0; c < cols_; ++c) out.at(r - r0, c) = at(r, c);
@@ -56,7 +56,7 @@ Tensor Tensor::slice_rows(int r0, int r1) const {
 }
 
 float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
-  util::check(a.rows() == b.rows() && a.cols() == b.cols(),
+  DISTMCU_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
               "max_abs_diff: shape mismatch");
   float mx = 0.0f;
   for (std::size_t i = 0; i < a.data_.size(); ++i) {

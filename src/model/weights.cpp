@@ -53,7 +53,7 @@ Weights::Weights(const TransformerConfig& cfg, std::uint64_t seed) : cfg_(cfg) {
 }
 
 const LayerWeights& Weights::layer(int i) const {
-  util::check(i >= 0 && i < num_layers(), "Weights::layer: index out of range");
+  DISTMCU_CHECK(i >= 0 && i < num_layers(), "Weights::layer: index out of range");
   return layers_[static_cast<std::size_t>(i)];
 }
 

@@ -19,7 +19,7 @@ CollectiveTimer::CollectiveTimer(const Topology& topo, const LinkConfig& link,
 
 CollectiveTiming CollectiveTimer::reduce(const std::vector<Cycles>& ready, Bytes bytes,
                                          sim::Tracer* tracer) {
-  util::check(ready.size() == static_cast<std::size_t>(topo_.num_chips()),
+  DISTMCU_CHECK(ready.size() == static_cast<std::size_t>(topo_.num_chips()),
               "CollectiveTimer::reduce: ready size != chip count");
   CollectiveTiming out;
   out.chip_ready = ready;

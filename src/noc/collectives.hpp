@@ -25,13 +25,13 @@ namespace distmcu::noc {
 /// Reduce all chip buffers into the root's buffer (dst += src per hop).
 template <typename T>
 void reduce_numeric(const Topology& topo, std::vector<std::span<T>>& buffers) {
-  util::check(buffers.size() == static_cast<std::size_t>(topo.num_chips()),
+  DISTMCU_CHECK(buffers.size() == static_cast<std::size_t>(topo.num_chips()),
               "reduce_numeric: buffer count != chip count");
   for (const auto& stage : topo.reduce_stages()) {
     for (const auto& hop : stage) {
       auto& dst = buffers[static_cast<std::size_t>(hop.dst)];
       const auto& src = buffers[static_cast<std::size_t>(hop.src)];
-      util::check(dst.size() == src.size(), "reduce_numeric: buffer size mismatch");
+      DISTMCU_CHECK(dst.size() == src.size(), "reduce_numeric: buffer size mismatch");
       for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
     }
   }
@@ -40,13 +40,13 @@ void reduce_numeric(const Topology& topo, std::vector<std::span<T>>& buffers) {
 /// Copy the root's buffer to every chip along the mirrored schedule.
 template <typename T>
 void broadcast_numeric(const Topology& topo, std::vector<std::span<T>>& buffers) {
-  util::check(buffers.size() == static_cast<std::size_t>(topo.num_chips()),
+  DISTMCU_CHECK(buffers.size() == static_cast<std::size_t>(topo.num_chips()),
               "broadcast_numeric: buffer count != chip count");
   for (const auto& stage : topo.broadcast_stages()) {
     for (const auto& hop : stage) {
       auto& dst = buffers[static_cast<std::size_t>(hop.dst)];
       const auto& src = buffers[static_cast<std::size_t>(hop.src)];
-      util::check(dst.size() == src.size(), "broadcast_numeric: buffer size mismatch");
+      DISTMCU_CHECK(dst.size() == src.size(), "broadcast_numeric: buffer size mismatch");
       for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
     }
   }

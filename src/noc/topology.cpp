@@ -10,8 +10,8 @@ Topology::Topology(int n_chips, int group_size, std::vector<Stage> stages)
     : num_chips_(n_chips), group_size_(group_size), reduce_stages_(std::move(stages)) {}
 
 Topology Topology::hierarchical(int n_chips, int group_size) {
-  util::check(n_chips >= 1, "Topology requires at least one chip");
-  util::check(group_size >= 2, "Topology group size must be >= 2");
+  DISTMCU_CHECK(n_chips >= 1, "Topology requires at least one chip");
+  DISTMCU_CHECK(group_size >= 2, "Topology group size must be >= 2");
 
   std::vector<Stage> stages;
   std::vector<int> level;
@@ -37,7 +37,7 @@ Topology Topology::hierarchical(int n_chips, int group_size) {
 }
 
 Topology Topology::flat(int n_chips) {
-  util::check(n_chips >= 1, "Topology requires at least one chip");
+  DISTMCU_CHECK(n_chips >= 1, "Topology requires at least one chip");
   std::vector<Stage> stages;
   if (n_chips > 1) {
     Stage stage;

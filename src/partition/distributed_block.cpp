@@ -16,9 +16,9 @@ DistributedBlock::DistributedBlock(const model::TransformerConfig& cfg,
                                    const ShardedWeights& shards, const PartitionPlan& plan,
                                    const noc::Topology& topo)
     : cfg_(cfg), weights_(weights), shards_(shards), plan_(plan), topo_(topo) {
-  util::check(topo.num_chips() == plan.num_chips(),
+  DISTMCU_CHECK(topo.num_chips() == plan.num_chips(),
               "DistributedBlock: topology/plan chip count mismatch");
-  util::check(shards.num_chips() == plan.num_chips(),
+  DISTMCU_CHECK(shards.num_chips() == plan.num_chips(),
               "DistributedBlock: shards/plan chip count mismatch");
 }
 
@@ -173,7 +173,7 @@ void DistributedBlock::record_broadcast(std::uint64_t elems, CommRecord* comm) c
 model::Tensor DistributedBlock::forward(const model::Tensor& x, int layer,
                                         std::vector<std::vector<model::KvCache>>* chip_caches,
                                         int pos_offset, CommRecord* comm) const {
-  util::check(x.cols() == cfg_.embed_dim, "DistributedBlock::forward: input width != E");
+  DISTMCU_CHECK(x.cols() == cfg_.embed_dim, "DistributedBlock::forward: input width != E");
   const model::LayerWeights& lw = weights_.layer(layer);
   const int n = plan_.num_chips();
 

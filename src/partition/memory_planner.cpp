@@ -36,7 +36,7 @@ std::string MemoryPlan::describe() const {
 
 MemoryPlanner::MemoryPlanner(chip::ChipConfig chip_cfg, PrecisionConfig precision)
     : chip_(std::move(chip_cfg)), precision_(precision) {
-  util::check(precision_.weight_bytes > 0 && precision_.act_bytes > 0 &&
+  DISTMCU_CHECK(precision_.weight_bytes > 0 && precision_.act_bytes > 0 &&
                   precision_.kv_bytes > 0,
               "MemoryPlanner: element sizes must be positive");
 }
@@ -77,7 +77,7 @@ MemoryPlan MemoryPlanner::plan(const PartitionPlan& partition, model::Mode mode)
     out.residency = Residency::double_buffered;
   } else {
     out.residency = Residency::streamed;
-    util::check_plan(out.need_streamed() <= out.l2_usable,
+    DISTMCU_CHECK_PLAN(out.need_streamed() <= out.l2_usable,
                      "MemoryPlanner: KV cache + activations (" +
                          util::format_bytes(out.need_streamed()) +
                          ") exceed usable L2 (" + util::format_bytes(out.l2_usable) +

@@ -11,12 +11,12 @@ PartitionPlan::PartitionPlan(model::TransformerConfig cfg, std::vector<ChipSlice
 
 PartitionPlan PartitionPlan::create(const model::TransformerConfig& cfg, int n_chips) {
   cfg.validate();
-  util::check(n_chips >= 1, "PartitionPlan: need at least one chip");
-  util::check(n_chips <= cfg.num_heads,
+  DISTMCU_CHECK(n_chips >= 1, "PartitionPlan: need at least one chip");
+  DISTMCU_CHECK(n_chips <= cfg.num_heads,
               "PartitionPlan: more chips (" + std::to_string(n_chips) + ") than heads (" +
                   std::to_string(cfg.num_heads) +
                   ") — scale the head count first (paper Sec. V-C)");
-  util::check(n_chips <= cfg.ffn_dim,
+  DISTMCU_CHECK(n_chips <= cfg.ffn_dim,
               "PartitionPlan: more chips than FFN columns");
 
   std::vector<ChipSlice> slices;
@@ -44,7 +44,7 @@ PartitionPlan PartitionPlan::create(const model::TransformerConfig& cfg, int n_c
 }
 
 const ChipSlice& PartitionPlan::slice(int chip) const {
-  util::check(chip >= 0 && chip < num_chips(), "PartitionPlan::slice: chip out of range");
+  DISTMCU_CHECK(chip >= 0 && chip < num_chips(), "PartitionPlan::slice: chip out of range");
   return slices_[static_cast<std::size_t>(chip)];
 }
 
@@ -73,25 +73,25 @@ std::uint64_t PartitionPlan::sync_payload_elems(int seq_len) const {
 }
 
 void PartitionPlan::validate() const {
-  util::check(!slices_.empty(), "PartitionPlan: empty");
+  DISTMCU_CHECK(!slices_.empty(), "PartitionPlan: empty");
   int h_cursor = 0;
   int f_cursor = 0;
   std::uint64_t elem_sum = 0;
   for (int c = 0; c < num_chips(); ++c) {
     const ChipSlice& s = slices_[static_cast<std::size_t>(c)];
-    util::check(s.chip == c, "PartitionPlan: slice/chip index mismatch");
-    util::check(s.head_begin == h_cursor && s.head_end > s.head_begin,
+    DISTMCU_CHECK(s.chip == c, "PartitionPlan: slice/chip index mismatch");
+    DISTMCU_CHECK(s.head_begin == h_cursor && s.head_end > s.head_begin,
                 "PartitionPlan: head ranges must tile [0, H) contiguously");
-    util::check(s.f_begin == f_cursor && s.f_end > s.f_begin,
+    DISTMCU_CHECK(s.f_begin == f_cursor && s.f_end > s.f_begin,
                 "PartitionPlan: FFN ranges must tile [0, F) contiguously");
     h_cursor = s.head_end;
     f_cursor = s.f_end;
     elem_sum += chip_block_weight_elems(c);
   }
-  util::check(h_cursor == cfg_.num_heads, "PartitionPlan: heads not fully covered");
-  util::check(f_cursor == cfg_.ffn_dim, "PartitionPlan: FFN not fully covered");
+  DISTMCU_CHECK(h_cursor == cfg_.num_heads, "PartitionPlan: heads not fully covered");
+  DISTMCU_CHECK(f_cursor == cfg_.ffn_dim, "PartitionPlan: FFN not fully covered");
   // Zero duplication: shards partition the block's weights exactly.
-  util::check(elem_sum == cfg_.block_weight_elems(),
+  DISTMCU_CHECK(elem_sum == cfg_.block_weight_elems(),
               "PartitionPlan: shard elements do not sum to block total");
 }
 

@@ -7,7 +7,7 @@ namespace distmcu::partition {
 ShardedWeights::ShardedWeights(const model::Weights& weights, const PartitionPlan& plan)
     : n_chips_(plan.num_chips()), n_layers_(weights.num_layers()) {
   const model::TransformerConfig& cfg = plan.config();
-  util::check(weights.config().block_weight_elems() == cfg.block_weight_elems(),
+  DISTMCU_CHECK(weights.config().block_weight_elems() == cfg.block_weight_elems(),
               "ShardedWeights: weights/plan config mismatch");
   const int p = cfg.head_dim;
   shards_.reserve(static_cast<std::size_t>(n_chips_) * static_cast<std::size_t>(n_layers_));
@@ -33,8 +33,8 @@ ShardedWeights::ShardedWeights(const model::Weights& weights, const PartitionPla
 }
 
 const WeightShard& ShardedWeights::shard(int chip, int layer) const {
-  util::check(chip >= 0 && chip < n_chips_, "ShardedWeights: chip out of range");
-  util::check(layer >= 0 && layer < n_layers_, "ShardedWeights: layer out of range");
+  DISTMCU_CHECK(chip >= 0 && chip < n_chips_, "ShardedWeights: chip out of range");
+  DISTMCU_CHECK(layer >= 0 && layer < n_layers_, "ShardedWeights: layer out of range");
   return shards_[static_cast<std::size_t>(chip) * static_cast<std::size_t>(n_layers_) +
                  static_cast<std::size_t>(layer)];
 }

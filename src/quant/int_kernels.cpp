@@ -10,12 +10,12 @@ namespace {
 template <typename Int, typename Acc>
 void gemm_int(std::span<const Int> a, std::span<const Int> b, std::span<Acc> c,
               int m, int n, int k) {
-  util::check(m > 0 && n > 0 && k > 0, "gemm_int: dimensions must be positive");
-  util::check(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(k),
+  DISTMCU_CHECK(m > 0 && n > 0 && k > 0, "gemm_int: dimensions must be positive");
+  DISTMCU_CHECK(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(k),
               "gemm_int: A size mismatch");
-  util::check(b.size() == static_cast<std::size_t>(k) * static_cast<std::size_t>(n),
+  DISTMCU_CHECK(b.size() == static_cast<std::size_t>(k) * static_cast<std::size_t>(n),
               "gemm_int: B size mismatch");
-  util::check(c.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+  DISTMCU_CHECK(c.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
               "gemm_int: C size mismatch");
   for (int i = 0; i < m; ++i) {
     Acc* crow = c.data() + static_cast<std::size_t>(i) * n;
@@ -45,8 +45,8 @@ void gemm_i16_i64(std::span<const std::int16_t> a, std::span<const std::int16_t>
 
 void requant_i32_i8(std::span<const std::int32_t> acc, std::int32_t mult, int shift,
                     std::span<std::int8_t> out) {
-  util::check(acc.size() == out.size(), "requant: size mismatch");
-  util::check(shift >= 0 && shift < 63, "requant: bad shift");
+  DISTMCU_CHECK(acc.size() == out.size(), "requant: size mismatch");
+  DISTMCU_CHECK(shift >= 0 && shift < 63, "requant: bad shift");
   const std::int64_t rounding = shift > 0 ? (1ll << (shift - 1)) : 0;
   for (std::size_t i = 0; i < acc.size(); ++i) {
     const std::int64_t v =

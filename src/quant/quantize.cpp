@@ -8,7 +8,7 @@
 namespace distmcu::quant {
 
 QuantParams QuantParams::from_absmax(float absmax, int bits) {
-  util::check(bits == 8 || bits == 16, "QuantParams: bits must be 8 or 16");
+  DISTMCU_CHECK(bits == 8 || bits == 16, "QuantParams: bits must be 8 or 16");
   const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
   QuantParams p;
   p.scale = absmax > 0.0f ? absmax / qmax : 1.0f;
@@ -50,7 +50,7 @@ std::vector<std::int16_t> quantize_i16(std::span<const float> data,
 
 void dequantize(std::span<const std::int8_t> q, const QuantParams& p,
                 std::span<float> out) {
-  util::check(q.size() == out.size(), "dequantize: size mismatch");
+  DISTMCU_CHECK(q.size() == out.size(), "dequantize: size mismatch");
   for (std::size_t i = 0; i < q.size(); ++i) {
     out[i] = static_cast<float>(q[i]) * p.scale;
   }
@@ -58,7 +58,7 @@ void dequantize(std::span<const std::int8_t> q, const QuantParams& p,
 
 void dequantize(std::span<const std::int16_t> q, const QuantParams& p,
                 std::span<float> out) {
-  util::check(q.size() == out.size(), "dequantize: size mismatch");
+  DISTMCU_CHECK(q.size() == out.size(), "dequantize: size mismatch");
   for (std::size_t i = 0; i < q.size(); ++i) {
     out[i] = static_cast<float>(q[i]) * p.scale;
   }

@@ -16,9 +16,9 @@ QuantizedDistributedFfn::QuantizedDistributedFfn(const model::TransformerConfig&
                                                  const partition::PartitionPlan& plan,
                                                  const noc::Topology& topo)
     : cfg_(cfg), plan_(plan), topo_(topo) {
-  util::check(cfg.ffn == model::FfnKind::mlp,
+  DISTMCU_CHECK(cfg.ffn == model::FfnKind::mlp,
               "QuantizedDistributedFfn: only the plain MLP FFN is supported");
-  util::check(topo.num_chips() == plan.num_chips(),
+  DISTMCU_CHECK(topo.num_chips() == plan.num_chips(),
               "QuantizedDistributedFfn: topology/plan mismatch");
 
   // Quantization is per TENSOR, computed before sharding (exactly what a
@@ -56,7 +56,7 @@ QuantizedDistributedFfn::QuantizedDistributedFfn(const model::TransformerConfig&
 
 std::vector<std::int32_t> QuantizedDistributedFfn::forward_raw(const model::Tensor& x,
                                                                float* out_scale) const {
-  util::check(x.cols() == cfg_.embed_dim, "QuantizedDistributedFfn: input width != E");
+  DISTMCU_CHECK(x.cols() == cfg_.embed_dim, "QuantizedDistributedFfn: input width != E");
   const int s = x.rows();
   const int e = cfg_.embed_dim;
   const int n = plan_.num_chips();

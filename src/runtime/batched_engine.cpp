@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/deployment_analyzer.hpp"
 #include "util/check.hpp"
 
 namespace distmcu::runtime {
@@ -16,7 +17,7 @@ namespace {
 void check_pool_fits(const partition::MemoryPlan& mp, int cap,
                      const char* mode, const std::string& model) {
   const Bytes extra_kv = mp.kv_cache_bytes * static_cast<Bytes>(cap - 1);
-  util::check_plan(
+  DISTMCU_CHECK_PLAN(
       mp.need() + extra_kv <= mp.l2_usable,
       "BatchedEngine['" + model + "']: " + std::to_string(cap) +
           " pooled KV-cache sets need " +
@@ -37,7 +38,7 @@ Cycles percentile(const std::vector<Cycles>& sorted, double p) {
 /// Effective chunk size: clamped to the deployment's static prompt
 /// shape, 0 when chunking is disabled.
 int effective_chunk_tokens(int chunk_tokens, int prompt_len) {
-  util::check(chunk_tokens >= 0,
+  DISTMCU_CHECK(chunk_tokens >= 0,
               "BatchedEngine: prefill_chunk_tokens must be >= 0");
   if (chunk_tokens == 0) return 0;
   return std::min(chunk_tokens, prompt_len);
@@ -82,7 +83,7 @@ ModelRegistry single_model_registry(const InferenceSession& session,
 
 BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
                                                   int quota, int cap) {
-  util::check(dep.session != nullptr,
+  DISTMCU_CHECK(dep.session != nullptr,
               "BatchedEngine: registry entry '" + dep.name +
                   "' carries no session");
   const InferenceSession& session = *dep.session;
@@ -178,11 +179,27 @@ BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
     : opts_(std::move(opts)),
       tracer_(tracer),
       tenants_([&] {
-        util::check(registry.count() > 0,
+        // Strict mode gates construction on the static analyzer BEFORE
+        // any of the ad-hoc checks below, so an unsound deployment is
+        // refused with structured diagnostics (stable codes, entities,
+        // hints) rather than whichever unstructured throw fires first.
+        if (opts_.strict) {
+          analysis::AnalysisReport rep =
+              analysis::DeploymentAnalyzer::analyze(registry, opts_);
+          if (!rep.ok()) {
+            // Render before the move: function arguments are unsequenced,
+            // so to_text() inside the call could see a moved-from report.
+            std::string text =
+                "BatchedEngine(strict): deployment is unsound\n" +
+                rep.to_text();
+            throw analysis::AnalysisError(text, std::move(rep));
+          }
+        }
+        DISTMCU_CHECK(registry.count() > 0,
                     "BatchedEngine: registry holds no deployments");
-        util::check(opts_.total_kv_slots > 0,
+        DISTMCU_CHECK(opts_.total_kv_slots > 0,
                     "BatchedEngine: max_batch must be positive");
-        util::check(opts_.max_pending >= 0,
+        DISTMCU_CHECK(opts_.max_pending >= 0,
                     "BatchedEngine: max_pending must be >= 0");
         // Quota derivation: explicit quotas are kept, unset (0) quotas
         // share the remaining slots equally (remainder to the earliest
@@ -197,13 +214,13 @@ BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
             ++unset;
           }
         }
-        util::check(explicit_sum <= opts_.total_kv_slots,
+        DISTMCU_CHECK(explicit_sum <= opts_.total_kv_slots,
                     "BatchedEngine: deployment quotas (" +
                         std::to_string(explicit_sum) +
                         ") exceed total_kv_slots (" +
                         std::to_string(opts_.total_kv_slots) + ")");
         const int rem = opts_.total_kv_slots - explicit_sum;
-        util::check(unset == 0 || rem >= unset,
+        DISTMCU_CHECK(unset == 0 || rem >= unset,
                     "BatchedEngine: total_kv_slots leaves no KV slot for "
                     "some deployment; raise total_kv_slots or lower quotas");
         const bool borrowing = resolve_budget(opts_)->allows_borrowing();
@@ -216,7 +233,7 @@ BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
             quota = rem / unset + (unset_seen < rem % unset ? 1 : 0);
             ++unset_seen;
           }
-          util::check(quota >= 1, "BatchedEngine: deployment '" + e.name +
+          DISTMCU_CHECK(quota >= 1, "BatchedEngine: deployment '" + e.name +
                                       "' derived a zero KV quota");
           int cap = e.max_resident > 0
                         ? std::min(e.max_resident, opts_.total_kv_slots)
@@ -279,7 +296,7 @@ BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
         // single-set term out.
         const Bytes need_beside =
             fp.plan.need() - fp.plan.kv_cache_bytes + worst_kv;
-        util::check_plan(
+        DISTMCU_CHECK_PLAN(
             need_beside <= fp.plan.l2_usable,
             "BatchedEngine['" + t.name +
                 "']: worst-case co-resident KV of all tenants (" +
@@ -312,11 +329,12 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
                                  .kv_budget = nullptr,
                                  .fail_fast_deadlines = opts.fail_fast_deadlines,
                                  .fair_shedding = opts.fair_shedding,
-                                 .preemption = opts.preemption},
+                                 .preemption = opts.preemption,
+                                 .strict = opts.strict},
                     tracer) {}
 
 const BatchedEngine::Tenant& BatchedEngine::tenant(ModelId m) const {
-  util::check(m >= 0 && m < model_count(),
+  DISTMCU_CHECK(m >= 0 && m < model_count(),
               "BatchedEngine: ModelId out of range");
   return tenants_[static_cast<std::size_t>(m)];
 }
@@ -359,18 +377,18 @@ std::optional<RequestId> BatchedEngine::submit(ModelId model,
                                                int new_tokens, SloSpec slo) {
   // The model guard must stay ahead of every per_model[...] index below:
   // an unknown id must throw, not corrupt another deployment's counters.
-  util::check(model >= 0 && model < model_count(),
+  DISTMCU_CHECK(model >= 0 && model < model_count(),
               "submit: unknown model id " + std::to_string(model));
   const Tenant& t = tenants_[static_cast<std::size_t>(model)];
-  util::check(!prompt.empty(), "submit: prompt must not be empty");
-  util::check(new_tokens >= 0, "submit: new_tokens must be >= 0");
-  util::check(static_cast<int>(prompt.size()) + new_tokens <=
+  DISTMCU_CHECK(!prompt.empty(), "submit: prompt must not be empty");
+  DISTMCU_CHECK(new_tokens >= 0, "submit: new_tokens must be >= 0");
+  DISTMCU_CHECK(static_cast<int>(prompt.size()) + new_tokens <=
                   t.session->config().ar_context,
               "submit: sequence exceeds the model's context length");
   // Prefill cost and the construction-time L2 fit were both derived from
   // the deployment's static prompt shape, so longer prompts would be
   // silently under-charged and under-validated.
-  util::check(
+  DISTMCU_CHECK(
       static_cast<int>(prompt.size()) <= t.session->config().prompt_len,
       "submit: prompt exceeds the deployment's prefill length (" +
           std::to_string(t.session->config().prompt_len) + ")");
@@ -572,7 +590,7 @@ bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
   c.estimated_cost = s.estimated_cost;
   const int pick = opts_.preemption->pick_victim(victims, c, now);
   if (pick < 0) return false;
-  util::check(pick < static_cast<int>(victims.size()),
+  DISTMCU_CHECK(pick < static_cast<int>(victims.size()),
               std::string("BatchedEngine: preemption policy '") +
                   opts_.preemption->name() +
                   "' returned an out-of-range victim index");
@@ -686,7 +704,7 @@ int BatchedEngine::pick_admissible_pending() const {
   }
   if (queue.empty()) return -1;
   const std::size_t idx = scheduler_->pick(queue, pipeline_.now());
-  util::check(idx < queue.size(),
+  DISTMCU_CHECK(idx < queue.size(),
               std::string("BatchedEngine: scheduler '") + scheduler_->name() +
                   "' returned an out-of-range queue index");
   return pending_index[idx];
@@ -804,10 +822,10 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy,
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pi));
     Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
     const auto slot = kv_slots_.acquire(r.model);
-    util::check(slot.has_value(), "BatchedEngine: admission without a free slot");
+    DISTMCU_CHECK(slot.has_value(), "BatchedEngine: admission without a free slot");
     r.slot = *slot;
     const auto set = t.pool->acquire_set();
-    util::check(set.has_value(),
+    DISTMCU_CHECK(set.has_value(),
                 "BatchedEngine['" + t.name + "']: budget granted a slot "
                 "beyond the model's cache-set cap");
     r.set = *set;
@@ -1020,7 +1038,7 @@ void BatchedEngine::charge_decode_phase(
   // serial stream (double buffering); behind other tenants' traffic the
   // honest bound is the consumed fetch's issue-time margin, which only
   // shrinks between issue and consume.
-  util::check(sp.stall <= std::max(t.ar_shared_cycles, stall_bound),
+  DISTMCU_CHECK(sp.stall <= std::max(t.ar_shared_cycles, stall_bound),
               "BatchedEngine: decode stall exceeded the consumed fetch's "
               "port latency");
   const Cycles hidden =

@@ -322,6 +322,14 @@ class BatchedEngine {
     /// victim out of its KV slot (to be resumed later, bit-exactly).
     /// Null disables preemption entirely (the default).
     std::shared_ptr<const PreemptionPolicy> preemption = nullptr;
+    /// Strict construction: run analysis::DeploymentAnalyzer over the
+    /// configuration first and refuse any error-severity diagnostic by
+    /// throwing analysis::AnalysisError (which carries the structured
+    /// report, stable codes included) instead of whichever unstructured
+    /// Error/PlanError plain construction would have hit first — and
+    /// reject unsound configs plain construction accepts at all, such as
+    /// trace-lane key collisions (DMCU-TRC-005). Off by default.
+    bool strict = false;
   };
 
   /// Multi-model options. Per-model knobs (chunk size, quota, cap) live
@@ -342,6 +350,9 @@ class BatchedEngine {
     bool fail_fast_deadlines = false;
     bool fair_shedding = false;
     std::shared_ptr<const PreemptionPolicy> preemption = nullptr;
+    /// Strict construction: analyzer-gated, same semantics as
+    /// Options::strict.
+    bool strict = false;
   };
 
   /// Multi-model engine over `registry` (every session must outlive the

@@ -35,7 +35,7 @@ BlockProgram build_block_program(const partition::PartitionPlan& plan,
       causal ? (mode == model::Mode::prompt ? cfg.prompt_len : cfg.ar_context)
              : prog.seq_len;
   if (attention_span_override > 0) {
-    util::check(attention_span_override >= prog.seq_len,
+    DISTMCU_CHECK(attention_span_override >= prog.seq_len,
                 "build_block_program: attention span must cover the rows "
                 "being processed");
     prog.attention_span = attention_span_override;
@@ -106,7 +106,7 @@ BlockProgram build_block_program(const partition::PartitionPlan& plan,
 
   // Cross-check against the planner's shard accounting.
   for (int c = 0; c < plan.num_chips(); ++c) {
-    util::check(prog.chip_weight_bytes(c) == plan.chip_block_weight_elems(c) * wb,
+    DISTMCU_CHECK(prog.chip_weight_bytes(c) == plan.chip_block_weight_elems(c) * wb,
                 "build_block_program: op weight bytes disagree with plan shard");
   }
   return prog;

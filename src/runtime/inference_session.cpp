@@ -36,9 +36,9 @@ BlockResult InferenceSession::run_prompt_chunk(int chunk_tokens,
 
 std::vector<BlockResult> InferenceSession::run_prompt_chunks(
     int chunk_tokens, const std::vector<int>& attention_spans) const {
-  util::check(chunk_tokens > 0,
+  DISTMCU_CHECK(chunk_tokens > 0,
               "run_prompt_chunks: chunk_tokens must be positive");
-  util::check(!attention_spans.empty(),
+  DISTMCU_CHECK(!attention_spans.empty(),
               "run_prompt_chunks: need at least one attention span");
   // A chunk is a prompt-mode block at its own static shape: prompt_len
   // becomes the chunk length while the attention span tracks the cached
@@ -57,7 +57,7 @@ std::vector<BlockResult> InferenceSession::run_prompt_chunks(
   std::vector<BlockResult> out;
   out.reserve(attention_spans.size());
   for (const int span : attention_spans) {
-    util::check(span >= chunk_tokens,
+    DISTMCU_CHECK(span >= chunk_tokens,
                 "run_prompt_chunks: attention_span must cover the chunk");
     BlockResult r;
     r.report = sim_.run(chunk_plan, model::Mode::prompt, nullptr, span);
@@ -71,9 +71,9 @@ std::vector<BlockResult> InferenceSession::run_prompt_chunks(
 
 GenerationResult InferenceSession::generate(const std::vector<int>& prompt,
                                             int new_tokens) const {
-  util::check(!prompt.empty(), "generate: prompt must not be empty");
-  util::check(new_tokens >= 0, "generate: new_tokens must be >= 0");
-  util::check(static_cast<int>(prompt.size()) + new_tokens <= cfg_.ar_context,
+  DISTMCU_CHECK(!prompt.empty(), "generate: prompt must not be empty");
+  DISTMCU_CHECK(new_tokens >= 0, "generate: new_tokens must be >= 0");
+  DISTMCU_CHECK(static_cast<int>(prompt.size()) + new_tokens <= cfg_.ar_context,
               "generate: sequence exceeds the model's context length");
 
   GenerationResult out;
@@ -114,7 +114,7 @@ GenerationResult InferenceSession::generate(const std::vector<int>& prompt,
 }
 
 model::Tensor InferenceSession::encode(const std::vector<int>& tokens) const {
-  util::check(static_cast<int>(tokens.size()) == cfg_.prompt_len,
+  DISTMCU_CHECK(static_cast<int>(tokens.size()) == cfg_.prompt_len,
               "encode: token count must equal the configured sequence length (" +
                   std::to_string(cfg_.prompt_len) + ")");
   model::Tensor h = embedding_.lookup(tokens);

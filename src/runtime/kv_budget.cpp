@@ -10,7 +10,7 @@ namespace {
 
 const KvBudgetPolicy::TenantView& view_of(
     ModelId tenant, const std::vector<KvBudgetPolicy::TenantView>& tenants) {
-  util::check(tenant >= 0 && tenant < static_cast<int>(tenants.size()),
+  DISTMCU_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants.size()),
               "KvBudgetPolicy: tenant out of range");
   return tenants[static_cast<std::size_t>(tenant)];
 }

@@ -7,13 +7,13 @@ namespace distmcu::runtime {
 ModelId ModelRegistry::add(const InferenceSession& session, std::string name,
                            int prefill_chunk_tokens, int kv_quota,
                            int max_resident) {
-  util::check(!name.empty(), "ModelRegistry: deployment name must not be empty");
-  util::check(prefill_chunk_tokens >= 0,
+  DISTMCU_CHECK(!name.empty(), "ModelRegistry: deployment name must not be empty");
+  DISTMCU_CHECK(prefill_chunk_tokens >= 0,
               "ModelRegistry: prefill_chunk_tokens must be >= 0");
-  util::check(kv_quota >= 0, "ModelRegistry: kv_quota must be >= 0");
-  util::check(max_resident >= 0, "ModelRegistry: max_resident must be >= 0");
+  DISTMCU_CHECK(kv_quota >= 0, "ModelRegistry: kv_quota must be >= 0");
+  DISTMCU_CHECK(max_resident >= 0, "ModelRegistry: max_resident must be >= 0");
   for (const auto& e : entries_) {
-    util::check(e.name != name,
+    DISTMCU_CHECK(e.name != name,
                 "ModelRegistry: duplicate deployment name '" + name + "'");
   }
   ModelDeployment d;
@@ -27,7 +27,7 @@ ModelId ModelRegistry::add(const InferenceSession& session, std::string name,
 }
 
 const ModelDeployment& ModelRegistry::entry(ModelId id) const {
-  util::check(id >= 0 && id < count(), "ModelRegistry: ModelId out of range");
+  DISTMCU_CHECK(id >= 0 && id < count(), "ModelRegistry: ModelId out of range");
   return entries_[static_cast<std::size_t>(id)];
 }
 

@@ -9,7 +9,7 @@ namespace distmcu::runtime {
 PrefetchPipeline::PrefetchPipeline(double bandwidth_bytes_per_cycle,
                                    Cycles dma_setup, int channels)
     : port_("l3_prefetch", bandwidth_bytes_per_cycle, dma_setup) {
-  util::check(channels > 0, "PrefetchPipeline: channels must be positive");
+  DISTMCU_CHECK(channels > 0, "PrefetchPipeline: channels must be positive");
   // Channel 0's weights are staged before the window opens (the paper's
   // block-0 setup); later channels start the same way.
   weights_ready_.assign(static_cast<std::size_t>(channels), 0);
@@ -35,7 +35,7 @@ PrefetchPipeline::Span PrefetchPipeline::advance(Cycles compute,
 PrefetchPipeline::StepSpan PrefetchPipeline::advance_step(
     Cycles prefill_compute, Bytes prefill_stream_bytes, bool consume_staged,
     Cycles decode_compute, Bytes next_bytes, int channel) {
-  util::check(channel >= 0 &&
+  DISTMCU_CHECK(channel >= 0 &&
                   channel < static_cast<int>(weights_ready_.size()),
               "PrefetchPipeline: channel out of range");
   Cycles& staged = weights_ready_[static_cast<std::size_t>(channel)];

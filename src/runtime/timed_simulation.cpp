@@ -109,7 +109,7 @@ struct PhaseResult {
 }  // namespace
 
 TimedBlockSimulation::TimedBlockSimulation(SystemConfig sys) : sys_(std::move(sys)) {
-  util::check(sys_.group_size >= 2, "SystemConfig: group_size must be >= 2");
+  DISTMCU_CHECK(sys_.group_size >= 2, "SystemConfig: group_size must be >= 2");
 }
 
 RunReport TimedBlockSimulation::run(const partition::PartitionPlan& plan,
@@ -269,7 +269,7 @@ RunReport TimedBlockSimulation::run(const partition::PartitionPlan& plan,
   bd.c2c += bc2.finish - end_end;
   if (block_end > bc2.finish) bd.dma_l3_l2 += block_end - bc2.finish;  // prefetch stall
   rep.breakdown = bd;
-  util::check(rep.breakdown.total() == rep.block_cycles,
+  DISTMCU_CHECK(rep.breakdown.total() == rep.block_cycles,
               "TimedBlockSimulation: breakdown does not sum to block latency");
   return rep;
 }

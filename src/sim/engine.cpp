@@ -5,7 +5,7 @@
 namespace distmcu::sim {
 
 void Engine::schedule_at(Cycles at, Callback cb) {
-  util::check(at >= now_, "Engine::schedule_at in the past");
+  DISTMCU_CHECK(at >= now_, "Engine::schedule_at in the past");
   queue_.push(Event{at, next_seq_++, std::move(cb)});
 }
 

@@ -8,7 +8,7 @@ namespace distmcu::sim {
 
 Resource::Resource(std::string name, double bandwidth_bytes_per_cycle, Cycles setup_cycles)
     : name_(std::move(name)), bandwidth_(bandwidth_bytes_per_cycle), setup_cycles_(setup_cycles) {
-  util::check(bandwidth_ > 0.0, "Resource bandwidth must be positive: " + name_);
+  DISTMCU_CHECK(bandwidth_ > 0.0, "Resource bandwidth must be positive: " + name_);
 }
 
 Cycles Resource::service_cycles(Bytes bytes) const {
@@ -23,7 +23,7 @@ Cycles Resource::peek_completion(Cycles ready, Bytes bytes) const {
 }
 
 Cycles Resource::occupy(Cycles start, Bytes bytes) {
-  util::check(start >= busy_until_, "Resource::occupy start precedes busy horizon");
+  DISTMCU_CHECK(start >= busy_until_, "Resource::occupy start precedes busy horizon");
   const Cycles service = service_cycles(bytes);
   busy_until_ = start + service;
   total_bytes_ += bytes;

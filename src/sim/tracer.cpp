@@ -18,7 +18,7 @@ const char* category_name(Category c) {
 }
 
 void Tracer::record(const Span& span) {
-  util::check(span.end >= span.begin, "Tracer span ends before it begins");
+  DISTMCU_CHECK(span.end >= span.begin, "Tracer span ends before it begins");
   spans_.push_back(span);
   if (spans_.back().request == kNoRequest) spans_.back().request = request_;
   if (spans_.back().model == kNoModel) spans_.back().model = model_;

@@ -1,0 +1,11 @@
+#include "util/check.hpp"
+
+namespace distmcu::util::detail {
+
+void throw_check_failure(const std::string& msg) { throw Error(msg); }
+
+void throw_check_plan_failure(const std::string& msg) {
+  throw PlanError(msg);
+}
+
+}  // namespace distmcu::util::detail

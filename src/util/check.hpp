@@ -26,17 +26,49 @@ namespace util {
 
 /// Precondition check: throws distmcu::Error with `msg` when `cond` is
 /// false. Used for user-facing API contract violations (not for internal
-/// logic bugs, which use assert).
+/// logic bugs, which use DISTMCU_CHECK with an invariant message).
+///
+/// Prefer the DISTMCU_CHECK macro below on hot paths: this function form
+/// evaluates (and allocates) the message expression even when the
+/// condition holds.
 inline void check(bool cond, const std::string& msg) {
   if (!cond) throw Error(msg);
 }
 
-/// Planner-specific check; throws PlanError.
+/// Planner-specific check; throws PlanError. Same caveat as check() —
+/// hot paths should use DISTMCU_CHECK_PLAN.
 inline void check_plan(bool cond, const std::string& msg) {
   if (!cond) throw PlanError(msg);
 }
 
+namespace detail {
+/// Out-of-line cold paths: keep the throw (and the message
+/// construction, which happens in the caller only on the failing
+/// branch) off the hot instruction stream.
+[[noreturn]] void throw_check_failure(const std::string& msg);
+[[noreturn]] void throw_check_plan_failure(const std::string& msg);
+}  // namespace detail
+
 }  // namespace util
 }  // namespace distmcu
+
+/// Lazy precondition check: the message expression after the condition
+/// is evaluated ONLY when the condition fails, so admission/step paths
+/// pay no string concatenation on success. Throws distmcu::Error.
+/// Variadic so message expressions with top-level commas still work.
+#define DISTMCU_CHECK(cond, ...)                               \
+  do {                                                         \
+    if (!(cond)) [[unlikely]] {                                \
+      ::distmcu::util::detail::throw_check_failure(__VA_ARGS__); \
+    }                                                          \
+  } while (false)
+
+/// Lazy planner check; throws distmcu::PlanError.
+#define DISTMCU_CHECK_PLAN(cond, ...)                               \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::distmcu::util::detail::throw_check_plan_failure(__VA_ARGS__); \
+    }                                                               \
+  } while (false)
 
 #endif  // DISTMCU_UTIL_CHECK_HPP

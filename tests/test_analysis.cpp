@@ -1,0 +1,435 @@
+// Static deployment verifier suite:
+//  * one golden test per diagnostic code — a seeded-bad configuration
+//    must trigger exactly that code (and nothing else),
+//  * strict-mode construction — configs that previously aborted at
+//    runtime (PlanError mid-construction, Error at submit) are refused
+//    at construction with the structured code, and a trace-lane
+//    collision plain construction accepts is refused too,
+//  * a randomized cross-check of the analyzer/engine equivalence: a
+//    config the analyzer passes as clean constructs and drains the
+//    serving-invariant conservation checks, and a config carrying a
+//    CFG/KV/MEM error-severity diagnostic fails construction.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/deployment_analyzer.hpp"
+#include "invariant_env.hpp"
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+#include "runtime/kv_budget.hpp"
+#include "runtime/model_registry.hpp"
+#include "util/rng.hpp"
+
+using namespace distmcu;
+using analysis::AnalysisError;
+using analysis::AnalysisReport;
+using analysis::DeploymentAnalyzer;
+using analysis::Workload;
+using runtime::BatchedEngine;
+using runtime::InferenceSession;
+using runtime::ModelRegistry;
+
+namespace {
+
+using distmcu::testing::invariant_seed_count;
+using distmcu::testing::SeedReproLog;
+
+model::TransformerConfig tiny_cfg(int ar_context, int prompt_len) {
+  model::TransformerConfig cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.embed_dim = 32;
+  cfg.ffn_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 8;
+  cfg.num_layers = 2;
+  cfg.vocab_size = 100;
+  cfg.ar_context = ar_context;
+  cfg.prompt_len = prompt_len;
+  cfg.validate();
+  return cfg;
+}
+
+/// Full-width blocks on 4 chips: decode weights stream from L3 every
+/// step, so shallow batches are stall-bound (the DMCU-PORT-003 regime).
+model::TransformerConfig streamed_cfg() {
+  model::TransformerConfig cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.num_layers = 2;
+  cfg.vocab_size = 200;
+  cfg.ar_context = 32;
+  cfg.prompt_len = 6;
+  cfg.validate();
+  return cfg;
+}
+
+/// Suite-wide sessions (weights + plan + sharding are expensive).
+const InferenceSession& tiny_session() {
+  static const InferenceSession s(tiny_cfg(/*ar_context=*/24, /*prompt_len=*/6),
+                                  4);
+  return s;
+}
+
+const InferenceSession& streamed_session() {
+  static const InferenceSession s(streamed_cfg(), 4);
+  return s;
+}
+
+AnalysisReport analyze(const ModelRegistry& reg,
+                       BatchedEngine::MultiOptions opts,
+                       const Workload* wl = nullptr) {
+  return DeploymentAnalyzer::analyze(reg, opts, wl);
+}
+
+/// The golden-test contract: the report's distinct code set is exactly
+/// {code}.
+void expect_exactly(const AnalysisReport& rep, const char* code) {
+  ASSERT_FALSE(rep.diagnostics.empty()) << rep.to_text();
+  EXPECT_EQ(rep.codes(), std::vector<std::string>{code}) << rep.to_text();
+}
+
+// ---------------------------------------------------------------------
+// Golden tests: one seeded-bad config per diagnostic code.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisGolden, CfgMalformedOptions) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny");
+  const auto rep = analyze(reg, {.total_kv_slots = 0});
+  expect_exactly(rep, analysis::kCfgMalformed);
+  EXPECT_EQ(rep.errors(), 1);
+
+  const auto rep2 = analyze(reg, {.total_kv_slots = 2, .max_pending = -1});
+  expect_exactly(rep2, analysis::kCfgMalformed);
+
+  const auto rep3 = analyze(ModelRegistry{}, {.total_kv_slots = 2});
+  expect_exactly(rep3, analysis::kCfgMalformed);
+}
+
+TEST(AnalysisGolden, MemOverflowPooledKv) {
+  // A fully L2-resident tiny model whose pooled KV cannot scale to a
+  // 4096-set cap: the per-tenant fit check must overflow.
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", /*prefill_chunk_tokens=*/0,
+                /*kv_quota=*/4096, /*max_resident=*/4096);
+  const auto rep = analyze(reg, {.total_kv_slots = 4096});
+  expect_exactly(rep, analysis::kMemOverflow);
+  EXPECT_GE(rep.errors(), 1);
+}
+
+TEST(AnalysisGolden, KvBudgetOversubscribed) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "a", 0, /*kv_quota=*/3);
+  (void)reg.add(tiny_session(), "b", 0, /*kv_quota=*/2);
+  const auto rep = analyze(reg, {.total_kv_slots = 4});
+  expect_exactly(rep, analysis::kKvBudget);
+
+  // No derivable reserve: 2 slots across three unset-quota deployments.
+  ModelRegistry reg2;
+  (void)reg2.add(tiny_session(), "a");
+  (void)reg2.add(tiny_session(), "b");
+  (void)reg2.add(tiny_session(), "c");
+  const auto rep2 = analyze(reg2, {.total_kv_slots = 2});
+  expect_exactly(rep2, analysis::kKvBudget);
+}
+
+TEST(AnalysisGolden, KvBudgetPhantomReserveWarns) {
+  // quota 3 but max_resident 1: the 2-slot phantom reserve can never be
+  // occupied. Runs (warning), but flagged.
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "a", 0, /*kv_quota=*/3, /*max_resident=*/1);
+  (void)reg.add(tiny_session(), "b", 0, /*kv_quota=*/1);
+  const auto rep = analyze(
+      reg, {.total_kv_slots = 4,
+            .kv_budget = runtime::make_kv_budget(runtime::KvBudget::watermark)});
+  expect_exactly(rep, analysis::kKvBudget);
+  EXPECT_EQ(rep.errors(), 0) << rep.to_text();
+  EXPECT_EQ(rep.warnings(), 1);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AnalysisGolden, PortOversubscribedWarns) {
+  // Full-width streamed deployment at batch 1: the per-step weight
+  // stream exceeds one request's compute, so steady-state decode can
+  // never hide it.
+  ModelRegistry reg;
+  (void)reg.add(streamed_session(), "streamed", 0, /*kv_quota=*/1,
+                /*max_resident=*/1);
+  const auto rep = analyze(reg, {.total_kv_slots = 1});
+  expect_exactly(rep, analysis::kPortOversub);
+  EXPECT_EQ(rep.errors(), 0) << rep.to_text();
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AnalysisGolden, SloInfeasibleDeadline) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", 0, /*kv_quota=*/2,
+                /*max_resident=*/2);
+  Workload wl;
+  wl.requests.push_back({.model = 0,
+                         .prompt_tokens = 6,
+                         .new_tokens = 4,
+                         .deadline_cycles = 1,
+                         .count = 1});
+  const auto rep = analyze(reg, {.total_kv_slots = 2}, &wl);
+  expect_exactly(rep, analysis::kSloInfeasible);
+}
+
+TEST(AnalysisGolden, TraceLaneCollision) {
+  // Distinct registry names that collapse to one trace-lane/stats key.
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny-llama", 0, 1, 1);
+  (void)reg.add(tiny_session(), "tiny_llama", 0, 1, 1);
+  const auto rep = analyze(reg, {.total_kv_slots = 2});
+  expect_exactly(rep, analysis::kTraceCollision);
+
+  ModelRegistry reg2;
+  (void)reg2.add(tiny_session(), "bad name!", 0, 1, 1);
+  const auto rep2 = analyze(reg2, {.total_kv_slots = 1});
+  expect_exactly(rep2, analysis::kTraceCollision);
+}
+
+TEST(AnalysisGolden, RequestShape) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", 0, /*kv_quota=*/2,
+                /*max_resident=*/2);
+  Workload wl;
+  // Exactly submit()'s throw set: prompt beyond the static prefill
+  // shape, context overflow, empty prompt, negative new_tokens,
+  // unknown model.
+  wl.requests.push_back({.model = 0, .prompt_tokens = 10, .new_tokens = 1});
+  wl.requests.push_back({.model = 0, .prompt_tokens = 6, .new_tokens = 30});
+  wl.requests.push_back({.model = 0, .prompt_tokens = 0, .new_tokens = 1});
+  wl.requests.push_back({.model = 0, .prompt_tokens = 2, .new_tokens = -1});
+  wl.requests.push_back({.model = 7, .prompt_tokens = 2, .new_tokens = 1});
+  const auto rep = analyze(reg, {.total_kv_slots = 2}, &wl);
+  expect_exactly(rep, analysis::kRequestShape);
+  EXPECT_EQ(rep.errors(), 5) << rep.to_text();
+}
+
+// ---------------------------------------------------------------------
+// Report surfaces.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisReportTest, CleanAndTextForms) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", 0, 2, 2);
+  const auto rep = analyze(reg, {.total_kv_slots = 2});
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.errors(), 0);
+  EXPECT_EQ(rep.warnings(), 0);
+  EXPECT_TRUE(rep.codes().empty());
+  EXPECT_NE(rep.to_text().find("clean"), std::string::npos);
+
+  const auto bad = analyze(reg, {.total_kv_slots = 0});
+  const std::string text = bad.to_text();
+  EXPECT_NE(text.find("DMCU-CFG-000"), std::string::npos);
+  EXPECT_NE(text.find("error["), std::string::npos);
+  EXPECT_NE(text.find("hint:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Strict-mode construction.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisStrict, MemOverflowRefusedWithCode) {
+  // Previously runtime-aborting: plain construction dies mid-build with
+  // an unstructured PlanError from the pooled-KV fit check; strict mode
+  // refuses the same config up front with the structured code.
+  BatchedEngine::Options opts;
+  opts.max_batch = 4096;
+  EXPECT_THROW(BatchedEngine(tiny_session(), opts), PlanError);
+
+  opts.strict = true;
+  try {
+    BatchedEngine engine(tiny_session(), opts);
+    FAIL() << "strict construction accepted an unsound deployment";
+  } catch (const AnalysisError& e) {
+    EXPECT_TRUE(e.report().has(analysis::kMemOverflow)) << e.what();
+    EXPECT_GE(e.report().errors(), 1);
+    EXPECT_NE(std::string(e.what()).find("DMCU-MEM-001"), std::string::npos);
+  }
+}
+
+TEST(AnalysisStrict, QuotaOversubscriptionRefusedWithCode) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "a", 0, /*kv_quota=*/3);
+  (void)reg.add(tiny_session(), "b", 0, /*kv_quota=*/2);
+  BatchedEngine::MultiOptions opts;
+  opts.total_kv_slots = 4;
+  EXPECT_THROW(BatchedEngine(reg, opts), Error);
+
+  opts.strict = true;
+  try {
+    BatchedEngine engine(reg, opts);
+    FAIL() << "strict construction accepted an oversubscribed budget";
+  } catch (const AnalysisError& e) {
+    EXPECT_TRUE(e.report().has(analysis::kKvBudget)) << e.what();
+  }
+}
+
+TEST(AnalysisStrict, TraceCollisionRefusedOnlyUnderStrict) {
+  // Plain construction accepts the colliding names (the registry only
+  // rejects exact duplicates); strict mode refuses them.
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny-llama", 0, 1, 1);
+  (void)reg.add(tiny_session(), "tiny_llama", 0, 1, 1);
+  BatchedEngine::MultiOptions opts;
+  opts.total_kv_slots = 2;
+  EXPECT_NO_THROW(BatchedEngine(reg, opts));
+
+  opts.strict = true;
+  try {
+    BatchedEngine engine(reg, opts);
+    FAIL() << "strict construction accepted a trace-lane collision";
+  } catch (const AnalysisError& e) {
+    EXPECT_TRUE(e.report().has(analysis::kTraceCollision)) << e.what();
+  }
+}
+
+TEST(AnalysisStrict, CleanConfigConstructsAndServes) {
+  BatchedEngine::Options opts;
+  opts.max_batch = 2;
+  opts.strict = true;
+  BatchedEngine engine(tiny_session(), opts);
+  ASSERT_TRUE(engine.submit({1, 2, 3}, 4).has_value());
+  const auto results = engine.run_to_completion();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].gen.generated, 4);
+}
+
+TEST(AnalysisStrict, SubmitTimeThrowCaughtStatically) {
+  // submit() throws on these shapes only at serving time; the analyzer
+  // flags the same workload before any engine exists.
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", 0, 2, 2);
+  BatchedEngine engine(reg, {.total_kv_slots = 2});
+  EXPECT_THROW((void)engine.submit(0, {1, 2, 3, 4, 5, 6, 7, 8}, 1), Error);
+
+  Workload wl;
+  wl.requests.push_back({.model = 0, .prompt_tokens = 8, .new_tokens = 1});
+  const auto rep = analyze(reg, {.total_kv_slots = 2}, &wl);
+  EXPECT_TRUE(rep.has(analysis::kRequestShape)) << rep.to_text();
+  EXPECT_FALSE(rep.ok());
+}
+
+// ---------------------------------------------------------------------
+// Randomized analyzer/engine equivalence cross-check.
+// ---------------------------------------------------------------------
+
+struct PoolEntry {
+  const InferenceSession* session;
+  int prompt_len;
+  int ar_context;
+};
+
+const std::vector<PoolEntry>& session_pool() {
+  static const auto* pool = [] {
+    auto* v = new std::vector<PoolEntry>();
+    static const InferenceSession tiny12(tiny_cfg(12, 4), 2);
+    static const InferenceSession tiny48(tiny_cfg(48, 8), 4);
+    v->push_back({&tiny_session(), 6, 24});
+    v->push_back({&tiny12, 4, 12});
+    v->push_back({&tiny48, 8, 48});
+    return v;
+  }();
+  return *pool;
+}
+
+TEST(ServingInvariantsAnalysis, CleanConfigsServeBadConfigsThrow) {
+  const std::uint64_t seeds = invariant_seed_count(/*fallback=*/30);
+  SeedReproLog repro("./test_analysis",
+                     "ServingInvariantsAnalysis.CleanConfigsServeBadConfigsThrow");
+  int clean_seen = 0;
+  int error_seen = 0;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    repro.begin();
+    util::Rng rng(0x9e3779b97f4a7c15ULL ^ seed);
+    const int n_tenants = 1 + static_cast<int>(rng.next_below(3));
+    ModelRegistry reg;
+    std::vector<PoolEntry> picked;
+    for (int t = 0; t < n_tenants; ++t) {
+      const auto& entry =
+          session_pool()[rng.next_below(session_pool().size())];
+      picked.push_back(entry);
+      (void)reg.add(*entry.session, "t" + std::to_string(t),
+                    /*prefill_chunk_tokens=*/
+                    static_cast<int>(rng.next_below(5)),
+                    /*kv_quota=*/static_cast<int>(rng.next_below(5)),
+                    /*max_resident=*/static_cast<int>(rng.next_below(5)));
+    }
+    BatchedEngine::MultiOptions opts;
+    // Mostly small arenas; occasionally huge, so the pooled-KV L2
+    // overflow branch (DMCU-MEM-001) is exercised too.
+    opts.total_kv_slots = rng.next_below(8) == 0
+                              ? 4096
+                              : 1 + static_cast<int>(rng.next_below(8));
+    opts.max_pending = 32;
+    switch (rng.next_below(3)) {
+      case 0:
+        break;  // static split (default)
+      case 1:
+        opts.kv_budget =
+            runtime::make_kv_budget(runtime::KvBudget::proportional);
+        break;
+      default:
+        opts.kv_budget =
+            runtime::make_kv_budget(runtime::KvBudget::watermark);
+        break;
+    }
+
+    const AnalysisReport rep = DeploymentAnalyzer::analyze(reg, opts);
+    const bool unsound = rep.has(analysis::kCfgMalformed) ||
+                         rep.has(analysis::kKvBudget) ||
+                         rep.has(analysis::kMemOverflow);
+    const bool unsound_error =
+        unsound && rep.errors() > 0;  // KV-002 warnings alone are sound
+
+    if (!unsound_error) {
+      ++clean_seen;
+      // Analyzer-clean must construct and drain with conservation.
+      BatchedEngine engine(reg, opts);
+      int accepted = 0;
+      const int jobs = 3 + static_cast<int>(rng.next_below(4));
+      for (int j = 0; j < jobs; ++j) {
+        const auto model = static_cast<runtime::ModelId>(
+            rng.next_below(static_cast<std::uint64_t>(n_tenants)));
+        const auto& entry = picked[static_cast<std::size_t>(model)];
+        const int prompt_len = 1 + static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(entry.prompt_len)));
+        std::vector<int> prompt;
+        for (int p = 0; p < prompt_len; ++p) {
+          prompt.push_back(static_cast<int>(rng.next_below(100)));
+        }
+        const int max_new = entry.ar_context - prompt_len;
+        const int new_tokens = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(max_new) + 1));
+        if (engine.submit(model, std::move(prompt), new_tokens)) ++accepted;
+      }
+      const auto results = engine.run_to_completion();
+      EXPECT_EQ(static_cast<int>(results.size()), accepted)
+          << "seed " << seed << ": accepted requests did not all complete";
+      EXPECT_EQ(engine.stats().completed, accepted) << "seed " << seed;
+      EXPECT_EQ(engine.kv_slots().in_use(), 0)
+          << "seed " << seed << ": KV slots leaked";
+      int generated = 0;
+      for (const auto& r : results) generated += r.gen.generated;
+      EXPECT_EQ(engine.stats().total_generated, generated)
+          << "seed " << seed;
+    } else {
+      ++error_seen;
+      // Analyzer-unsound (CFG/KV/MEM error) must fail construction.
+      EXPECT_THROW(BatchedEngine(reg, opts), Error)
+          << "seed " << seed
+          << ": engine accepted a config the analyzer rejects:\n"
+          << rep.to_text();
+    }
+    repro.end(seed);
+  }
+  // The generator must exercise both branches, or the property is vacuous.
+  EXPECT_GT(clean_seen, 0);
+  EXPECT_GT(error_seen, 0);
+}
+
+}  // namespace

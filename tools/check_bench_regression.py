@@ -30,6 +30,11 @@ the same schema:
   total_cycles above baseline, kv_cross_leak_slots must be zero, each
   model's completed/generated counts are pinned exactly, and the shared
   arena must keep speedup_vs_best_isolated >= 1.
+* ``distmcu.analysis.v1`` (analyze): configs rows (matched by config
+  name) pin errors/warnings/ok and the sorted diagnostic-code list
+  exactly (the analyzer is deterministic — any new code on a shipped
+  config is a soundness change, not drift), and the report must keep
+  all_ok true with zero total_errors.
 
 Structural strictness: every section, row, and metric field present in
 the BASELINE must exist in the candidate — a missing key fails the gate
@@ -57,6 +62,7 @@ SERVING_SCHEMA = "distmcu.serving.v1"
 SERVING_V2_SCHEMA = "distmcu.serving.v2"
 HEADLINE_SCHEMA = "distmcu.headline.v1"
 MULTIMODEL_SCHEMA = "distmcu.multimodel.v1"
+ANALYSIS_SCHEMA = "distmcu.analysis.v1"
 
 
 def fail(errors, msg):
@@ -317,11 +323,45 @@ def check_multimodel(errors, current, baseline, tol):
     return f"mixed {speedup:.3f}x vs best isolated split"
 
 
+def check_analysis(errors, current, baseline, tol):
+    """Static-analyzer report gate: diagnostics are deterministic, so
+    everything is pinned — no drift tolerance applies."""
+    del tol  # no tolerance-bounded fields in an analysis report
+    configs = require(errors, current, "configs", "current")
+    check_rows(errors, "configs", configs, baseline["configs"], "config",
+               lower_is_better=(), higher_is_better=(),
+               tol=0.0, pinned=("errors", "warnings", "ok"))
+    if configs is not None:
+        cur = index_rows(errors, "current.configs", configs, "config")
+        base = index_rows(errors, "baseline.configs", baseline["configs"],
+                          "config")
+        for name, brow in base.items():
+            crow = cur.get(name)
+            if crow is None:
+                continue  # already reported by check_rows
+            codes = require(errors, crow, "codes", f"configs[{name}]")
+            if codes is not None and sorted(codes) != sorted(brow["codes"]):
+                fail(errors,
+                     f"configs[{name}].codes: {sorted(codes)} != baseline "
+                     f"{sorted(brow['codes'])} (diagnostic set changed)")
+    total = require(errors, current, "total_errors", "current")
+    all_ok = require(errors, current, "all_ok", "current")
+    if total not in (None, 0):
+        fail(errors, f"total_errors = {total}: a shipped config carries "
+                     f"error-severity diagnostics")
+    if all_ok is False:
+        fail(errors, "all_ok regressed to false")
+    n = len(baseline["configs"])
+    warns = current.get("total_warnings", "?")
+    return f"{n} configs clean, {warns} warning(s)"
+
+
 HANDLERS = {
     SERVING_SCHEMA: check_serving,
     SERVING_V2_SCHEMA: check_serving_v2,
     HEADLINE_SCHEMA: check_headline,
     MULTIMODEL_SCHEMA: check_multimodel,
+    ANALYSIS_SCHEMA: check_analysis,
 }
 
 

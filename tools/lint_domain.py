@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Repo-specific lint over src/ — rules a generic linter cannot know.
+
+Rules (suppress a single line with a trailing ``// lint-domain: allow``):
+
+* ``no-raw-assert`` — raw ``assert(`` is banned in src/: contract
+  violations must throw through util::check / DISTMCU_CHECK so release
+  builds (NDEBUG) keep the guard and callers can catch distmcu::Error.
+  ``static_assert`` is fine.
+* ``unsaturated-deadline`` — binary ``+``/``*``/``+=``/``*=`` directly
+  on the deadline fields (``deadline_at`` / ``deadline_cycles``) outside
+  ``util::sat_add`` wraps near the Cycles max and turns a huge relative
+  deadline into an always-missed absolute one. Resolve deadlines with
+  ``util::sat_add`` instead.
+* ``tracer-pairing`` — every ``Tracer::set_request(id)`` /
+  ``set_model(m)`` tag must be cleared with ``set_request(kNoRequest)``
+  / ``set_model(kNoModel)`` in the same source file: a file that opens
+  more request/model scopes than it closes leaks the tag onto unrelated
+  spans. Checked as a per-file begin/end balance.
+
+Exit status: 0 when clean, 1 with one line per finding otherwise.
+Uses only the Python standard library.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SUPPRESS = "lint-domain: allow"
+
+RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
+STATIC_ASSERT = re.compile(r"static_assert\s*\(")
+
+# `x.deadline_at + y`, `a + slo.deadline_cycles`, `deadline_at *= k`, ...
+DEADLINE_FIELD = r"(?:[A-Za-z_]\w*(?:\.|->))*deadline_(?:at|cycles)\b"
+UNSATURATED = re.compile(
+    r"(?:"
+    rf"{DEADLINE_FIELD}\s*(?:\+(?!\+)|\*)"   # field + ... / field * ...
+    r"|"
+    rf"(?:(?<!\+)\+|\*)\s*{DEADLINE_FIELD}"  # ... + field / ... * field
+    r")")
+
+SET_REQ_DEF = re.compile(r"^\s*(?:void\s+)?set_request\s*\(\s*int\b")
+SET_MODEL_DEF = re.compile(r"^\s*(?:void\s+)?set_model\s*\(\s*int\b")
+SET_REQ = re.compile(r"\bset_request\s*\(([^)]*)\)")
+SET_MODEL = re.compile(r"\bset_model\s*\(([^)]*)\)")
+
+
+def strip_noise(line, in_block_comment):
+    """Drop string/char literals, // comments, and /* */ comment spans so
+    the rules only see code. Returns (code, still_in_block_comment)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)  # keep an empty literal placeholder
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def lint_file(path, findings):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    req_open = req_close = 0
+    model_open = model_close = 0
+    in_block = False
+    for lineno, raw in enumerate(raw_lines, 1):
+        code, in_block = strip_noise(raw, in_block)
+        if not code.strip() or SUPPRESS in raw:
+            continue
+
+        if RAW_ASSERT.search(STATIC_ASSERT.sub("", code)):
+            findings.append(
+                f"{path}:{lineno}: [no-raw-assert] raw assert( in src/; "
+                f"throw via util::check / DISTMCU_CHECK instead")
+
+        if "sat_add" not in code and UNSATURATED.search(code):
+            findings.append(
+                f"{path}:{lineno}: [unsaturated-deadline] unsaturated "
+                f"+/* on a deadline field; use util::sat_add")
+
+        if not SET_REQ_DEF.search(code):
+            for m in SET_REQ.finditer(code):
+                if "kNoRequest" in m.group(1):
+                    req_close += 1
+                else:
+                    req_open += 1
+        if not SET_MODEL_DEF.search(code):
+            for m in SET_MODEL.finditer(code):
+                if "kNoModel" in m.group(1):
+                    model_close += 1
+                else:
+                    model_open += 1
+
+    if req_open != req_close:
+        findings.append(
+            f"{path}: [tracer-pairing] set_request(id) tags opened "
+            f"{req_open} time(s) but cleared with set_request(kNoRequest) "
+            f"{req_close} time(s)")
+    if model_open != model_close:
+        findings.append(
+            f"{path}: [tracer-pairing] set_model(m) tags opened "
+            f"{model_open} time(s) but cleared with set_model(kNoModel) "
+            f"{model_close} time(s)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("roots", nargs="*", default=["src"],
+                    help="directories to lint (default: src)")
+    args = ap.parse_args()
+
+    files = []
+    for root in args.roots or ["src"]:
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                    files.append(os.path.join(dirpath, name))
+    files.sort()
+    if not files:
+        print("lint_domain: no C++ sources found", file=sys.stderr)
+        return 1
+
+    findings = []
+    for path in files:
+        lint_file(path, findings)
+
+    if findings:
+        print("DOMAIN LINT FAILED:")
+        for f in findings:
+            print(f"  - {f}")
+        return 1
+    print(f"domain lint OK: {len(files)} files clean "
+          f"(no-raw-assert, unsaturated-deadline, tracer-pairing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

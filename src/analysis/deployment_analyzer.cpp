@@ -76,6 +76,12 @@ struct TenantModel {
   std::vector<FitPlan> fit_plans;
   int quota = 0;
   int cap = 0;
+  /// Paged mode only (zero in slot mode): effective page size in token
+  /// positions (kv_page_tokens clamped to ar_context) and the
+  /// worst-case-chip L2 footprint of one page — the per-unit bytes of
+  /// every paged fit check, rounded up exactly like the engine's.
+  int page_tokens = 0;
+  Bytes chip_page_bytes = 0;
   bool measured = false;  // block measurements succeeded (no PlanError)
 };
 
@@ -242,6 +248,21 @@ AnalysisReport DeploymentAnalyzer::analyze(
              ")",
          "use 0 to disable queuing beyond free KV slots");
   }
+  // ---- DMCU-PAGE-007: paged-KV option shape --------------------------
+  if (opts.kv_page_tokens < 0) {
+    emit(report, kPagedConfig, Severity::error, "options",
+         "kv_page_tokens must be >= 0 (got " +
+             std::to_string(opts.kv_page_tokens) + ")",
+         "use 0 for slot-granular serving or a positive page size in "
+         "token positions");
+  }
+  if (opts.prefix_sharing && opts.kv_page_tokens == 0) {
+    emit(report, kPagedConfig, Severity::warning, "options",
+         "prefix_sharing is set but kv_page_tokens is 0; prefix KV pages "
+         "only exist in paged mode, so the slot engine ignores the flag "
+         "and every request re-runs its full prefill",
+         "set kv_page_tokens > 0 to share prefixes, or drop the flag");
+  }
   for (const ModelDeployment& dep : registry.entries()) {
     if (dep.session == nullptr) {
       emit(report, kCfgMalformed, Severity::error, deployment_entity(dep),
@@ -357,16 +378,49 @@ AnalysisReport DeploymentAnalyzer::analyze(
   }
 
   // ---- DMCU-MEM-001: L2 fits ------------------------------------------
+  const bool paged = opts.kv_page_tokens > 0;
   for (std::size_t m = 0; m < entries.size(); ++m) {
-    measure_tenant(entries[m], tenants[m], report);
-    if (!tenants[m].measured) continue;
-    for (const auto& fp : tenants[m].fit_plans) {
+    TenantModel& t = tenants[m];
+    measure_tenant(entries[m], t, report);
+    if (!t.measured) continue;
+    if (paged) {
+      // Same derivation as BatchedEngine::build_tenant: the page size is
+      // clamped to the context, and one page's per-chip share of the
+      // full-context KV footprint is rounded up so fits never
+      // under-reserve.
+      const int ctx = entries[m].session->config().ar_context;
+      t.page_tokens = std::min(opts.kv_page_tokens, ctx);
+      t.chip_page_bytes =
+          (t.chip_kv_bytes * static_cast<Bytes>(t.page_tokens) +
+           static_cast<Bytes>(ctx) - 1) /
+          static_cast<Bytes>(ctx);
+    }
+    for (const auto& fp : t.fit_plans) {
+      if (paged) {
+        // The cap counts pages, so resident KV is cap pages beside the
+        // plan's non-KV working set (the plan's own single-set KV term
+        // is swapped out, exactly like check_paged_pool_fits).
+        const Bytes resident =
+            static_cast<Bytes>(t.cap) * t.chip_page_bytes;
+        const Bytes need = fp.plan.need() - fp.plan.kv_cache_bytes + resident;
+        if (need > fp.plan.l2_usable) {
+          emit(report, kMemOverflow, Severity::error,
+               deployment_entity(entries[m]),
+               std::to_string(t.cap) + " resident KV pages need " +
+                   util::format_bytes(need) + " of L2 in " + fp.mode +
+                   " mode but only " +
+                   util::format_bytes(fp.plan.l2_usable) + " is usable",
+               "lower max_resident/total_kv_slots, kv_page_tokens, or "
+               "ar_context");
+        }
+        continue;
+      }
       const Bytes extra_kv =
-          fp.plan.kv_cache_bytes * static_cast<Bytes>(tenants[m].cap - 1);
+          fp.plan.kv_cache_bytes * static_cast<Bytes>(t.cap - 1);
       if (fp.plan.need() + extra_kv > fp.plan.l2_usable) {
         emit(report, kMemOverflow, Severity::error,
              deployment_entity(entries[m]),
-             std::to_string(tenants[m].cap) + " pooled KV-cache sets need " +
+             std::to_string(t.cap) + " pooled KV-cache sets need " +
                  util::format_bytes(fp.plan.need() + extra_kv) + " of L2 in " +
                  fp.mode + " mode but only " +
                  util::format_bytes(fp.plan.l2_usable) + " is usable",
@@ -378,12 +432,14 @@ AnalysisReport DeploymentAnalyzer::analyze(
       std::all_of(tenants.begin(), tenants.end(),
                   [](const TenantModel& t) { return t.measured; });
   if (entries.size() > 1 && all_measured) {
-    // Worst-case co-resident KV: the arena's slots filled greedily with
-    // the largest per-chip KV footprints, each tenant bounded by its cap.
+    // Worst-case co-resident KV: the arena's budget units (whole sets,
+    // or pages when paged) filled greedily with the largest per-chip
+    // footprints, each tenant bounded by its cap in the same unit.
     std::vector<std::pair<Bytes, int>> kv_loads;
     kv_loads.reserve(tenants.size());
     for (const TenantModel& t : tenants) {
-      kv_loads.emplace_back(t.chip_kv_bytes, t.cap);
+      kv_loads.emplace_back(paged ? t.chip_page_bytes : t.chip_kv_bytes,
+                            t.cap);
     }
     std::sort(kv_loads.begin(), kv_loads.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -480,6 +536,26 @@ AnalysisReport DeploymentAnalyzer::analyze(
                  "'s prefill length (" + std::to_string(cfg.prompt_len) + ")",
              "raise the deployment's prompt_len or chunk the request");
         shape_ok = false;
+      }
+      if (shape_ok && paged) {
+        // Mirror of submit()'s livelock guard: a sequence whose full KV
+        // (prompt rows plus every decode row but the last) exceeds the
+        // tenant's page cap would be admitted, grown to the cap, and
+        // evicted forever.
+        const int pt = std::min(opts.kv_page_tokens, cfg.ar_context);
+        const int max_rows = rq.prompt_tokens + std::max(0, rq.new_tokens - 1);
+        const int need_pages = (max_rows + pt - 1) / pt;
+        const int cap = tenants[static_cast<std::size_t>(rq.model)].cap;
+        if (need_pages > cap) {
+          emit(report, kPagedConfig, Severity::error, entity,
+               "sequence needs " + std::to_string(need_pages) +
+                   " KV pages but " + deployment_entity(dep) +
+                   " is capped at " + std::to_string(cap) +
+                   "; submit() refuses it up front (grow/evict livelock)",
+               "raise max_resident/total_kv_slots or kv_page_tokens, or "
+               "shorten the request");
+          shape_ok = false;
+        }
       }
       if (!shape_ok || rq.deadline_cycles == runtime::kNoDeadline) continue;
       const TenantModel& t = tenants[static_cast<std::size_t>(rq.model)];

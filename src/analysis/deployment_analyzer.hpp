@@ -28,6 +28,7 @@ inline constexpr const char* kPortOversub = "DMCU-PORT-003";
 inline constexpr const char* kSloInfeasible = "DMCU-SLO-004";
 inline constexpr const char* kTraceCollision = "DMCU-TRC-005";
 inline constexpr const char* kRequestShape = "DMCU-REQ-006";
+inline constexpr const char* kPagedConfig = "DMCU-PAGE-007";
 
 /// One structured finding: a stable code, the offending entity (a
 /// deployment, an option field, a workload request), what is wrong, and
@@ -114,6 +115,10 @@ class AnalysisError : public Error {
 ///    time instead of submit time)
 ///  - DMCU-REQ-006  workload request shapes submit() would throw on
 ///    (unknown model, empty prompt, context/prefill overflow)
+///  - DMCU-PAGE-007 paged-KV configuration faults: a negative page
+///    size, prefix_sharing without paging (ignored flag — warning), or
+///    a workload sequence whose full KV needs more pages than its
+///    tenant's cap (the engine's submit-time livelock guard)
 ///
 /// The memory, quota, and cap derivations mirror BatchedEngine
 /// construction exactly: a report free of CFG/KV/MEM errors constructs,

@@ -1,6 +1,14 @@
 #include "chip/chip_config.hpp"
 
+#include <cmath>
+
 namespace distmcu::chip {
+
+Cycles ChipConfig::l3_dma_cycles(Bytes bytes) const {
+  return dma_setup_l3 +
+         static_cast<Cycles>(
+             std::ceil(static_cast<double>(bytes) / bw_l3_l2));
+}
 
 const char* precision_name(Precision p) {
   switch (p) {

@@ -106,6 +106,12 @@ struct ChipConfig {
   }
   [[nodiscard]] Bytes l2_usable() const { return l2_size - l2_runtime_reserve; }
 
+  /// Cycles one L3<->L2 DMA transfer of `bytes` takes: fixed setup plus
+  /// the transfer at the configured port bandwidth. The single source of
+  /// truth for every off-chip movement the runtime charges (weight
+  /// streaming, KV checkpoints, resume restores).
+  [[nodiscard]] Cycles l3_dma_cycles(Bytes bytes) const;
+
   /// The default platform of the paper.
   [[nodiscard]] static ChipConfig siracusa();
 };

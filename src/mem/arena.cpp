@@ -17,7 +17,9 @@ Bytes Arena::aligned(Bytes size) const { return align_up(size, alignment_); }
 
 bool Arena::try_allocate(const std::string& name, Bytes size) {
   const Bytes padded = aligned(size);
-  if (used_ + padded > capacity_) return false;
+  // Compared against the remaining headroom (not `used_ + padded`) so a
+  // near-max `size` cannot wrap the sum and sneak past the capacity check.
+  if (padded > capacity_ - used_) return false;
   allocations_.push_back(Allocation{name, used_, size});
   used_ += padded;
   if (used_ > high_water_) high_water_ = used_;

@@ -2,6 +2,7 @@
 #define DISTMCU_MEM_ARENA_HPP
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,8 +34,15 @@ class Arena {
   /// Round `size` up to a multiple of `alignment` (power of two) — the
   /// padding every allocation in an arena with that alignment consumes,
   /// exposed so callers can size an arena to fit N allocations exactly.
+  /// Saturates at the largest aligned Bytes value: a `size` within
+  /// `alignment - 1` of the Bytes max must not wrap to a tiny request
+  /// that then "fits" anywhere.
   [[nodiscard]] static constexpr Bytes align_up(Bytes size, Bytes alignment) {
-    return (size + alignment - 1) & ~(alignment - 1);
+    const Bytes mask = alignment - 1;
+    if (size > std::numeric_limits<Bytes>::max() - mask) {
+      return std::numeric_limits<Bytes>::max() & ~mask;
+    }
+    return (size + mask) & ~mask;  // guarded above; lint-domain: allow
   }
 
   Arena(std::string name, Bytes capacity, Bytes alignment = kDefaultAlignment);

@@ -1,0 +1,117 @@
+#include "mem/paged_arena.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace distmcu::mem {
+
+PagedKvArena::PagedKvArena(Arena& arena, const std::string& name, int n_pages,
+                           Bytes page_bytes)
+    : name_(name), page_bytes_(page_bytes) {
+  DISTMCU_CHECK(n_pages > 0, "PagedKvArena: page count must be positive");
+  DISTMCU_CHECK(page_bytes > 0, "PagedKvArena: page size must be positive");
+  owner_.assign(static_cast<std::size_t>(n_pages), kFreePage);
+  refcount_.assign(static_cast<std::size_t>(n_pages), 0);
+  for (int i = 0; i < n_pages; ++i) {
+    (void)arena.allocate(name + "." + std::to_string(i), page_bytes);
+  }
+}
+
+std::optional<int> PagedKvArena::acquire(int tenant) {
+  DISTMCU_CHECK(tenant >= 0, "PagedKvArena '" + name_ + "': negative tenant");
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == kFreePage) {
+      owner_[i] = tenant;
+      refcount_[i] = 1;
+      ++n_in_use_;
+      ++total_refs_;
+      const auto t = static_cast<std::size_t>(tenant);
+      if (t >= tenant_in_use_.size()) {
+        tenant_in_use_.resize(t + 1, 0);
+        tenant_high_water_.resize(t + 1, 0);
+      }
+      ++tenant_in_use_[t];
+      tenant_high_water_[t] = std::max(tenant_high_water_[t], tenant_in_use_[t]);
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void PagedKvArena::add_ref(int page) {
+  DISTMCU_CHECK(page >= 0 && page < capacity(),
+              "PagedKvArena '" + name_ + "': add_ref of out-of-range page");
+  DISTMCU_CHECK(owner_[static_cast<std::size_t>(page)] != kFreePage,
+              "PagedKvArena '" + name_ + "': add_ref of free page " +
+                  std::to_string(page));
+  ++refcount_[static_cast<std::size_t>(page)];
+  ++total_refs_;
+}
+
+void PagedKvArena::free_page(int page, int tenant) {
+  owner_[static_cast<std::size_t>(page)] = kFreePage;
+  --n_in_use_;
+  --tenant_in_use_[static_cast<std::size_t>(tenant)];
+}
+
+void PagedKvArena::release(int page, int tenant) {
+  DISTMCU_CHECK(page >= 0 && page < capacity(),
+              "PagedKvArena '" + name_ + "': release of out-of-range page");
+  const int owner = owner_[static_cast<std::size_t>(page)];
+  DISTMCU_CHECK(owner != kFreePage,
+              "PagedKvArena '" + name_ + "': release of free page " +
+                  std::to_string(page));
+  DISTMCU_CHECK(owner == tenant,
+              "PagedKvArena '" + name_ + "': tenant " + std::to_string(tenant) +
+                  " released page " + std::to_string(page) + " owned by " +
+                  std::to_string(owner) + " (cross-tenant KV leak)");
+  --refcount_[static_cast<std::size_t>(page)];
+  --total_refs_;
+  if (refcount_[static_cast<std::size_t>(page)] == 0) free_page(page, tenant);
+}
+
+void PagedKvArena::reclaim(int page, int tenant) {
+  const bool last = refcount(page) == 1;
+  release(page, tenant);
+  if (!last) return;
+  const auto t = static_cast<std::size_t>(tenant);
+  if (t >= tenant_reclaimed_.size()) tenant_reclaimed_.resize(t + 1, 0);
+  ++tenant_reclaimed_[t];
+  ++total_reclaimed_;
+}
+
+int PagedKvArena::owner(int page) const {
+  DISTMCU_CHECK(page >= 0 && page < capacity(),
+              "PagedKvArena '" + name_ + "': owner of out-of-range page");
+  return owner_[static_cast<std::size_t>(page)];
+}
+
+int PagedKvArena::refcount(int page) const {
+  DISTMCU_CHECK(page >= 0 && page < capacity(),
+              "PagedKvArena '" + name_ + "': refcount of out-of-range page");
+  return refcount_[static_cast<std::size_t>(page)];
+}
+
+int PagedKvArena::shared_pages() const {
+  int n = 0;
+  for (const int rc : refcount_) n += rc >= 2 ? 1 : 0;
+  return n;
+}
+
+int PagedKvArena::tenant_in_use(int tenant) const {
+  const auto t = static_cast<std::size_t>(tenant);
+  return t < tenant_in_use_.size() ? tenant_in_use_[t] : 0;
+}
+
+int PagedKvArena::tenant_high_water(int tenant) const {
+  const auto t = static_cast<std::size_t>(tenant);
+  return t < tenant_high_water_.size() ? tenant_high_water_[t] : 0;
+}
+
+int PagedKvArena::tenant_reclaimed(int tenant) const {
+  const auto t = static_cast<std::size_t>(tenant);
+  return t < tenant_reclaimed_.size() ? tenant_reclaimed_[t] : 0;
+}
+
+}  // namespace distmcu::mem

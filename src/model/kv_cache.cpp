@@ -54,6 +54,20 @@ void KvCache::copy_state_from(const KvCache& src) {
   length_ = src.length_;
 }
 
+void KvCache::copy_prefix_from(const KvCache& src, int positions) {
+  DISTMCU_CHECK(src.max_positions_ == max_positions_ && src.dim_ == dim_,
+              "KvCache::copy_prefix_from: shape mismatch");
+  DISTMCU_CHECK(positions >= 0 && positions <= src.length_,
+              "KvCache::copy_prefix_from: prefix exceeds source length");
+  for (int p = 0; p < positions; ++p) {
+    const auto k = src.k_store_.row(p);
+    const auto v = src.v_store_.row(p);
+    std::copy(k.begin(), k.end(), k_store_.row(p).begin());
+    std::copy(v.begin(), v.end(), v_store_.row(p).begin());
+  }
+  length_ = positions;
+}
+
 KvCachePool::KvCachePool(int n_slots, const std::function<CacheSet()>& build_set) {
   DISTMCU_CHECK(n_slots > 0, "KvCachePool: slot count must be positive");
   slots_.reserve(static_cast<std::size_t>(n_slots));
@@ -83,6 +97,20 @@ void KvCachePool::restore_slot(int i, const CacheSet& snapshot) {
                 "KvCachePool::restore_slot: layer-count mismatch");
     for (std::size_t l = 0; l < dst[chip].size(); ++l) {
       dst[chip][l].copy_state_from(snapshot[chip][l]);
+    }
+  }
+}
+
+void KvCachePool::restore_prefix(int i, const CacheSet& snapshot,
+                                 int positions) {
+  CacheSet& dst = slot(i);
+  DISTMCU_CHECK(snapshot.size() == dst.size(),
+              "KvCachePool::restore_prefix: chip-count mismatch");
+  for (std::size_t chip = 0; chip < dst.size(); ++chip) {
+    DISTMCU_CHECK(snapshot[chip].size() == dst[chip].size(),
+                "KvCachePool::restore_prefix: layer-count mismatch");
+    for (std::size_t l = 0; l < dst[chip].size(); ++l) {
+      dst[chip][l].copy_prefix_from(snapshot[chip][l], positions);
     }
   }
 }

@@ -43,6 +43,12 @@ class KvCache {
   /// filled prefix and never read, so they are left untouched.
   void copy_state_from(const KvCache& src);
 
+  /// Overwrite only the first `positions` rows from a same-shape source
+  /// and set length to `positions` — adopting a shared prompt prefix
+  /// without disturbing (or paying for) the rest of the cache. Requires
+  /// `positions <= src.length()`.
+  void copy_prefix_from(const KvCache& src, int positions);
+
   /// Bytes this cache occupies at `elem_bytes` per element, for the full
   /// capacity (what the memory planner must reserve).
   [[nodiscard]] Bytes capacity_bytes(Bytes elem_bytes) const {
@@ -94,6 +100,13 @@ class KvCachePool {
   /// (shape-checked cache by cache) — resuming a preempted request
   /// restores its KV contents bit-exactly before its next decode step.
   void restore_slot(int i, const CacheSet& snapshot);
+
+  /// Overwrite only the first `positions` rows of every cache in set `i`
+  /// from the snapshot and set each length to `positions` — the
+  /// copy-on-write fork of paged prefix sharing: the adopted prefix is
+  /// bit-identical to the donor's, everything past it belongs to the new
+  /// request.
+  void restore_prefix(int i, const CacheSet& snapshot, int positions);
 
   /// Bytes of set `i`'s filled prefixes (all chips, all layers) at
   /// `elem_bytes` per element — the eviction-checkpoint traffic of the

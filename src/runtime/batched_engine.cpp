@@ -26,13 +26,21 @@ void check_pool_fits(const partition::MemoryPlan& mp, int cap,
           " is usable; lower max_batch or ar_context");
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
-Cycles percentile(const std::vector<Cycles>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  auto rank = static_cast<std::size_t>(
-      std::ceil(p * static_cast<double>(sorted.size())));
-  rank = std::max<std::size_t>(rank, 1);
-  return sorted[std::min(rank, sorted.size()) - 1];
+/// Page-granular variant: resident KV is bounded by the tenant's cap of
+/// pages, not cap whole-context sets, so swap the plan's single-set KV
+/// term for the worst page residency.
+void check_paged_pool_fits(const partition::MemoryPlan& mp, int cap_pages,
+                           Bytes chip_page_bytes, const char* mode,
+                           const std::string& model) {
+  const Bytes resident = static_cast<Bytes>(cap_pages) * chip_page_bytes;
+  DISTMCU_CHECK_PLAN(
+      mp.need() - mp.kv_cache_bytes + resident <= mp.l2_usable,
+      "BatchedEngine['" + model + "']: " + std::to_string(cap_pages) +
+          " resident KV pages need " +
+          util::format_bytes(mp.need() - mp.kv_cache_bytes + resident) +
+          " of L2 in " + mode + " mode but only " +
+          util::format_bytes(mp.l2_usable) +
+          " is usable; lower max_batch, kv_page_tokens, or ar_context");
 }
 
 /// Effective chunk size: clamped to the deployment's static prompt
@@ -82,7 +90,8 @@ ModelRegistry single_model_registry(const InferenceSession& session,
 }  // namespace
 
 BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
-                                                  int quota, int cap) {
+                                                  int quota, int cap,
+                                                  int page_tokens) {
   DISTMCU_CHECK(dep.session != nullptr,
               "BatchedEngine: registry entry '" + dep.name +
                   "' carries no session");
@@ -107,22 +116,41 @@ BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
     prompt_block = session.run_block(model::Mode::prompt);
   }
   const BlockResult ar_block = session.run_block(model::Mode::autoregressive);
+  t.chip_kv_bytes = ar_block.memory.kv_cache_bytes;
+
+  const int ctx = session.config().ar_context;
+  if (page_tokens > 0) {
+    // Paged mode: the per-chip unit of the fit checks becomes one page's
+    // share of the full-context KV footprint (rounded up per chip so the
+    // check never under-reserves).
+    t.page_tokens = std::min(page_tokens, ctx);
+    t.chip_page_bytes =
+        (t.chip_kv_bytes * static_cast<Bytes>(t.page_tokens) +
+         static_cast<Bytes>(ctx) - 1) /
+        static_cast<Bytes>(ctx);
+  }
 
   // Validate the pooled-KV fit for both serving phases BEFORE any cache
   // tensors are allocated. With chunking enabled the prompt phase
   // materializes chunk-shaped activations only, so its fit is checked at
   // the chunk shape.
+  const auto check_fit = [&](const partition::MemoryPlan& mp,
+                             const char* mode) {
+    if (page_tokens > 0) {
+      check_paged_pool_fits(mp, cap, t.chip_page_bytes, mode, t.name);
+    } else {
+      check_pool_fits(mp, cap, mode, t.name);
+    }
+  };
   if (chunk_blocks.empty()) {
-    check_pool_fits(prompt_block->memory, cap, "prompt", t.name);
+    check_fit(prompt_block->memory, "prompt");
     t.fit_plans.push_back({"prompt", prompt_block->memory});
   } else {
-    check_pool_fits(chunk_blocks.front().memory, cap, "chunked-prompt",
-                    t.name);
+    check_fit(chunk_blocks.front().memory, "chunked-prompt");
     t.fit_plans.push_back({"chunked-prompt", chunk_blocks.front().memory});
   }
-  check_pool_fits(ar_block.memory, cap, "autoregressive", t.name);
+  check_fit(ar_block.memory, "autoregressive");
   t.fit_plans.push_back({"autoregressive", ar_block.memory});
-  t.chip_kv_bytes = ar_block.memory.kv_cache_bytes;
 
   const auto layers = static_cast<Cycles>(session.config().num_layers);
 
@@ -171,6 +199,12 @@ BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
   });
   t.kv_set_bytes =
       t.pool->set_capacity_bytes(session.system().precision.kv_bytes);
+  if (t.page_tokens > 0) {
+    // Exact: a set's capacity is 2 * ctx * dim * elem summed over caches,
+    // so the per-context division has no remainder.
+    t.page_bytes = t.kv_set_bytes / static_cast<Bytes>(ctx) *
+                   static_cast<Bytes>(t.page_tokens);
+  }
   return t;
 }
 
@@ -201,6 +235,8 @@ BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
                     "BatchedEngine: max_batch must be positive");
         DISTMCU_CHECK(opts_.max_pending >= 0,
                     "BatchedEngine: max_pending must be >= 0");
+        DISTMCU_CHECK(opts_.kv_page_tokens >= 0,
+                    "BatchedEngine: kv_page_tokens must be >= 0");
         // Quota derivation: explicit quotas are kept, unset (0) quotas
         // share the remaining slots equally (remainder to the earliest
         // deployments), and every deployment must end up with at least
@@ -239,24 +275,38 @@ BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
                         ? std::min(e.max_resident, opts_.total_kv_slots)
                         : (borrowing ? opts_.total_kv_slots : quota);
           cap = std::max(cap, 1);
-          out.push_back(build_tenant(e, quota, cap));
+          out.push_back(build_tenant(e, quota, cap, opts_.kv_page_tokens));
         }
         return out;
       }()),
       trace_models_(tenants_.size() > 1),
       slab_bytes_([&] {
+        // Uniform budget units across tenants: the largest set in slot
+        // mode, the largest page in paged mode — so unit indices stay
+        // interchangeable across models.
         Bytes slab = 0;
-        for (const Tenant& t : tenants_) slab = std::max(slab, t.kv_set_bytes);
+        for (const Tenant& t : tenants_) {
+          slab = std::max(slab, opts_.kv_page_tokens > 0 ? t.page_bytes
+                                                         : t.kv_set_bytes);
+        }
         return slab;
       }()),
       // Size the arena for total_kv_slots aligned slab reservations
-      // exactly; slabs are uniform at the largest tenant's set size so
-      // slot indices stay interchangeable across models.
+      // exactly (total pages in paged mode).
       kv_arena_("l2.kv_pool",
                 static_cast<Bytes>(opts_.total_kv_slots) *
                     mem::Arena::align_up(slab_bytes_,
                                          mem::Arena::kDefaultAlignment)),
-      kv_slots_(kv_arena_, "kv_set", opts_.total_kv_slots, slab_bytes_),
+      kv_slots_([&]() -> std::optional<mem::SlotArena> {
+        if (opts_.kv_page_tokens > 0) return std::nullopt;
+        return std::make_optional<mem::SlotArena>(
+            kv_arena_, "kv_set", opts_.total_kv_slots, slab_bytes_);
+      }()),
+      kv_pages_([&]() -> std::optional<mem::PagedKvArena> {
+        if (opts_.kv_page_tokens <= 0) return std::nullopt;
+        return std::make_optional<mem::PagedKvArena>(
+            kv_arena_, "kv_page", opts_.total_kv_slots, slab_bytes_);
+      }()),
       pipeline_(1.0, 0, static_cast<int>(tenants_.size())) {
   // Admission policy: the configured scheduler, or the process-wide FIFO
   // instance (policies are stateless, so sharing it is safe).
@@ -275,9 +325,12 @@ BatchedEngine::BatchedEngine(const ModelRegistry& registry, MultiOptions opts,
   // planner's l2_usable; the single-model engine keeps the historical
   // check bit-exactly.)
   if (tenants_.size() > 1) {
+    // Per budget unit: a whole set's per-chip KV in slot mode, one
+    // page's share in paged mode (caps are in the same unit).
     std::vector<std::pair<Bytes, int>> kv_loads;  // (per-chip KV, cap)
     for (const Tenant& t : tenants_) {
-      kv_loads.emplace_back(t.chip_kv_bytes, t.cap);
+      kv_loads.emplace_back(paged() ? t.chip_page_bytes : t.chip_kv_bytes,
+                            t.cap);
     }
     std::sort(kv_loads.begin(), kv_loads.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -330,8 +383,190 @@ BatchedEngine::BatchedEngine(const InferenceSession& session, Options opts,
                                  .fail_fast_deadlines = opts.fail_fast_deadlines,
                                  .fair_shedding = opts.fair_shedding,
                                  .preemption = opts.preemption,
-                                 .strict = opts.strict},
+                                 .strict = opts.strict,
+                                 .kv_page_tokens = opts.kv_page_tokens,
+                                 .prefix_sharing = opts.prefix_sharing},
                     tracer) {}
+
+const mem::SlotArena& BatchedEngine::kv_slots() const {
+  DISTMCU_CHECK(kv_slots_.has_value(),
+              "BatchedEngine: kv_slots() on a paged engine; use kv_pages()");
+  return *kv_slots_;
+}
+
+const mem::PagedKvArena& BatchedEngine::kv_pages() const {
+  DISTMCU_CHECK(kv_pages_.has_value(),
+              "BatchedEngine: kv_pages() on a slot engine; use kv_slots()");
+  return *kv_pages_;
+}
+
+int BatchedEngine::page_tokens(ModelId m) const { return tenant(m).page_tokens; }
+
+int BatchedEngine::prefix_cache_pages() const {
+  // Distinct physical pages: entries of one tenant may share leading
+  // pages (an adopter re-donating a longer prompt re-references them).
+  std::vector<int> pages;
+  for (const Tenant& t : tenants_) {
+    for (const Tenant::PrefixEntry& e : t.prefix_cache) {
+      pages.insert(pages.end(), e.pages.begin(), e.pages.end());
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  return static_cast<int>(pages.size());
+}
+
+int BatchedEngine::prefix_cache_entries() const {
+  int n = 0;
+  for (const Tenant& t : tenants_) {
+    n += static_cast<int>(t.prefix_cache.size());
+  }
+  return n;
+}
+
+int BatchedEngine::kv_free() const {
+  return paged() ? kv_pages_->free() : kv_slots_->free();
+}
+int BatchedEngine::kv_capacity_units() const {
+  return paged() ? kv_pages_->capacity() : kv_slots_->capacity();
+}
+int BatchedEngine::kv_tenant_in_use(ModelId m) const {
+  return paged() ? kv_pages_->tenant_in_use(m) : kv_slots_->tenant_in_use(m);
+}
+int BatchedEngine::kv_tenant_high_water(ModelId m) const {
+  return paged() ? kv_pages_->tenant_high_water(m)
+                 : kv_slots_->tenant_high_water(m);
+}
+int BatchedEngine::kv_tenant_reclaimed(ModelId m) const {
+  return paged() ? kv_pages_->tenant_reclaimed(m)
+                 : kv_slots_->tenant_reclaimed(m);
+}
+
+int BatchedEngine::pages_for_tokens(ModelId m, int n) const {
+  const int pt = tenant(m).page_tokens;
+  DISTMCU_CHECK(pt > 0, "BatchedEngine: pages_for_tokens on a slot engine");
+  return (n + pt - 1) / pt;
+}
+
+int BatchedEngine::common_prefix(const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return static_cast<int>(i);
+}
+
+int BatchedEngine::tokens_after_step(const Request& r) const {
+  const Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
+  const int len = static_cast<int>(r.prompt.size());
+  // The same-step first decode appends a KV row only when another
+  // forward is needed: the committed token itself comes from the prefill
+  // output without a row, and the final token of a stream is committed
+  // without a forward (generate's composition).
+  const int first_decode_row = r.new_tokens >= 2 ? 1 : 0;
+  if (!r.prefill_done()) {
+    if (t.chunk_tokens <= 0) return len + first_decode_row;
+    const int after = std::min(r.prefill_pos + t.chunk_tokens, len);
+    return after >= len ? len + first_decode_row : after;
+  }
+  return r.pos + (r.generated + 1 < r.new_tokens ? 1 : 0);
+}
+
+BatchedEngine::PagedAdmitPlan BatchedEngine::plan_paged_admission(
+    const Request& p) const {
+  const Tenant& t = tenants_[static_cast<std::size_t>(p.model)];
+  const int pt = t.page_tokens;
+  PagedAdmitPlan plan;
+
+  if (p.checkpoint.has_value()) {
+    // Resume: the leading shared_resident_tokens rows (page-aligned by
+    // construction at eviction) can be re-referenced from any registry
+    // entry whose prompt still matches; otherwise they are refetched
+    // from the L3 backing store into private pages.
+    const int sp = p.shared_resident_tokens / pt;
+    plan.shared_tokens = p.shared_resident_tokens;
+    if (sp > 0) {
+      for (std::size_t i = 0; i < t.prefix_cache.size(); ++i) {
+        const Tenant::PrefixEntry& e = t.prefix_cache[i];
+        if (static_cast<int>(e.pages.size()) >= sp &&
+            common_prefix(e.tokens, p.prompt) >= p.shared_resident_tokens) {
+          plan.entry = static_cast<int>(i);
+          plan.shared_pages = sp;
+          break;
+        }
+      }
+    }
+    plan.need_pages = pages_for_tokens(p.model, tokens_after_step(p));
+    return plan;
+  }
+
+  // Fresh admission: adopt the registered prefix with the longest common
+  // prompt prefix, rounded DOWN to a chunk boundary (the last chunk is
+  // always recomputed so the prefill output feeding the first decode
+  // exists) — and capped at len-1 for the same reason.
+  int adopted = 0;
+  if (opts_.prefix_sharing && t.chunk_tokens > 0) {
+    const int len = static_cast<int>(p.prompt.size());
+    int best = 0;
+    int entry = -1;
+    for (std::size_t i = 0; i < t.prefix_cache.size(); ++i) {
+      const int l =
+          std::min(common_prefix(t.prefix_cache[i].tokens, p.prompt), len - 1);
+      if (l > best) {
+        best = l;
+        entry = static_cast<int>(i);
+      }
+    }
+    adopted = (best / t.chunk_tokens) * t.chunk_tokens;
+    if (adopted > 0 && entry >= 0) {
+      plan.entry = entry;
+      plan.shared_tokens = adopted;
+      // Full pages only: a prefix ending mid-page forks copy-on-write —
+      // the partial page's rows are copied into the request's first
+      // private page rather than shared.
+      plan.shared_pages = std::min(
+          adopted / pt,
+          static_cast<int>(
+              t.prefix_cache[static_cast<std::size_t>(entry)].pages.size()));
+    } else {
+      adopted = 0;
+    }
+  }
+
+  // Page requirement of the request's first step, prefill_pos advanced
+  // to the adopted prefix.
+  const int len = static_cast<int>(p.prompt.size());
+  const int first_decode_row = p.new_tokens >= 2 ? 1 : 0;
+  int after = 0;
+  if (t.chunk_tokens > 0) {
+    const int a = std::min(adopted + t.chunk_tokens, len);
+    after = a >= len ? len + first_decode_row : a;
+  } else {
+    after = len + first_decode_row;
+  }
+  plan.need_pages = pages_for_tokens(p.model, after);
+  return plan;
+}
+
+bool BatchedEngine::can_grant_pages(
+    ModelId m, std::vector<KvBudgetPolicy::TenantView> views, int free_pages,
+    int n) const {
+  // Simulate n sequential grants exactly the way admission acquires
+  // them: each grant advances the tenant's occupancy and re-asks the
+  // policy, so a policy that would cut the tenant off mid-way refuses
+  // the whole admission (a half-admitted request would deadlock).
+  const Tenant& t = tenants_[static_cast<std::size_t>(m)];
+  auto& v = views[static_cast<std::size_t>(m)];
+  for (int i = 0; i < n; ++i) {
+    if (free_pages <= 0 || v.in_use >= t.cap) return false;
+    if (!budget_->may_acquire(m, views, kv_capacity_units(), free_pages)) {
+      return false;
+    }
+    ++v.in_use;
+    --free_pages;
+  }
+  return true;
+}
 
 const BatchedEngine::Tenant& BatchedEngine::tenant(ModelId m) const {
   DISTMCU_CHECK(m >= 0 && m < model_count(),
@@ -392,6 +627,18 @@ std::optional<RequestId> BatchedEngine::submit(ModelId model,
       static_cast<int>(prompt.size()) <= t.session->config().prompt_len,
       "submit: prompt exceeds the deployment's prefill length (" +
           std::to_string(t.session->config().prompt_len) + ")");
+  if (paged()) {
+    // Livelock guard: a sequence whose full KV can never fit the
+    // tenant's page cap would be admitted, grown until the cap, and
+    // evicted forever. Refuse it up front like the context checks above.
+    const int max_rows = static_cast<int>(prompt.size()) +
+                         std::max(0, new_tokens - 1);
+    DISTMCU_CHECK(pages_for_tokens(model, max_rows) <= t.cap,
+                "submit: sequence needs " +
+                    std::to_string(pages_for_tokens(model, max_rows)) +
+                    " KV pages but model '" + t.name + "' is capped at " +
+                    std::to_string(t.cap));
+  }
 
   last_rejection_ = Rejection::none;
   auto& pm = stats_.per_model[static_cast<std::size_t>(model)];
@@ -423,7 +670,7 @@ std::optional<RequestId> BatchedEngine::submit(ModelId model,
   // it, so an idle engine with a free slot admits even at
   // max_pending == 0. On a full queue fair shedding (when enabled) may
   // drop a heavier tenant's newest queued request to make room.
-  const int backlog = static_cast<int>(pending_.size()) - kv_slots_.free();
+  const int backlog = static_cast<int>(pending_.size()) - kv_free();
   if (backlog >= opts_.max_pending &&
       !(opts_.fair_shedding && shed_for_model(model))) {
     last_rejection_ = Rejection::queue_full;
@@ -453,7 +700,7 @@ std::vector<KvBudgetPolicy::TenantView> BatchedEngine::budget_views() const {
   std::vector<KvBudgetPolicy::TenantView> views(tenants_.size());
   for (std::size_t m = 0; m < tenants_.size(); ++m) {
     views[m].model = static_cast<ModelId>(m);
-    views[m].in_use = kv_slots_.tenant_in_use(static_cast<int>(m));
+    views[m].in_use = kv_tenant_in_use(static_cast<ModelId>(m));
     views[m].quota = tenants_[m].quota;
     views[m].cap = tenants_[m].cap;
   }
@@ -468,21 +715,45 @@ bool BatchedEngine::admissible_now(
     int free_slots) const {
   if (free_slots <= 0) return false;
   const auto m = static_cast<std::size_t>(p.model);
-  if (views[m].in_use >= tenants_[m].cap) return false;
-  return budget_->may_acquire(p.model, views, kv_slots_.capacity(), free_slots);
+  if (!paged()) {
+    if (views[m].in_use >= tenants_[m].cap) return false;
+    return budget_->may_acquire(p.model, views, kv_capacity_units(),
+                                free_slots);
+  }
+  // Paged: the whole first-step page requirement (net of adoptable
+  // shared pages) must be grantable at once, and the tenant's functional
+  // pool must have a cache set left — page occupancy no longer tracks
+  // set occupancy one-to-one (a request holding only shared references
+  // charges zero pages).
+  if (tenants_[m].pool->sets_in_use() >= tenants_[m].pool->capacity()) {
+    return false;
+  }
+  const PagedAdmitPlan plan = plan_paged_admission(p);
+  return can_grant_pages(p.model, views, free_slots,
+                         plan.need_pages - plan.shared_pages);
 }
 
 bool BatchedEngine::admits_after_evicting(const Request& starved,
                                           const Request& victim) const {
-  // Post-eviction snapshot: the victim's slot frees and it rejoins the
-  // queue; then ask whether the budget would grant the starved request
-  // the freed slot (a watermark-borrowed victim slot repays the reserve
-  // cross-model, which is exactly what makes this reclaim useful).
+  // Post-eviction snapshot: the victim's budget units free and it
+  // rejoins the queue; then ask whether the budget would grant the
+  // starved request admission (a watermark-borrowed victim unit repays
+  // the reserve cross-model, which is exactly what makes this reclaim
+  // useful).
   auto views = budget_views();
   auto& vv = views[static_cast<std::size_t>(victim.model)];
-  --vv.in_use;
+  int freed = 1;
+  if (paged()) {
+    // Only the victim's sole-referenced pages return to the pool; pages
+    // shared with the prefix registry or other requests stay resident.
+    freed = 0;
+    for (const int pg : victim.pages) {
+      if (kv_pages_->refcount(pg) == 1) ++freed;
+    }
+  }
+  vv.in_use -= freed;
   ++vv.pending;
-  return admissible_now(starved, views, kv_slots_.free() + 1);
+  return admissible_now(starved, views, kv_free() + freed);
 }
 
 Cycles BatchedEngine::remaining_cost(const Request& r) const {
@@ -523,7 +794,7 @@ void BatchedEngine::maybe_preempt(int step_idx, double& step_energy) {
 bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
   const Cycles now = pipeline_.now();
   const auto views = budget_views();
-  const int free_slots = kv_slots_.free();
+  const int free_slots = kv_free();
 
   // Starved = pending with a deadline the cost estimator says is
   // feasible started now, but that the budget will not admit right now.
@@ -563,7 +834,7 @@ bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
     pv.remaining_cost = remaining_cost(v);
     pv.generated = v.generated;
     pv.new_tokens = v.new_tokens;
-    pv.borrowed = kv_slots_.tenant_in_use(v.model) >
+    pv.borrowed = kv_tenant_in_use(v.model) >
                   tenants_[static_cast<std::size_t>(v.model)].quota;
     pv.times_evicted = v.times_evicted;
     min_rem = std::min(min_rem, pv.remaining_cost);
@@ -606,12 +877,37 @@ void BatchedEngine::evict_active(std::size_t idx, int /*step_idx*/,
   Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
   const Bytes elem = t.session->system().precision.kv_bytes;
   r.checkpoint_bytes = t.pool->set_filled_bytes(r.set, elem);
+  if (paged()) {
+    // Rows resident in shared pages are not checkpoint traffic: the
+    // pages stay mapped under the prefix registry (or other sharers)
+    // and a resume re-references them. Only whole leading shared pages
+    // count — a partial private page's rows must move either way — and
+    // the shared span is kept page-aligned so the resume bookkeeping
+    // stays exact.
+    const int written = r.prefill_done() ? r.pos : r.prefill_pos;
+    int lead = 0;
+    while (lead < static_cast<int>(r.pages.size()) &&
+           kv_pages_->refcount(r.pages[static_cast<std::size_t>(lead)]) >= 2) {
+      ++lead;
+    }
+    const int pt = t.page_tokens;
+    const int shared_tok = std::min((written / pt) * pt, lead * pt);
+    const Bytes per_token =
+        t.kv_set_bytes /
+        static_cast<Bytes>(t.session->config().ar_context);
+    r.checkpoint_bytes -= static_cast<Bytes>(shared_tok) * per_token;
+    r.shared_resident_tokens = shared_tok;
+  }
   r.checkpoint = t.pool->slot(r.set);  // deep copy of the functional KV
-  // Checkpoint traffic: the filled KV moves out over the normalized L3
-  // port (1 byte == 1 cycle), charged to the evicted request itself;
-  // in-flight staged fetches are pushed back by exactly the advance, so
-  // the one-stream stall bound of every later decode phase holds.
-  const auto c = static_cast<Cycles>(r.checkpoint_bytes);
+  // Checkpoint traffic: the filled KV moves out through the chip's L3
+  // DMA model (setup + bytes at the L3<->L2 bandwidth), charged to the
+  // evicted request itself; in-flight staged fetches are pushed back by
+  // exactly the advance, so the one-stream stall bound of every later
+  // decode phase holds.
+  const Cycles c =
+      r.checkpoint_bytes > 0
+          ? t.session->system().chip.l3_dma_cycles(r.checkpoint_bytes)
+          : Cycles{0};
   const double e = util::pj_to_mj(static_cast<double>(r.checkpoint_bytes) *
                                   t.session->system().chip.e_l3_pj_per_byte);
   charge(r, c, e, sim::Category::sched, "sched.evict", pipeline_.now(),
@@ -621,9 +917,15 @@ void BatchedEngine::evict_active(std::size_t idx, int /*step_idx*/,
   stats_.preemption_cycles += c;
   r.work_done_at = pipeline_.now();
 
-  kv_slots_.reclaim(r.slot, r.model);
   auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
-  pm.kv_slots_reclaimed = kv_slots_.tenant_reclaimed(r.model);
+  if (paged()) {
+    for (const int pg : r.pages) kv_pages_->reclaim(pg, r.model);
+    r.pages.clear();
+    r.shared_pages = 0;
+  } else {
+    kv_slots_->reclaim(r.slot, r.model);
+  }
+  pm.kv_slots_reclaimed = kv_tenant_reclaimed(r.model);
   t.pool->release_set(r.set);
   r.slot = -1;
   r.set = -1;
@@ -672,23 +974,19 @@ bool BatchedEngine::shed_for_model(ModelId incoming) {
 int BatchedEngine::pick_admissible_pending() const {
   // Budget snapshot: everybody's occupancy and queued demand.
   const std::vector<KvBudgetPolicy::TenantView> views = budget_views();
-  const int free_slots = kv_slots_.free();
+  const int free_units = kv_free();
 
-  // The scheduler ranks exactly the requests the budget would grant a
-  // slot to right now — so a deadline on one model can preempt admission
-  // of another model's request, but never overdraw that model's share.
+  // The scheduler ranks exactly the requests the budget would grant
+  // admission to right now — so a deadline on one model can preempt
+  // admission of another model's request, but never overdraw that
+  // model's share. (Paged mode grants the whole first-step page set or
+  // nothing; admissible_now holds both mode's rules.)
   std::vector<Scheduler::Candidate> queue;
   std::vector<int> pending_index;
   queue.reserve(pending_.size());
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     const Request& p = pending_[i];
-    const Tenant& t = tenants_[static_cast<std::size_t>(p.model)];
-    const int in_use = views[static_cast<std::size_t>(p.model)].in_use;
-    if (in_use >= t.cap) continue;
-    if (!budget_->may_acquire(p.model, views, kv_slots_.capacity(),
-                              free_slots)) {
-      continue;
-    }
+    if (!admissible_now(p, views, free_units)) continue;
     Scheduler::Candidate c;
     c.id = p.id;
     c.model = p.model;
@@ -738,7 +1036,15 @@ void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
 }
 
 void BatchedEngine::finish(Request& r, int step_idx) {
-  kv_slots_.release(r.slot, r.model);
+  if (paged()) {
+    // Owner-checked page release; shared prefix pages just drop one
+    // reference and stay resident for the registry / other sharers.
+    for (const int pg : r.pages) kv_pages_->release(pg, r.model);
+    r.pages.clear();
+    r.shared_pages = 0;
+  } else {
+    kv_slots_->release(r.slot, r.model);
+  }
   tenants_[static_cast<std::size_t>(r.model)].pool->release_set(r.set);
   r.slot = -1;
   r.set = -1;
@@ -768,12 +1074,10 @@ void BatchedEngine::finish(Request& r, int step_idx) {
   // completion.
   const Cycles queue_delay = out.queue_delay_cycles();
   stats_.queue_delay_total += queue_delay;
-  queue_delays_.insert(
-      std::upper_bound(queue_delays_.begin(), queue_delays_.end(), queue_delay),
-      queue_delay);
-  stats_.queue_delay_p50 = percentile(queue_delays_, 0.50);
-  stats_.queue_delay_p95 = percentile(queue_delays_, 0.95);
-  stats_.queue_delay_p99 = percentile(queue_delays_, 0.99);
+  queue_delays_.insert(queue_delay);
+  stats_.queue_delay_p50 = queue_delays_.percentile(50.0);
+  stats_.queue_delay_p95 = queue_delays_.percentile(95.0);
+  stats_.queue_delay_p99 = queue_delays_.percentile(99.0);
   if (out.deadline_at != kNoDeadline) {
     ++stats_.slo_requests;
     ++pm.slo_requests;
@@ -815,15 +1119,42 @@ model::Tensor BatchedEngine::forward_tokens(const Request& r,
 
 void BatchedEngine::admit_pending(int step_idx, double& step_energy,
                                   std::vector<char>& serial_admitted) {
-  while (!pending_.empty() && kv_slots_.free() > 0) {
+  while (!pending_.empty() && kv_free() > 0) {
     const int pi = pick_admissible_pending();
-    if (pi < 0) break;
+    if (pi < 0) {
+      // Paged deadlock guard: with nothing running, the only occupancy
+      // free admission could be waiting on is the prefix registry's page
+      // pins — drop the least-recently-used entry and retry; registered
+      // prefixes must never starve live work. When the registry is
+      // already empty, a pending request with an empty engine can never
+      // be admitted at all: that is a configuration error (its page
+      // demand exceeds what the policy will ever grant its tenant), not
+      // a transient.
+      if (paged() && active_.empty()) {
+        if (drop_lru_prefix_entry()) continue;
+        DISTMCU_CHECK(pending_.empty(),
+                    "BatchedEngine: pending request can never be admitted "
+                    "(first-step page demand exceeds what the budget policy "
+                    "grants its tenant); raise the tenant's quota or lower "
+                    "kv_page_tokens");
+      }
+      break;
+    }
     Request r = std::move(pending_[static_cast<std::size_t>(pi)]);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pi));
     Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
-    const auto slot = kv_slots_.acquire(r.model);
-    DISTMCU_CHECK(slot.has_value(), "BatchedEngine: admission without a free slot");
-    r.slot = *slot;
+    // Re-plan after the pick: nothing changed since admissible_now saw
+    // the request (no registry drops happen mid-loop), so the plan the
+    // budget approved is the plan acquired below.
+    PagedAdmitPlan plan;
+    if (paged()) {
+      plan = plan_paged_admission(r);
+    } else {
+      const auto slot = kv_slots_->acquire(r.model);
+      DISTMCU_CHECK(slot.has_value(),
+                  "BatchedEngine: admission without a free slot");
+      r.slot = *slot;
+    }
     const auto set = t.pool->acquire_set();
     DISTMCU_CHECK(set.has_value(),
                 "BatchedEngine['" + t.name + "']: budget granted a slot "
@@ -843,7 +1174,56 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy,
     }
     t.pool->reset_slot(r.set);
     auto& pm = stats_.per_model[static_cast<std::size_t>(r.model)];
-    pm.kv_in_use_high_water = kv_slots_.tenant_high_water(r.model);
+
+    Bytes restore_bytes = r.checkpoint_bytes;
+    if (paged()) {
+      if (plan.entry >= 0 && plan.shared_pages > 0) {
+        // Shared prefix pages first (token order), one new reference
+        // each; the physical pages stay charged to this same tenant.
+        Tenant::PrefixEntry& e =
+            t.prefix_cache[static_cast<std::size_t>(plan.entry)];
+        for (int k = 0; k < plan.shared_pages; ++k) {
+          const int pg = e.pages[static_cast<std::size_t>(k)];
+          kv_pages_->add_ref(pg);
+          r.pages.push_back(pg);
+        }
+        r.shared_pages = plan.shared_pages;
+        e.last_use = ++prefix_clock_;
+        if (!resuming) {
+          // Copy-on-write fork: adopt the donor's rows bit-exactly and
+          // skip their prefill chunks entirely — that skip IS the
+          // prefix-sharing win, so no cycles are charged here.
+          t.pool->restore_prefix(r.set, e.kv, plan.shared_tokens);
+          r.prefill_pos = plan.shared_tokens;
+          ++stats_.prefix_hits;
+          stats_.prefix_shared_tokens += plan.shared_tokens;
+          if (plan.shared_tokens > plan.shared_pages * t.page_tokens) {
+            ++stats_.cow_forks;
+          }
+        }
+      } else if (resuming && r.shared_resident_tokens > 0) {
+        // The registry dropped the prefix while this request was out:
+        // its shared rows now come back from the L3 backing store (which
+        // holds every checkpointed block) into private pages, alongside
+        // the checkpoint itself.
+        const Bytes per_token =
+            t.kv_set_bytes /
+            static_cast<Bytes>(t.session->config().ar_context);
+        restore_bytes +=
+            static_cast<Bytes>(r.shared_resident_tokens) * per_token;
+      }
+      if (resuming) r.shared_resident_tokens = 0;
+      // Private pages up to the first step's requirement; growth takes
+      // over page-by-page from the next step on.
+      const int need = pages_for_tokens(r.model, tokens_after_step(r));
+      while (static_cast<int>(r.pages.size()) < need) {
+        const auto pg = kv_pages_->acquire(r.model);
+        DISTMCU_CHECK(pg.has_value(),
+                    "BatchedEngine: admission without a free page");
+        r.pages.push_back(*pg);
+      }
+    }
+    pm.kv_in_use_high_water = kv_tenant_high_water(r.model);
 
     if (resuming) {
       // Resume: restore the checkpointed KV into the fresh set and
@@ -852,9 +1232,12 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy,
       // pending token intact, so its stream is bit-exact.
       const Cycles resume_begin = pipeline_.now();
       t.pool->restore_slot(r.set, *r.checkpoint);
-      const auto c = static_cast<Cycles>(r.checkpoint_bytes);
+      const Cycles c =
+          restore_bytes > 0
+              ? t.session->system().chip.l3_dma_cycles(restore_bytes)
+              : Cycles{0};
       const double e =
-          util::pj_to_mj(static_cast<double>(r.checkpoint_bytes) *
+          util::pj_to_mj(static_cast<double>(restore_bytes) *
                          t.session->system().chip.e_l3_pj_per_byte);
       // The re-queue wait, as a second sched.queue span on the
       // request's lane: eviction end to re-admission (never overlapping
@@ -891,6 +1274,7 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy,
     // the staged decode weights; an in-flight stream prefetch keeps
     // draining underneath, except while the prefill's own L3 streaming
     // occupies the port.
+    r.started = true;
     trace_admission(r);
     const model::Tensor h = forward_tokens(r, r.prompt, 0);
     r.tokens = r.prompt;
@@ -911,6 +1295,111 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy,
       active_.push_back(std::move(r));
     }
   }
+}
+
+bool BatchedEngine::drop_lru_prefix_entry(ModelId only) {
+  int best_m = -1;
+  int best_e = -1;
+  std::uint64_t best_use = 0;
+  for (std::size_t m = 0; m < tenants_.size(); ++m) {
+    if (only >= 0 && static_cast<ModelId>(m) != only) continue;
+    const auto& cache = tenants_[m].prefix_cache;
+    for (std::size_t e = 0; e < cache.size(); ++e) {
+      if (best_m < 0 || cache[e].last_use < best_use) {
+        best_m = static_cast<int>(m);
+        best_e = static_cast<int>(e);
+        best_use = cache[e].last_use;
+      }
+    }
+  }
+  if (best_m < 0) return false;
+  Tenant& t = tenants_[static_cast<std::size_t>(best_m)];
+  Tenant::PrefixEntry entry =
+      std::move(t.prefix_cache[static_cast<std::size_t>(best_e)]);
+  t.prefix_cache.erase(t.prefix_cache.begin() + best_e);
+  // Registry pins release through the owning tenant; a page still
+  // referenced by an active adopter (or a sibling entry) stays resident.
+  for (const int pg : entry.pages) {
+    kv_pages_->release(pg, static_cast<ModelId>(best_m));
+  }
+  return true;
+}
+
+std::optional<int> BatchedEngine::acquire_page_for(ModelId m) {
+  const Tenant& t = tenants_[static_cast<std::size_t>(m)];
+  for (;;) {
+    const auto views = budget_views();
+    if (kv_free() > 0 &&
+        views[static_cast<std::size_t>(m)].in_use < t.cap &&
+        budget_->may_acquire(m, views, kv_capacity_units(), kv_free())) {
+      return kv_pages_->acquire(m);
+    }
+    // Denied. With no free page, any tenant's registry pin can return
+    // one to the pool; with free pages but a budget refusal, only this
+    // tenant's own pins repay its occupancy. Each round drops one entry
+    // (or gives up), so the loop terminates.
+    const bool dropped =
+        kv_free() <= 0 ? drop_lru_prefix_entry() : drop_lru_prefix_entry(m);
+    if (!dropped) return std::nullopt;
+  }
+}
+
+void BatchedEngine::grow_active_paged(int step_idx, double& step_energy) {
+  // Decode-time (and chunk-time) page growth, budget-gated exactly like
+  // admission so the per-tenant invariants stay page-granular: a request
+  // whose next step needs a page the policy will not grant is
+  // checkpointed out (to resume once pages free up) rather than served
+  // out of budget.
+  std::size_t i = 0;
+  while (i < active_.size()) {
+    Request& r = active_[i];
+    const int need = pages_for_tokens(r.model, tokens_after_step(r));
+    bool grown = true;
+    while (static_cast<int>(r.pages.size()) < need) {
+      const auto pg = acquire_page_for(r.model);
+      if (!pg.has_value()) {
+        grown = false;
+        break;
+      }
+      r.pages.push_back(*pg);
+      stats_.per_model[static_cast<std::size_t>(r.model)]
+          .kv_in_use_high_water = kv_tenant_high_water(r.model);
+    }
+    if (grown) {
+      ++i;
+    } else {
+      evict_active(i, step_idx, step_energy);  // index now names the next
+    }
+  }
+}
+
+void BatchedEngine::donate_prefix(const Request& r) {
+  Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
+  const int len = static_cast<int>(r.prompt.size());
+  const int k = len / t.page_tokens;  // whole pages only
+  if (k <= 0) return;
+  // An exact-duplicate prompt refreshes the existing entry instead of
+  // pinning a second copy of the same pages.
+  for (Tenant::PrefixEntry& e : t.prefix_cache) {
+    if (e.tokens == r.prompt) {
+      e.last_use = ++prefix_clock_;
+      return;
+    }
+  }
+  if (static_cast<int>(t.prefix_cache.size()) >= kPrefixCacheCap) {
+    (void)drop_lru_prefix_entry(r.model);
+  }
+  Tenant::PrefixEntry e;
+  e.tokens = r.prompt;
+  e.pages.assign(r.pages.begin(), r.pages.begin() + k);
+  for (const int pg : e.pages) kv_pages_->add_ref(pg);
+  // Deep copy of the donor's KV rows for later functional forks. The
+  // donor never rewrites rows below its prompt length (KV is append-
+  // only), so the shared pages stay read-only by construction; donation
+  // itself costs nothing — the pages simply stay resident.
+  e.kv = t.pool->slot(r.set);
+  e.last_use = ++prefix_clock_;
+  t.prefix_cache.push_back(std::move(e));
 }
 
 // --------------------------------------------------------------------------
@@ -1093,8 +1582,15 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
   for (std::size_t i = 0; i < active_.size(); ++i) {
     Request& r = active_[i];
     if (r.model != m || r.prefill_done()) continue;
-    const bool first = r.prefill_pos == 0;
+    // First own work, not first chunk position: an adopted prefix starts
+    // the request past prefill_pos 0, but its admission stamp still
+    // belongs at its own first chunk.
+    const bool first = !r.started;
+    r.started = true;
     const int ci = run_prefill_chunk(r);
+    if (r.prefill_done() && paged() && opts_.prefix_sharing) {
+      donate_prefix(r);
+    }
     chunk_runs.push_back({i, ci, first});
   }
 
@@ -1273,6 +1769,10 @@ bool BatchedEngine::step() {
   double step_energy = 0.0;
 
   maybe_preempt(step_idx, step_energy);
+  // Paged serving grows running requests to this step's page needs
+  // before admission, so admission never out-competes work already in
+  // flight for the pages its next token requires.
+  if (paged()) grow_active_paged(step_idx, step_energy);
   std::vector<char> serial_admitted(tenants_.size(), 0);
   admit_pending(step_idx, step_energy, serial_admitted);
   bool step_prefill = false;

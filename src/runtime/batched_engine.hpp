@@ -1,12 +1,14 @@
 #ifndef DISTMCU_RUNTIME_BATCHED_ENGINE_HPP
 #define DISTMCU_RUNTIME_BATCHED_ENGINE_HPP
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "mem/arena.hpp"
+#include "mem/paged_arena.hpp"
 #include "model/kv_cache.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/kv_budget.hpp"
@@ -14,6 +16,7 @@
 #include "runtime/prefetch_pipeline.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/tracer.hpp"
+#include "util/quantile_reservoir.hpp"
 
 namespace distmcu::runtime {
 
@@ -196,6 +199,14 @@ struct ServingStats {
   Cycles queue_delay_p50 = 0;
   Cycles queue_delay_p95 = 0;
   Cycles queue_delay_p99 = 0;
+  /// Paged-KV serving only (all zero in slot mode): admissions that
+  /// adopted a registered prompt prefix, the prompt tokens those
+  /// adoptions skipped recomputing, and how many adoptions forked
+  /// copy-on-write mid-page (the adopted rows extend into the new
+  /// request's first private page).
+  int prefix_hits = 0;
+  long long prefix_shared_tokens = 0;
+  int cow_forks = 0;
   /// Per-deployed-model breakdowns, indexed by ModelId (one entry for
   /// the single-model engine). Exact partition of the engine totals.
   std::vector<ModelServingStats> per_model;
@@ -330,6 +341,18 @@ class BatchedEngine {
     /// reject unsound configs plain construction accepts at all, such as
     /// trace-lane key collisions (DMCU-TRC-005). Off by default.
     bool strict = false;
+    /// Page-granular KV serving (the vLLM layout against a fixed L2
+    /// budget): > 0 switches the shared KV arena from whole-request
+    /// slots to pages of this many token positions — max_batch then
+    /// counts PAGES, admission charges only the pages a request's
+    /// current length needs, and decode grows the mapping page by page.
+    /// 0 (the default) keeps the historical slot engine bit-exactly.
+    int kv_page_tokens = 0;
+    /// Paged mode only: requests of a chunked-prefill deployment whose
+    /// prompts share a registered common prefix adopt its read-only KV
+    /// pages copy-on-write (per-page refcounts) instead of recomputing
+    /// the shared prefill. Ignored in slot mode.
+    bool prefix_sharing = false;
   };
 
   /// Multi-model options. Per-model knobs (chunk size, quota, cap) live
@@ -353,6 +376,15 @@ class BatchedEngine {
     /// Strict construction: analyzer-gated, same semantics as
     /// Options::strict.
     bool strict = false;
+    /// Page-granular KV serving; > 0 makes total_kv_slots count pages of
+    /// this many token positions (clamped per tenant to its ar_context)
+    /// instead of whole-request slots. Quotas and caps are then in
+    /// pages. Same semantics as Options::kv_page_tokens.
+    int kv_page_tokens = 0;
+    /// Copy-on-write prompt-prefix sharing across a chunked tenant's
+    /// requests (paged mode only). Same semantics as
+    /// Options::prefix_sharing.
+    bool prefix_sharing = false;
   };
 
   /// Multi-model engine over `registry` (every session must outlive the
@@ -428,7 +460,20 @@ class BatchedEngine {
   [[nodiscard]] int active_requests() const { return static_cast<int>(active_.size()); }
   [[nodiscard]] int pending_requests() const { return static_cast<int>(pending_.size()); }
   [[nodiscard]] const mem::Arena& kv_arena() const { return kv_arena_; }
-  [[nodiscard]] const mem::SlotArena& kv_slots() const { return kv_slots_; }
+  /// Slot-mode budget arena; throws when the engine runs paged.
+  [[nodiscard]] const mem::SlotArena& kv_slots() const;
+  /// True when the engine serves page-granular KV (kv_page_tokens > 0).
+  [[nodiscard]] bool paged() const { return kv_pages_.has_value(); }
+  /// Paged-mode budget arena; throws when the engine runs slots.
+  [[nodiscard]] const mem::PagedKvArena& kv_pages() const;
+  /// Effective page size of one deployed model in token positions
+  /// (kv_page_tokens clamped to its ar_context; 0 in slot mode).
+  [[nodiscard]] int page_tokens(ModelId m) const;
+  /// Pages currently pinned by registered prompt prefixes (paged mode
+  /// with prefix sharing; the only occupancy that survives a drain).
+  [[nodiscard]] int prefix_cache_pages() const;
+  /// Registered prompt-prefix entries across all tenants.
+  [[nodiscard]] int prefix_cache_entries() const;
 
   [[nodiscard]] int model_count() const { return static_cast<int>(tenants_.size()); }
   [[nodiscard]] const std::string& model_name(ModelId m) const;
@@ -482,6 +527,19 @@ class BatchedEngine {
     std::optional<model::KvCachePool::CacheSet> checkpoint;
     Bytes checkpoint_bytes = 0;
     int times_evicted = 0;
+    /// Paged-mode state: the request's page table (physical page
+    /// indices in token order — adopted shared-prefix pages first, then
+    /// its private pages), how many of the leading entries are adopted
+    /// shared pages, and — across an eviction — how many leading token
+    /// positions stayed resident in shared pages (their KV is not in
+    /// the checkpoint; resume re-references or re-fetches them).
+    std::vector<int> pages;
+    int shared_pages = 0;
+    int shared_resident_tokens = 0;
+    /// True once the request's first own work was attributed (refines
+    /// admitted_at exactly once even when an adopted prefix makes its
+    /// first chunk start past prefill_pos 0).
+    bool started = false;
 
     [[nodiscard]] bool prefill_done() const {
       return prefill_pos >= static_cast<int>(prompt.size());
@@ -538,8 +596,33 @@ class BatchedEngine {
     /// because pools are built after the L2 fit check.
     std::optional<model::KvCachePool> pool;
     Bytes kv_set_bytes = 0;  // one pooled set at full capacity
-    int quota = 0;  // static-split reserve (slots)
+    int quota = 0;  // static-split reserve (slots; pages when paged)
     int cap = 0;    // hard ceiling on concurrent slots (== pool size)
+
+    /// Paged mode only (all zero in slot mode): effective page size in
+    /// token positions (kv_page_tokens clamped to ar_context), the
+    /// arena-charged bytes of one page (kv_set_bytes scaled by
+    /// page_tokens/ar_context — exact, the set capacity is a multiple of
+    /// the context), and the worst-case-chip L2 footprint of one page
+    /// (the unit of the cross-tenant fit check).
+    int page_tokens = 0;
+    Bytes page_bytes = 0;
+    Bytes chip_page_bytes = 0;
+
+    /// One registered shareable prompt prefix: its token string, the
+    /// read-only physical pages holding its KV (each add_ref'd by the
+    /// registry itself, so they stay resident while registered), a deep
+    /// copy of the donor's KV rows for the functional fork, and an LRU
+    /// stamp from the engine's monotone prefix clock.
+    struct PrefixEntry {
+      std::vector<int> tokens;
+      std::vector<int> pages;
+      model::KvCachePool::CacheSet kv;
+      std::uint64_t last_use = 0;
+    };
+    /// Registered prefixes of this tenant (prefix_sharing only), bounded
+    /// at kPrefixCacheCap entries, tenant-LRU evicted on overflow.
+    std::vector<PrefixEntry> prefix_cache;
 
     /// The in-flight stream DMA this model's next decode step will
     /// consume; traced at consumption time so speculative fetches never
@@ -555,8 +638,13 @@ class BatchedEngine {
     Cycles pending_fetch_margin = 0;
   };
 
+  /// Per-tenant bound on registered prompt prefixes; beyond it the
+  /// tenant-LRU entry is dropped at donation time.
+  static constexpr int kPrefixCacheCap = 8;
+
   [[nodiscard]] static Tenant build_tenant(const ModelDeployment& dep,
-                                           int quota, int cap);
+                                           int quota, int cap,
+                                           int page_tokens);
 
   /// Admit pending requests into free slots under the budget policy;
   /// serial-prefill models charge their whole prompt here.
@@ -580,6 +668,63 @@ class BatchedEngine {
   /// watermark-borrowed slot included).
   [[nodiscard]] bool admits_after_evicting(const Request& starved,
                                            const Request& victim) const;
+
+  // ---- mode dispatch over the two budget arenas -----------------------
+  /// Free budget units (slots or pages) in whichever arena is live.
+  [[nodiscard]] int kv_free() const;
+  /// Total budget units of the live arena.
+  [[nodiscard]] int kv_capacity_units() const;
+  /// Units tenant `m` currently holds / ever held at once / reclaimed.
+  [[nodiscard]] int kv_tenant_in_use(ModelId m) const;
+  [[nodiscard]] int kv_tenant_high_water(ModelId m) const;
+  [[nodiscard]] int kv_tenant_reclaimed(ModelId m) const;
+
+  // ---- paged-mode machinery -------------------------------------------
+  /// Pages `n` token positions occupy for model `m` (ceil division).
+  [[nodiscard]] int pages_for_tokens(ModelId m, int n) const;
+  /// KV rows request `r` will have resident by the end of the step now
+  /// being planned — the page requirement admission and growth must
+  /// cover before running it. Counts the same-step first-decode row
+  /// exactly when the engine's commit loop appends it (new_tokens >= 2).
+  [[nodiscard]] int tokens_after_step(const Request& r) const;
+  /// Admission plan of one pending request under paging: total pages its
+  /// first step needs, how many of them an adoptable registered prefix
+  /// (or, on resume, still-resident shared pages) provides, which
+  /// registry entry that is (-1 none), and the prompt tokens adoption
+  /// skips recomputing.
+  struct PagedAdmitPlan {
+    int need_pages = 0;
+    int shared_pages = 0;
+    int entry = -1;
+    int shared_tokens = 0;
+  };
+  [[nodiscard]] PagedAdmitPlan plan_paged_admission(const Request& p) const;
+  /// Whether the budget policy would grant tenant `m` `n` more pages in
+  /// sequence from the snapshot (each grant re-asks the policy with the
+  /// occupancy advanced, mirroring how admission actually acquires).
+  [[nodiscard]] bool can_grant_pages(
+      ModelId m, std::vector<KvBudgetPolicy::TenantView> views,
+      int free_pages, int n) const;
+  /// Acquire one budget page for tenant `m`, dropping LRU prefix-cache
+  /// entries (their pages are the only reclaimable occupancy) until the
+  /// policy grants or nothing is left to drop.
+  [[nodiscard]] std::optional<int> acquire_page_for(ModelId m);
+  /// Decode-time page growth, run between preemption and admission: give
+  /// every active request the pages this step's new KV rows need; a
+  /// request that cannot be grown is evicted (checkpointed to resume
+  /// later) rather than served out of budget.
+  void grow_active_paged(int step_idx, double& step_energy);
+  /// Drop the least-recently-used prefix-cache entry (of tenant `only`,
+  /// or across all tenants when -1), releasing its page references;
+  /// false when no matching entry is registered.
+  bool drop_lru_prefix_entry(ModelId only = -1);
+  /// Register a just-prefilled prompt as a shareable prefix (chunked
+  /// paged tenants with prefix_sharing): add_ref its full pages and deep-
+  /// copy its KV rows into the tenant's registry.
+  void donate_prefix(const Request& r);
+  /// Longest-common-prefix length of two token strings.
+  [[nodiscard]] static int common_prefix(const std::vector<int>& a,
+                                         const std::vector<int>& b);
   /// Cost-model estimate of a request's service demand still ahead of
   /// it (remaining prefill chunks plus remaining decode forwards).
   [[nodiscard]] Cycles remaining_cost(const Request& r) const;
@@ -671,11 +816,13 @@ class BatchedEngine {
   bool trace_models_ = false;
 
   /// Shared KV budget: uniform slabs sized for the largest tenant's
-  /// set, charged to one arena, acquired/released per request with the
-  /// owning tenant tagged.
+  /// set (largest page in paged mode), charged to one arena. Exactly one
+  /// of the two budget arenas is live: whole-request slots (the
+  /// historical engine) or refcounted pages (kv_page_tokens > 0).
   Bytes slab_bytes_ = 0;
   mem::Arena kv_arena_;
-  mem::SlotArena kv_slots_;
+  std::optional<mem::SlotArena> kv_slots_;
+  std::optional<mem::PagedKvArena> kv_pages_;
 
   /// Effective admission/budget policies: the configured ones, or the
   /// process-wide FIFO / static-split instances.
@@ -686,10 +833,15 @@ class BatchedEngine {
   std::vector<Request> active_;
   std::vector<RequestResult> finished_;
   ServingStats stats_;
-  /// Queueing delays of finished requests, kept sorted so the percentile
-  /// snapshot in ServingStats can be refreshed at every completion.
-  std::vector<Cycles> queue_delays_;
+  /// Queueing delays of finished requests: a bounded reservoir (exact
+  /// below its capacity, uniform sample beyond) so the percentile
+  /// snapshot in ServingStats refreshes at every completion in O(cap)
+  /// with O(1) memory regardless of how many requests the engine serves.
+  util::QuantileReservoir queue_delays_;
   RequestId next_id_ = 0;
+  /// Monotone LRU clock for the prefix registry (engine steps are the
+  /// only time source; no wall clock).
+  std::uint64_t prefix_clock_ = 0;
   /// Outcome of the most recent submit(), for clients distinguishing
   /// backpressure from fail-fast refusal.
   Rejection last_rejection_ = Rejection::none;

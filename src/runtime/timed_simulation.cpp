@@ -79,8 +79,7 @@ OpCost cost_op(const KernelOp& op, const chip::KernelTiming& timing,
     // current block", paper Sec. V-B) — every operand byte crosses the
     // L3 interface synchronously.
     out.l3_bytes = op.weight_bytes + op.kv_bytes + act_bytes;
-    out.l3_part = cc.dma_setup_l3 + static_cast<Cycles>(std::ceil(
-                      static_cast<double>(out.l3_bytes) / cc.bw_l3_l2));
+    out.l3_part = cc.l3_dma_cycles(out.l3_bytes);
   }
   const Cycles body = std::max(kc.compute_cycles, l1_dma);
   out.duration = out.l3_part + kc.overhead_cycles + body;
@@ -221,8 +220,7 @@ RunReport TimedBlockSimulation::run(const partition::PartitionPlan& plan,
       const Bytes shard =
           plan.chip_block_weight_elems(c) * sys_.precision.weight_bytes;
       rep.prefetch_bytes += shard;
-      const auto dur = sys_.chip.dma_setup_l3 + static_cast<Cycles>(std::ceil(
-                           static_cast<double>(shard) / sys_.chip.bw_l3_l2));
+      const auto dur = sys_.chip.l3_dma_cycles(shard);
       prefetch_end = std::max(prefetch_end, dur);
       if (tracer != nullptr) {
         tracer->record(c, sim::Category::dma_l3_l2, 0, dur, shard, "prefetch_next_block");

@@ -1,0 +1,48 @@
+#include "util/quantile_reservoir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace distmcu::util {
+
+QuantileReservoir::QuantileReservoir(std::size_t capacity)
+    : capacity_(capacity), rng_state_(0x6a09e667f3bcc909ull) {
+  DISTMCU_CHECK(capacity_ > 0, "QuantileReservoir: capacity must be positive");
+}
+
+std::uint64_t QuantileReservoir::next_random() {
+  // xorshift64* — deterministic replacement stream, no global RNG state.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 0x2545f4914f6cdd1dull;
+}
+
+void QuantileReservoir::insert(Cycles value) {
+  ++inserted_;
+  if (sorted_.size() < capacity_) {
+    sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), value),
+                   value);
+    return;
+  }
+  // Algorithm R: keep the new sample with probability capacity/inserted,
+  // evicting a uniformly random retained one.
+  const std::uint64_t j = next_random() % inserted_;
+  if (j >= capacity_) return;
+  sorted_.erase(sorted_.begin() + static_cast<std::ptrdiff_t>(j));
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), value),
+                 value);
+}
+
+Cycles QuantileReservoir::percentile(double p) const {
+  if (sorted_.empty()) return 0;
+  const auto n = static_cast<double>(sorted_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank > 0) --rank;
+  rank = std::min(rank, sorted_.size() - 1);
+  return sorted_[rank];
+}
+
+}  // namespace distmcu::util

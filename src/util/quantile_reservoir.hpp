@@ -1,0 +1,52 @@
+#ifndef DISTMCU_UTIL_QUANTILE_RESERVOIR_HPP
+#define DISTMCU_UTIL_QUANTILE_RESERVOIR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace distmcu::util {
+
+/// Bounded-memory percentile tracker for the serving engine's
+/// queue-delay statistics: exact nearest-rank percentiles while the
+/// sample count fits the fixed capacity, then an Algorithm-R uniform
+/// reservoir beyond it — O(capacity) memory and O(log capacity +
+/// capacity) per insert forever, where the old unbounded sorted vector
+/// paid O(n) per insert and O(n) memory over a long serving run.
+///
+/// Deterministic by construction: replacement indices come from an
+/// internal xorshift64* stream seeded by a constant, so the same insert
+/// sequence always yields the same percentile snapshots (the engine's
+/// replay-stability invariant extends to the SLO stats).
+class QuantileReservoir {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  explicit QuantileReservoir(std::size_t capacity = kDefaultCapacity);
+
+  /// Record one sample.
+  void insert(Cycles value);
+
+  /// Nearest-rank percentile over the retained sample (exact while
+  /// inserted() <= capacity()); `p` in [0, 100]. Returns 0 when empty.
+  [[nodiscard]] Cycles percentile(double p) const;
+
+  /// Samples currently retained (= min(inserted, capacity)).
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  /// Samples ever inserted.
+  [[nodiscard]] std::uint64_t inserted() const { return inserted_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  [[nodiscard]] std::uint64_t next_random();
+
+  std::size_t capacity_;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t rng_state_;
+  std::vector<Cycles> sorted_;  // retained sample, kept sorted
+};
+
+}  // namespace distmcu::util
+
+#endif  // DISTMCU_UTIL_QUANTILE_RESERVOIR_HPP

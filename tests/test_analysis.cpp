@@ -208,6 +208,45 @@ TEST(AnalysisGolden, RequestShape) {
   EXPECT_EQ(rep.errors(), 5) << rep.to_text();
 }
 
+TEST(AnalysisGolden, PagedConfig) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", /*prefill_chunk_tokens=*/2,
+                /*kv_quota=*/4, /*max_resident=*/4);
+
+  // Negative page size: error (the engine's constructor check).
+  const auto rep = analyze(reg, {.total_kv_slots = 4, .kv_page_tokens = -1});
+  expect_exactly(rep, analysis::kPagedConfig);
+  EXPECT_GE(rep.errors(), 1);
+
+  // prefix_sharing without paging: the flag is silently ignored by the
+  // slot engine — sound, but flagged.
+  const auto rep2 =
+      analyze(reg, {.total_kv_slots = 4, .prefix_sharing = true});
+  expect_exactly(rep2, analysis::kPagedConfig);
+  EXPECT_EQ(rep2.errors(), 0) << rep2.to_text();
+  EXPECT_EQ(rep2.warnings(), 1);
+  EXPECT_TRUE(rep2.ok());
+
+  // A workload sequence whose full KV (prompt rows plus all but the
+  // last decode row: 6 + 17 = 23 rows -> 6 four-token pages) exceeds
+  // the tenant's 4-page cap: submit()'s livelock guard, statically.
+  Workload wl;
+  wl.requests.push_back({.model = 0, .prompt_tokens = 6, .new_tokens = 18});
+  const auto rep3 =
+      analyze(reg, {.total_kv_slots = 4, .kv_page_tokens = 4}, &wl);
+  expect_exactly(rep3, analysis::kPagedConfig);
+  EXPECT_EQ(rep3.errors(), 1) << rep3.to_text();
+
+  // The same sequence under an 8-page cap fits: clean.
+  ModelRegistry reg8;
+  (void)reg8.add(tiny_session(), "tiny", /*prefill_chunk_tokens=*/2,
+                 /*kv_quota=*/8, /*max_resident=*/8);
+  const auto rep4 =
+      analyze(reg8, {.total_kv_slots = 8, .kv_page_tokens = 4}, &wl);
+  EXPECT_TRUE(rep4.ok()) << rep4.to_text();
+  EXPECT_TRUE(rep4.codes().empty()) << rep4.to_text();
+}
+
 // ---------------------------------------------------------------------
 // Report surfaces.
 // ---------------------------------------------------------------------
@@ -311,6 +350,66 @@ TEST(AnalysisStrict, SubmitTimeThrowCaughtStatically) {
   wl.requests.push_back({.model = 0, .prompt_tokens = 8, .new_tokens = 1});
   const auto rep = analyze(reg, {.total_kv_slots = 2}, &wl);
   EXPECT_TRUE(rep.has(analysis::kRequestShape)) << rep.to_text();
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(AnalysisStrict, PagedCleanConfigConstructsAndServes) {
+  // The paged fit checks must mirror the engine's page-granular
+  // derivations: a sound paged deployment (cap counts pages, not whole
+  // sets) must pass strict construction — the slot-shaped formula would
+  // false-positive here because a 6-page cap is only one context's KV.
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", /*prefill_chunk_tokens=*/2,
+                /*kv_quota=*/6, /*max_resident=*/6);
+  BatchedEngine::MultiOptions opts;
+  opts.total_kv_slots = 6;  // six 4-token pages == one 24-token context
+  opts.strict = true;
+  opts.kv_page_tokens = 4;
+  opts.prefix_sharing = true;
+  BatchedEngine engine(reg, opts);
+  ASSERT_TRUE(engine.submit(0, {1, 2, 3}, 4).has_value());
+  const auto results = engine.run_to_completion();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].gen.generated, 4);
+}
+
+TEST(AnalysisStrict, NegativePageTokensRefusedWithCode) {
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", 0, /*kv_quota=*/2,
+                /*max_resident=*/2);
+  BatchedEngine::MultiOptions opts;
+  opts.total_kv_slots = 2;
+  opts.kv_page_tokens = -4;
+  EXPECT_THROW(BatchedEngine(reg, opts), Error);
+
+  opts.strict = true;
+  try {
+    BatchedEngine engine(reg, opts);
+    FAIL() << "strict construction accepted a negative page size";
+  } catch (const AnalysisError& e) {
+    EXPECT_TRUE(e.report().has(analysis::kPagedConfig)) << e.what();
+    EXPECT_NE(std::string(e.what()).find("DMCU-PAGE-007"),
+              std::string::npos);
+  }
+}
+
+TEST(AnalysisStrict, PagedSubmitLivelockCaughtStatically) {
+  // submit() refuses a sequence whose full KV exceeds the tenant's page
+  // cap only at serving time; the analyzer flags the same workload
+  // before any engine exists.
+  ModelRegistry reg;
+  (void)reg.add(tiny_session(), "tiny", 0, /*kv_quota=*/4,
+                /*max_resident=*/4);
+  BatchedEngine::MultiOptions opts;
+  opts.total_kv_slots = 4;
+  opts.kv_page_tokens = 4;
+  BatchedEngine engine(reg, opts);
+  EXPECT_THROW((void)engine.submit(0, {1, 2, 3, 4, 5, 6}, 18), Error);
+
+  Workload wl;
+  wl.requests.push_back({.model = 0, .prompt_tokens = 6, .new_tokens = 18});
+  const auto rep = analyze(reg, opts, &wl);
+  EXPECT_TRUE(rep.has(analysis::kPagedConfig)) << rep.to_text();
   EXPECT_FALSE(rep.ok());
 }
 

@@ -1276,3 +1276,186 @@ TEST(BatchedEngine, OutOfRangeVictimPickIsRejected) {
                   .has_value());
   EXPECT_THROW((void)engine.step(), Error);
 }
+
+// ---- paged KV serving (kv_page_tokens > 0) ---------------------------------
+
+TEST(BatchedEngine, PagedTokensIdenticalToSlotEngine) {
+  // The paged arena changes only the *budget* granularity — every
+  // request's token stream must stay bit-identical to both the slot
+  // engine and a dedicated generate() call, for serial and chunked
+  // prefill and across page sizes (including one clamped to the whole
+  // context, which makes a page a slot).
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  const auto workloads = mixed_workloads();
+  for (const int chunk : {0, 2}) {
+    for (const int page_tokens : {4, 6, 1000}) {
+      BatchedEngine engine(session, {.max_batch = 16,
+                                     .max_pending = 64,
+                                     .prefill_chunk_tokens = chunk,
+                                     .kv_page_tokens = page_tokens});
+      ASSERT_TRUE(engine.paged());
+      EXPECT_EQ(engine.page_tokens(0), std::min(page_tokens, cfg.ar_context));
+      std::vector<RequestId> ids;
+      for (const auto& w : workloads) ids.push_back(*engine.submit(w.prompt, w.new_tokens));
+      const auto results = engine.run_to_completion();
+      ASSERT_EQ(results.size(), workloads.size());
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto solo = session.generate(workloads[i].prompt, workloads[i].new_tokens);
+        EXPECT_EQ(result_for(results, ids[i]).gen.tokens, solo.tokens)
+            << "chunk " << chunk << " page_tokens " << page_tokens;
+      }
+      // Everything returned to the pool.
+      EXPECT_EQ(engine.kv_pages().in_use(), 0);
+      EXPECT_EQ(engine.kv_pages().total_refs(), 0);
+    }
+  }
+}
+
+TEST(BatchedEngine, PagedAdmitsMoreThanSlotsAtEqualKvBytes) {
+  // The tentpole win: at the SAME total KV byte budget, page-granular
+  // admission charges short requests only the pages their length needs,
+  // so strictly more of them run concurrently than under whole-request
+  // slots.
+  const auto cfg = small_llama();  // ar_context = 24
+  const InferenceSession session(cfg, 4);
+  constexpr int kSlots = 2;
+  constexpr int kPageTokens = 6;
+  constexpr int kPages = kSlots * 24 / kPageTokens;  // equal bytes: 8 pages
+
+  BatchedEngine slot_engine(session, {.max_batch = kSlots, .max_pending = 64});
+  BatchedEngine paged_engine(session, {.max_batch = kPages,
+                                       .max_pending = 64,
+                                       .kv_page_tokens = kPageTokens});
+  ASSERT_EQ(slot_engine.kv_slots().pool_bytes(),
+            paged_engine.kv_pages().pool_bytes());
+
+  // Six short requests: 2-token prompts decoding 3 tokens each peak at
+  // 4 KV rows — one page — so all six fit the paged budget at once
+  // while the slot engine can never run more than two.
+  std::vector<RequestId> slot_ids;
+  std::vector<RequestId> paged_ids;
+  for (int i = 0; i < 6; ++i) {
+    slot_ids.push_back(*slot_engine.submit({i + 1, i + 2}, 3));
+    paged_ids.push_back(*paged_engine.submit({i + 1, i + 2}, 3));
+  }
+  const auto slot_results = slot_engine.run_to_completion();
+  const auto paged_results = paged_engine.run_to_completion();
+  EXPECT_EQ(slot_engine.stats().peak_batch, kSlots);
+  EXPECT_GT(paged_engine.stats().peak_batch, slot_engine.stats().peak_batch);
+  EXPECT_EQ(paged_engine.stats().peak_batch, 6);
+
+  // Same streams on both engines (and both drain clean).
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(result_for(paged_results, paged_ids[i]).gen.tokens,
+              result_for(slot_results, slot_ids[i]).gen.tokens);
+  }
+  EXPECT_EQ(paged_engine.kv_pages().in_use(), 0);
+}
+
+TEST(BatchedEngine, PagedSubmitRejectsSequenceBeyondPageCap) {
+  // A request whose full sequence can never fit the tenant's page cap is
+  // a contract violation at submit (admitting it would livelock decode
+  // growth), distinct from the graceful queue-full nullopt.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  BatchedEngine engine(session, {.max_batch = 2,  // 2 pages * 6 tokens
+                                 .max_pending = 8,
+                                 .kv_page_tokens = 6});
+  // 4 + 20 - 1 = 23 rows > 12 the cap covers, though well under the
+  // model context the slot engine checks against.
+  EXPECT_THROW((void)engine.submit({1, 2, 3, 4}, 20), Error);
+  // At the cap exactly: accepted.
+  EXPECT_TRUE(engine.submit({1, 2, 3, 4}, 9).has_value());
+  (void)engine.run_to_completion();
+  EXPECT_EQ(engine.stats().completed, 1);
+}
+
+TEST(BatchedEngine, PagedPrefixSharingAdoptsBitExact) {
+  // Prompts sharing a donated prefix adopt its read-only pages instead
+  // of recomputing the shared prefill — streams stay bit-exact, the hit
+  // counters fire, and a prefix ending mid-page forks copy-on-write.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  BatchedEngine engine(session, {.max_batch = 24,
+                                 .max_pending = 16,
+                                 .prefill_chunk_tokens = 1,
+                                 .kv_page_tokens = 2,
+                                 .prefix_sharing = true});
+  // Donor: its full prompt registers as a shareable prefix (2 pages).
+  const auto donor = engine.submit({1, 2, 3, 4}, 3);
+  ASSERT_TRUE(donor.has_value());
+  auto results = engine.run_to_completion();
+  EXPECT_EQ(engine.prefix_cache_entries(), 1);
+  EXPECT_EQ(engine.prefix_cache_pages(), 2);
+  // The registry's pins are the only occupancy surviving the drain.
+  EXPECT_EQ(engine.kv_pages().in_use(), engine.prefix_cache_pages());
+  EXPECT_EQ(engine.stats().prefix_hits, 0);
+
+  // Adopter A shares 2 full prompt tokens = 1 full page; adopter B's
+  // 3-token common prefix extends one row into its first private page —
+  // a copy-on-write fork.
+  const auto a = engine.submit({1, 2, 9, 10}, 3);
+  const auto b = engine.submit({1, 2, 3, 11}, 3);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  const auto adopt_results = engine.run_to_completion();
+  EXPECT_EQ(engine.stats().prefix_hits, 2);
+  EXPECT_EQ(engine.stats().prefix_shared_tokens, 2 + 3);
+  EXPECT_EQ(engine.stats().cow_forks, 1);
+  // The adopters donated their own prompts on prefill completion, each
+  // entry re-pinning the shared first page alongside one private page.
+  EXPECT_EQ(engine.prefix_cache_entries(), 3);
+
+  // Bit-exact despite the adoption (the donor too).
+  EXPECT_EQ(result_for(results, *donor).gen.tokens,
+            session.generate({1, 2, 3, 4}, 3).tokens);
+  EXPECT_EQ(result_for(adopt_results, *a).gen.tokens,
+            session.generate({1, 2, 9, 10}, 3).tokens);
+  EXPECT_EQ(result_for(adopt_results, *b).gen.tokens,
+            session.generate({1, 2, 3, 11}, 3).tokens);
+
+  // Refcount conservation after the drain: only the registry holds
+  // references (entries may share physical pages, so refs >= pages).
+  EXPECT_EQ(engine.kv_pages().in_use(), engine.prefix_cache_pages());
+  EXPECT_GE(engine.kv_pages().total_refs(),
+            static_cast<long long>(engine.prefix_cache_pages()));
+}
+
+TEST(BatchedEngine, PagedPrefixSharingSavesPromptCycles) {
+  // The adoption skip is a *cost* win: serving the same prompt twice
+  // with sharing on charges the second request fewer prefill cycles
+  // than with sharing off, with identical tokens.
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  const std::vector<int> prompt{1, 2, 3, 4};
+  auto serve_twice = [&](bool sharing) {
+    BatchedEngine engine(session, {.max_batch = 24,
+                                   .max_pending = 16,
+                                   .prefill_chunk_tokens = 1,
+                                   .kv_page_tokens = 2,
+                                   .prefix_sharing = sharing});
+    const auto first = engine.submit(prompt, 2);
+    (void)engine.run_to_completion();
+    const auto second = engine.submit(prompt, 2);
+    (void)first;
+    const auto results = engine.run_to_completion();
+    return result_for(results, *second);
+  };
+  const auto shared = serve_twice(true);
+  const auto cold = serve_twice(false);
+  EXPECT_EQ(shared.gen.tokens, cold.gen.tokens);
+  EXPECT_LT(shared.gen.total_cycles, cold.gen.total_cycles);
+}
+
+TEST(BatchedEngine, PagedAccessorsAreModeChecked) {
+  const auto cfg = small_llama();
+  const InferenceSession session(cfg, 4);
+  BatchedEngine slot_engine(session, {.max_batch = 2});
+  EXPECT_FALSE(slot_engine.paged());
+  EXPECT_EQ(slot_engine.page_tokens(0), 0);
+  EXPECT_THROW((void)slot_engine.kv_pages(), Error);
+  EXPECT_EQ(slot_engine.prefix_cache_pages(), 0);
+  BatchedEngine paged_engine(session, {.max_batch = 4, .kv_page_tokens = 8});
+  EXPECT_TRUE(paged_engine.paged());
+  EXPECT_THROW((void)paged_engine.kv_slots(), Error);
+}

@@ -31,6 +31,23 @@ TEST(ChipConfig, SiracusaMatchesPaperConstants) {
   EXPECT_LT(c.l2_usable(), c.l2_size);
 }
 
+TEST(ChipConfig, L3DmaCyclesChargesSetupPlusBandwidth) {
+  // The single source of truth for off-chip transfer cost: fixed DMA
+  // setup plus the transfer at the port bandwidth, rounded up. KV
+  // checkpoints and resume restores must route through this (a bare
+  // bytes->cycles cast silently dropped the setup and the bandwidth).
+  ChipConfig c = ChipConfig::siracusa();
+  ASSERT_DOUBLE_EQ(c.bw_l3_l2, 1.0);
+  ASSERT_EQ(c.dma_setup_l3, 64u);
+  EXPECT_EQ(c.l3_dma_cycles(1), 64u + 1u);
+  EXPECT_EQ(c.l3_dma_cycles(1000), 64u + 1000u);
+  c.bw_l3_l2 = 2.0;
+  EXPECT_EQ(c.l3_dma_cycles(1000), 64u + 500u);
+  EXPECT_EQ(c.l3_dma_cycles(999), 64u + 500u);  // partial beat rounds up
+  c.dma_setup_l3 = 0;
+  EXPECT_EQ(c.l3_dma_cycles(10), 5u);
+}
+
 TEST(ChipConfig, PrecisionBytes) {
   EXPECT_EQ(chip::precision_bytes(Precision::int8), 1u);
   EXPECT_EQ(chip::precision_bytes(Precision::int16), 2u);

@@ -2,6 +2,8 @@
 // the residency planner), alignment, high-water marks, traffic counters.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "mem/arena.hpp"
 #include "mem/memory_level.hpp"
 #include "mem/traffic.hpp"
@@ -70,6 +72,25 @@ TEST(Arena, MemoryMapListsAllocations) {
 
 TEST(Arena, NonPowerOfTwoAlignmentRejected) {
   EXPECT_THROW(Arena("bad", 100, 24), Error);
+}
+
+TEST(Arena, AlignUpSaturatesNearBytesMax) {
+  // Regression: sizes within alignment-1 of the Bytes max used to wrap
+  // to a tiny padded size that then "fit" in any arena. align_up must
+  // saturate at the largest aligned value instead.
+  constexpr Bytes kMax = std::numeric_limits<Bytes>::max();
+  EXPECT_EQ(Arena::align_up(kMax, 8), kMax & ~Bytes{7});
+  EXPECT_EQ(Arena::align_up(kMax - 1, 8), kMax & ~Bytes{7});
+  EXPECT_EQ(Arena::align_up(kMax - 7, 8), kMax & ~Bytes{7});
+  // Unaffected away from the boundary.
+  EXPECT_EQ(Arena::align_up(kMax - 16, 8), kMax - 15);
+  EXPECT_EQ(Arena::align_up(0, 8), 0u);
+  EXPECT_EQ(Arena::align_up(1, 8), 8u);
+  // And the allocation path rejects a near-max request instead of
+  // wrapping it into an accept.
+  Arena a("L2", 1024);
+  EXPECT_FALSE(a.try_allocate("huge", kMax - 3));
+  EXPECT_EQ(a.used(), 0u);
 }
 
 TEST(MemoryLevel, TierNames) {

@@ -668,3 +668,56 @@ TEST(MultiModelServing, PreemptionReclaimsBorrowedSlotAcrossModels) {
             s.enc.generate({7, 8, 9, 10}, 0).tokens);
   check_per_model_attribution(engine, results);
 }
+
+TEST(MultiModel, PagedStaticSplitNeverHandsPagesAcrossModels) {
+  // Paged tentpole, multi-model: with the shared arena in pages and
+  // per-tenant page quotas, the static split must keep zero cross-model
+  // page leakage at every step boundary under all three schedulers —
+  // and the engine must drain to zero pages in use (no sharing here, so
+  // no registry pins). Seed count scales with DISTMCU_INVARIANT_SEEDS.
+  const std::uint64_t kSeeds = distmcu::testing::invariant_seed_count(8);
+  distmcu::testing::SeedReproLog repro(
+      "./test_multimodel", "MultiModel.PagedStaticSplitNeverHandsPagesAcrossModels");
+  for (std::uint64_t seed = 300; seed < 300 + kSeeds; ++seed) {
+    repro.begin();
+    for (const auto policy : {SchedulePolicy::fifo, SchedulePolicy::priority,
+                              SchedulePolicy::edf}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " policy " +
+                   runtime::policy_name(policy));
+      // Page size 4: a gen set is 6 pages, an enc set 3. Quotas cover
+      // one full-context request each, in pages.
+      auto reg = make_registry(/*gen_chunk=*/2, /*enc_chunk=*/0,
+                               /*gen_quota=*/6, /*enc_quota=*/3);
+      BatchedEngine engine(reg, {.total_kv_slots = 9,
+                                 .max_pending = 16,
+                                 .scheduler = runtime::make_scheduler(policy),
+                                 .kv_page_tokens = 4});
+      ASSERT_TRUE(engine.paged());
+      EXPECT_EQ(engine.page_tokens(0), 4);
+      EXPECT_EQ(engine.page_tokens(1), 4);
+      auto jobs = make_jobs(seed);
+      const auto probe = [](const BatchedEngine& e) {
+        EXPECT_LE(e.kv_pages().tenant_in_use(0), e.model_kv_quota(0));
+        EXPECT_LE(e.kv_pages().tenant_in_use(1), e.model_kv_quota(1));
+        EXPECT_GE(e.kv_pages().total_refs(),
+                  static_cast<long long>(e.kv_pages().in_use()));
+      };
+      const auto results = run_jobs(jobs, engine, probe);
+      EXPECT_LE(engine.kv_pages().tenant_high_water(0), 6);
+      EXPECT_LE(engine.kv_pages().tenant_high_water(1), 3);
+      EXPECT_EQ(engine.kv_pages().in_use(), 0);
+      EXPECT_EQ(engine.kv_pages().total_refs(), 0);
+      check_per_model_attribution(engine, results);
+
+      // Streams stay per-model bit-exact through the paged budget.
+      const auto& s = sessions();
+      for (const auto& job : jobs) {
+        if (!job.id.has_value()) continue;
+        const auto& session = job.model == 0 ? s.gen : s.enc;
+        EXPECT_EQ(result_for(results, *job.id).gen.tokens,
+                  session.generate(job.prompt, job.new_tokens).tokens);
+      }
+    }
+    repro.end(seed);
+  }
+}

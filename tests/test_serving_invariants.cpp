@@ -728,3 +728,154 @@ TEST(ServingCrossCheck, SerialModeStreamedDeploymentReconstructsSerialModel) {
             ss_prompt.total_cycles +
                 static_cast<Cycles>(steps - 1) * ss_ar.total_cycles);
 }
+
+// --- paged KV serving ------------------------------------------------------
+
+namespace {
+
+/// Page sizes that divide every deployment's context evenly, so a
+/// paged scenario occupies exactly the KV bytes its slot twin would
+/// (cap pages * page bytes == cap slots * set bytes).
+int pick_page_tokens(int ar_context, std::uint64_t pick) {
+  const int choices[] = {2, 4, ar_context / 2, ar_context};
+  return choices[pick % std::size(choices)];
+}
+
+/// Rewrite a slot scenario as its equal-KV-bytes paged twin: max_batch
+/// switches from whole-request slots to the same bytes' worth of pages.
+void make_paged(Scenario& sc, std::uint64_t seed, bool sharing) {
+  const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+  const int ctx = dep.session->config().ar_context;
+  const int pt = pick_page_tokens(ctx, seed);
+  sc.opts.kv_page_tokens = pt;
+  sc.opts.max_batch = sc.opts.max_batch * (ctx / pt);
+  sc.opts.prefix_sharing = sharing;
+}
+
+}  // namespace
+
+TEST(ServingInvariants, PagedRandomizedScenariosConservePages) {
+  // The paged twin of the core conservation sweep: every serving
+  // invariant holds page-granular, the arena's reference accounting
+  // stays consistent at every step boundary (refs >= physical pages in
+  // use >= the registry's pins), and a drained engine holds exactly the
+  // registry's pinned pages — zero page leakage from served requests.
+  const std::uint64_t kSeeds = invariant_seed_count(60);
+  SeedReproLog repro("./test_serving_invariants",
+                     "ServingInvariants.PagedRandomizedScenariosConservePages");
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    repro.begin();
+    const bool sharing = (seed % 2) == 1;
+    Scenario sc = make_scenario(seed);
+    make_paged(sc, seed, sharing);
+    const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+    BatchedEngine engine(*dep.session, sc.opts);
+    ASSERT_TRUE(engine.paged());
+    const auto& pages = engine.kv_pages();
+
+    // Stepped run with per-boundary arena checks (run_scenario's loop,
+    // instrumented).
+    int step_idx = 0;
+    bool work = true;
+    for (;;) {
+      bool submitted_any = false;
+      for (auto& job : sc.jobs) {
+        if (job.attempted || job.submit_after_step > step_idx) continue;
+        job.id = engine.submit(job.prompt, job.new_tokens, job.slo);
+        job.attempted = true;
+        submitted_any = true;
+      }
+      const bool pending_arrivals =
+          std::any_of(sc.jobs.begin(), sc.jobs.end(),
+                      [](const auto& j) { return !j.attempted; });
+      work = engine.step();
+      ++step_idx;
+      ASSERT_LE(pages.in_use(), pages.capacity());
+      ASSERT_GE(pages.total_refs(), static_cast<long long>(pages.in_use()));
+      ASSERT_LE(engine.prefix_cache_pages(), pages.in_use());
+      ASSERT_EQ(pages.shared_pages() == 0,
+                pages.total_refs() == static_cast<long long>(pages.in_use()));
+      if (!work && !pending_arrivals && !submitted_any) break;
+      ASSERT_LT(step_idx, 500) << "scenario did not drain";
+    }
+    const auto results = engine.finished();
+    // fifo_admission=false: page-granular admission is need-aware, so a
+    // later short request can legitimately be admitted while an earlier
+    // long one waits for enough free pages.
+    check_invariants(sc, engine, results, seed, /*fifo_admission=*/false);
+
+    // Drained: the registry's pins are the only surviving occupancy.
+    EXPECT_EQ(pages.in_use(), engine.prefix_cache_pages());
+    if (!sharing) {
+      EXPECT_EQ(pages.in_use(), 0);
+      EXPECT_EQ(pages.total_refs(), 0);
+      EXPECT_EQ(engine.prefix_cache_entries(), 0);
+    }
+    repro.end(seed);
+  }
+}
+
+TEST(ServingInvariants, PagedStreamsIdenticalAcrossSharingAndSlotMode) {
+  // Functional equivalence sweep: the same randomized workload served
+  // by the slot engine, the paged engine, and the paged engine with
+  // prefix sharing produces bit-identical token streams for every
+  // accepted request (each checked against a dedicated generate call).
+  for (std::uint64_t seed = 2000; seed < 2024; ++seed) {
+    Scenario base = make_scenario(seed);
+    const auto& dep = deployments()[static_cast<std::size_t>(base.deployment)];
+    if (!dep.cheap_numerics) continue;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    for (const int variant : {0, 1, 2}) {
+      Scenario sc = make_scenario(seed);
+      if (variant > 0) make_paged(sc, seed, /*sharing=*/variant == 2);
+      BatchedEngine engine(*dep.session, sc.opts);
+      const auto results = run_scenario(sc, engine);
+      for (const auto& job : sc.jobs) {
+        if (!job.id.has_value()) continue;
+        EXPECT_EQ(result_for(results, *job.id).gen.tokens,
+                  dep.session->generate(job.prompt, job.new_tokens).tokens)
+            << "variant " << variant;
+      }
+    }
+  }
+}
+
+TEST(ServingInvariants, PagedPreemptionConservesPagesUnderEveryPolicy) {
+  // Preemption + paging: checkpointed requests give back every page
+  // (shared pages only when theirs was the last reference), resume
+  // bit-exactly, and the books still balance — under all three
+  // admission policies, prefix sharing on and off.
+  const std::uint64_t kSeeds = invariant_seed_count(15);
+  SeedReproLog repro(
+      "./test_serving_invariants",
+      "ServingInvariants.PagedPreemptionConservesPagesUnderEveryPolicy");
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    repro.begin();
+    for (const auto policy : {SchedulePolicy::fifo, SchedulePolicy::priority,
+                              SchedulePolicy::edf}) {
+      Scenario sc = make_scenario(seed);
+      decorate_slo(sc, seed);
+      make_paged(sc, seed, /*sharing=*/(seed % 2) == 0);
+      sc.opts.scheduler = runtime::make_scheduler(policy);
+      sc.opts.preemption = std::make_shared<runtime::DeadlineAwarePreemption>();
+      const auto& dep = deployments()[static_cast<std::size_t>(sc.deployment)];
+      BatchedEngine engine(*dep.session, sc.opts);
+      const auto results = run_scenario(sc, engine);
+      SCOPED_TRACE(std::string("policy ") + runtime::policy_name(policy));
+      check_invariants(sc, engine, results, seed, /*fifo_admission=*/false);
+      EXPECT_EQ(engine.stats().preemptions, engine.stats().resumes);
+      EXPECT_EQ(engine.kv_pages().in_use(), engine.prefix_cache_pages());
+      EXPECT_EQ(engine.kv_pages().total_reclaimed(),
+                engine.stats().per_model[0].kv_slots_reclaimed);
+      if (dep.cheap_numerics) {
+        for (const auto& job : sc.jobs) {
+          if (!job.id.has_value()) continue;
+          EXPECT_EQ(result_for(results, *job.id).gen.tokens,
+                    dep.session->generate(job.prompt, job.new_tokens).tokens)
+              << "seed " << seed;
+        }
+      }
+    }
+    repro.end(seed);
+  }
+}

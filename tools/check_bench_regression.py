@@ -30,6 +30,14 @@ the same schema:
   total_cycles above baseline, kv_cross_leak_slots must be zero, each
   model's completed/generated counts are pinned exactly, and the shared
   arena must keep speedup_vs_best_isolated >= 1.
+* ``distmcu.paging.v1`` (paged_serving): configs rows (matched by
+  engine config) bound tokens_per_s below and total_cycles above
+  baseline, with peak_batch / completed / bit_exact / pages_leaked /
+  prefix_hits / cow_forks pinned exactly, plus the cross-config
+  invariants that the paged engine admits strictly more concurrent
+  requests than the slot engine at equal KV bytes, every config's
+  streams stay bit-exact with zero pages leaked, and prefix sharing
+  registers hits and strictly cuts cycles versus cold paging.
 * ``distmcu.analysis.v1`` (analyze): configs rows (matched by config
   name) pin errors/warnings/ok and the sorted diagnostic-code list
   exactly (the analyzer is deterministic — any new code on a shipped
@@ -50,6 +58,7 @@ Regenerate a baseline with, e.g.:
     ./build/serving_throughput --json bench/baselines/serving_baseline.json
     ./build/headline_abstract --json bench/baselines/headline_baseline.json
     ./build/multimodel_serving --json bench/baselines/multimodel_baseline.json
+    ./build/paged_serving --json bench/baselines/paging_baseline.json
 
 Uses only the Python standard library.
 """
@@ -63,6 +72,7 @@ SERVING_V2_SCHEMA = "distmcu.serving.v2"
 HEADLINE_SCHEMA = "distmcu.headline.v1"
 MULTIMODEL_SCHEMA = "distmcu.multimodel.v1"
 ANALYSIS_SCHEMA = "distmcu.analysis.v1"
+PAGING_SCHEMA = "distmcu.paging.v1"
 
 
 def fail(errors, msg):
@@ -356,12 +366,64 @@ def check_analysis(errors, current, baseline, tol):
     return f"{n} configs clean, {warns} warning(s)"
 
 
+def check_paging(errors, current, baseline, tol):
+    """Paged-KV serving gate: concurrency/correctness counters are
+    deterministic and pinned; cycle/throughput fields drift-bounded."""
+    configs = require(errors, current, "configs", "current")
+    check_rows(errors, "configs", configs, baseline["configs"], "config",
+               lower_is_better=("total_cycles",),
+               higher_is_better=("tokens_per_s",), tol=tol,
+               pinned=("kv_units", "peak_batch", "completed", "bit_exact",
+                       "pages_leaked", "prefix_hits", "cow_forks"))
+    if configs is None:
+        return ""
+    rows = index_rows(errors, "current.configs", configs, "config")
+    slot = rows.get("slot")
+    paged = rows.get("paged")
+    shared = rows.get("paged+prefix")
+    if slot is None or paged is None or shared is None:
+        fail(errors, "configs: expected configs slot / paged / paged+prefix")
+        return ""
+    vals = {}
+    for name, row in (("slot", slot), ("paged", paged), ("shared", shared)):
+        for field in ("peak_batch", "bit_exact", "pages_leaked",
+                      "total_cycles", "prefix_hits"):
+            vals[(name, field)] = require(errors, row, field,
+                                          f"configs[{name}]")
+    if None in vals.values():
+        return ""
+    for name in ("slot", "paged", "shared"):
+        if vals[(name, "bit_exact")] is not True:
+            fail(errors, f"invariant: configs[{name}] streams diverged from "
+                         f"the dedicated single-request engine")
+        if vals[(name, "pages_leaked")] != 0:
+            fail(errors, f"invariant: configs[{name}] leaked "
+                         f"{vals[(name, 'pages_leaked')]} KV unit(s)")
+    if vals[("paged", "peak_batch")] <= vals[("slot", "peak_batch")]:
+        fail(errors,
+             f"invariant: paged peak batch ({vals[('paged', 'peak_batch')]}) "
+             f"not above the slot engine ({vals[('slot', 'peak_batch')]}) "
+             f"at equal KV bytes")
+    if vals[("shared", "prefix_hits")] < 1:
+        fail(errors, "invariant: prefix sharing never hit on the "
+                     "repeated-prompt workload")
+    if vals[("shared", "total_cycles")] >= vals[("paged", "total_cycles")]:
+        fail(errors,
+             f"invariant: prefix sharing saved no cycles "
+             f"({vals[('shared', 'total_cycles')]} vs cold "
+             f"{vals[('paged', 'total_cycles')]})")
+    return (f"paged admits {vals[('paged', 'peak_batch')]} vs slot "
+            f"{vals[('slot', 'peak_batch')]}, "
+            f"{vals[('shared', 'prefix_hits')]} prefix hits")
+
+
 HANDLERS = {
     SERVING_SCHEMA: check_serving,
     SERVING_V2_SCHEMA: check_serving_v2,
     HEADLINE_SCHEMA: check_headline,
     MULTIMODEL_SCHEMA: check_multimodel,
     ANALYSIS_SCHEMA: check_analysis,
+    PAGING_SCHEMA: check_paging,
 }
 
 

@@ -12,6 +12,12 @@ Rules (suppress a single line with a trailing ``// lint-domain: allow``):
   ``util::sat_add`` wraps near the Cycles max and turns a huge relative
   deadline into an always-missed absolute one. Resolve deadlines with
   ``util::sat_add`` instead.
+* ``unsaturated-bytes-roundup`` — a manual align-up on ``Bytes``
+  (``(size + mask) & ~mask`` — any line mixing a binary ``+`` with
+  ``& ~`` masking) wraps near the Bytes max: a size within
+  ``alignment - 1`` of the max rounds to a tiny value that then "fits"
+  any arena. Route alignment through the saturating
+  ``Arena::align_up`` instead.
 * ``tracer-pairing`` — every ``Tracer::set_request(id)`` /
   ``set_model(m)`` tag must be cleared with ``set_request(kNoRequest)``
   / ``set_model(kNoModel)`` in the same source file: a file that opens
@@ -39,6 +45,16 @@ UNSATURATED = re.compile(
     rf"{DEADLINE_FIELD}\s*(?:\+(?!\+)|\*)"   # field + ... / field * ...
     r"|"
     rf"(?:(?<!\+)\+|\*)\s*{DEADLINE_FIELD}"  # ... + field / ... * field
+    r")")
+
+# Manual round-up-and-mask on the same line: `(size + mask) & ~mask`,
+# `(sz + align - 1) & ~(align - 1)`, in either operand order. The `+`
+# must be binary (not ++).
+BYTES_ROUNDUP = re.compile(
+    r"(?:"
+    r"(?<!\+)\+(?!\+)[^&;]*&\s*~"   # ... + ... & ~...
+    r"|"
+    r"&\s*~[^;]*(?<!\+)\+(?!\+)"    # ... & ~... + ...
     r")")
 
 SET_REQ_DEF = re.compile(r"^\s*(?:void\s+)?set_request\s*\(\s*int\b")
@@ -108,6 +124,12 @@ def lint_file(path, findings):
                 f"{path}:{lineno}: [unsaturated-deadline] unsaturated "
                 f"+/* on a deadline field; use util::sat_add")
 
+        if "&&" not in code and BYTES_ROUNDUP.search(code):
+            findings.append(
+                f"{path}:{lineno}: [unsaturated-bytes-roundup] manual "
+                f"round-up-and-mask wraps near the Bytes max; use the "
+                f"saturating Arena::align_up")
+
         if not SET_REQ_DEF.search(code):
             for m in SET_REQ.finditer(code):
                 if "kNoRequest" in m.group(1):
@@ -160,7 +182,8 @@ def main():
             print(f"  - {f}")
         return 1
     print(f"domain lint OK: {len(files)} files clean "
-          f"(no-raw-assert, unsaturated-deadline, tracer-pairing)")
+          f"(no-raw-assert, unsaturated-deadline, "
+          f"unsaturated-bytes-roundup, tracer-pairing)")
     return 0
 
 

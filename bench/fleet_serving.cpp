@@ -1,0 +1,477 @@
+// Fleet-scale serving bench: one global request stream load-balanced by
+// fleet::Router across 8 networked MCU nodes with heterogeneous
+// deployments — 4-chip and 2-chip partitions, different KV page sizes,
+// a second (encoder) model only half the fleet deploys, and near/far
+// LinkModels — under every built-in RoutingPolicy at IDENTICAL offered
+// load (same arrivals, prompts, decode lengths, deadlines).
+//
+// Round-robin is the blind baseline: it spreads requests by count, so
+// the 2-chip nodes (whose per-request service demand is higher) build
+// queues and miss deadlines. Cost-estimate-aware routing compares nodes
+// in cycles (backlog + this request's cost on that node + the link
+// round trip) and prefix-affinity additionally steers the four repeated
+// system prompts to the nodes already holding their CoW pages. The CI
+// gate requires cost_aware (or prefix_affinity) to beat round_robin on
+// fleet-level deadline misses, every stream to stay bit-exact against a
+// dedicated engine, and the routing conservation counters to hold.
+//
+// Per-node tracers run in sim::Tracer::counters_only() mode — the
+// simulator fast path this fleet size exists to exercise: thousands of
+// engine spans aggregate at O(1) per record with zero Span allocations.
+//
+// --json <path> writes the machine-readable result used by the CI
+// perf-regression gate (tools/check_bench_regression.py compares it
+// against bench/baselines/fleet_baseline.json). Stable schema:
+//
+//   {
+//     "schema": "distmcu.fleet.v1",
+//     "freq_hz": F,
+//     "nodes": [{"name": "...", "chips": n, "models": ["..."],
+//                "page_tokens": n, "link_latency_cycles": n,
+//                "link_cycles_per_byte": x}],
+//     "requests": n,            // offered per policy (identical load)
+//     "policies": [
+//       {"policy": "round_robin" | "join_shortest_queue" |
+//                  "cost_aware" | "prefix_affinity",
+//        "offered": n, "placed": n, "rejected": n,
+//        "routed": n, "misrouted": n, "completed": n, "shed": n,
+//        "slo_requests": n, "deadline_misses": n, "miss_rate": x,
+//        "request_transfer_cycles": n, "response_transfer_cycles": n,
+//        "transfer_bytes": n, "makespan_cycles": n,
+//        "prefix_hits": n, "prefix_shared_tokens": n,
+//        "bit_exact": true, "conservation_ok": true,
+//        "per_node": [{"name": "...", "attempts": n, "placed": n,
+//                      "completed": n, "rejected": n,
+//                      "link_rejected": n, "total_cycles": n,
+//                      "sched_spans": n}]}],
+//     "round_robin_misses": n, "cost_aware_misses": n,
+//     "prefix_affinity_misses": n, "join_shortest_queue_misses": n
+//   }
+//
+// Integer fields are exact simulated cycles/counts; doubles are emitted
+// with enough digits to round-trip. Additive fields may appear in later
+// versions; consumers must key on "schema" and ignore unknown keys.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <tuple>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fleet/router.hpp"
+#include "runtime/batched_engine.hpp"
+#include "runtime/inference_session.hpp"
+#include "runtime/model_registry.hpp"
+#include "sim/tracer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace distmcu;
+
+namespace {
+
+constexpr int kRequests = 800;  // per policy; 4 policies = 3200 routed
+constexpr int kPromptLen = 12;
+constexpr int kGroups = 16;  // distinct system prompts (> node count)
+constexpr std::uint64_t kSeed = 0xf1ee7;
+
+/// Decoder deployment: invariant-suite-sized Transformer blocks so the
+/// functional numerics stay fast at fleet request counts.
+model::TransformerConfig llama_cfg() {
+  auto cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.name = "tinyllama";
+  cfg.embed_dim = 32;
+  cfg.ffn_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 8;
+  cfg.num_layers = 2;
+  cfg.vocab_size = 128;
+  cfg.ar_context = 64;
+  cfg.prompt_len = kPromptLen;
+  cfg.validate();
+  return cfg;
+}
+
+/// Encoder-style deployment (prefill-only requests) that only the
+/// 4-chip half of the fleet deploys — exercises per-model eligibility.
+model::TransformerConfig bert_cfg() {
+  auto cfg = llama_cfg();
+  cfg.name = "tinybert";
+  cfg.ffn_dim = 96;
+  cfg.ar_context = 16;
+  cfg.mask = model::MaskKind::bidirectional;
+  cfg.validate();
+  return cfg;
+}
+
+/// kGroups distinct system prompts; every decoder request opens with
+/// one, so each group's CoW pages live on whichever nodes served it —
+/// more groups than nodes, so placement decides cache locality.
+std::vector<int> group_prompt(int group) {
+  std::vector<int> p;
+  p.reserve(kPromptLen);
+  for (int i = 0; i < kPromptLen; ++i) {
+    p.push_back(1 + (group * 31 + i * 7) % 127);
+  }
+  return p;
+}
+
+struct FleetRequest {
+  std::string model;
+  int group = 0;  // prompt group (decoder) / prompt variant (encoder)
+  int new_tokens = 0;
+  Cycles at = 0;
+  runtime::SloSpec slo;
+};
+
+/// The identical offered load every policy replays.
+std::vector<FleetRequest> make_workload() {
+  util::Rng rng(kSeed);
+  std::vector<FleetRequest> reqs;
+  reqs.reserve(kRequests);
+  Cycles t = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    // Bursty arrivals: exponential-ish interarrival keeps queues alive
+    // without saturating the fleet outright.
+    const double u = rng.next_double();
+    t += static_cast<Cycles>(85'000.0 * -std::log(1.0 - u));
+    FleetRequest r;
+    r.at = t;
+    if (rng.next_below(4) == 0) {
+      r.model = "tinybert";
+      r.group = static_cast<int>(rng.next_below(kGroups));
+      r.new_tokens = 0;
+      r.slo = {0, 2'200'000};
+    } else {
+      r.model = "tinyllama";
+      r.group = static_cast<int>(rng.next_below(kGroups));
+      r.new_tokens = 4 + static_cast<int>(rng.next_below(6));
+      r.slo = {0, 3'000'000};
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+struct NodeSpec {
+  std::string name;
+  int chips = 0;
+  bool has_bert = false;
+  int page_tokens = 0;
+  int kv_pages = 0;
+  fleet::LinkModel link;
+};
+
+std::vector<NodeSpec> fleet_spec() {
+  const fleet::LinkModel near{.latency_cycles = 2'000, .cycles_per_byte = 0.5};
+  const fleet::LinkModel far{.latency_cycles = 12'000, .cycles_per_byte = 3.0};
+  std::vector<NodeSpec> spec;
+  for (int i = 0; i < 4; ++i) {
+    spec.push_back({"fast" + std::to_string(i), 4, true, 4, 48, near});
+  }
+  for (int i = 0; i < 4; ++i) {
+    spec.push_back({"slow" + std::to_string(i), 2, false, 8, 24, far});
+  }
+  return spec;
+}
+
+struct PolicyResult {
+  std::string policy;
+  fleet::FleetStats stats;
+  bool bit_exact = true;
+  bool conservation_ok = true;
+  int prefix_hits = 0;  // summed over nodes
+  long long prefix_shared_tokens = 0;
+  std::vector<std::size_t> node_sched_spans;  // counters-only tracer records
+};
+
+/// Memoized dedicated-engine reference streams, keyed by the serving
+/// session (numerics depend on the partition) and the request shape.
+using SoloKey = std::tuple<const runtime::InferenceSession*, int, int, int>;
+
+const std::vector<int>& solo_tokens(
+    std::map<SoloKey, runtime::GenerationResult>& memo,
+    const runtime::InferenceSession& s, bool bert, int group,
+    int new_tokens) {
+  const SoloKey key{&s, bert ? 1 : 0, group, new_tokens};
+  auto it = memo.find(key);
+  if (it == memo.end()) {
+    it = memo.emplace(key, s.generate(group_prompt(group), new_tokens)).first;
+  }
+  return it->second.tokens;
+}
+
+PolicyResult run_policy(fleet::RoutePolicy which,
+                        const std::vector<FleetRequest>& workload,
+                        const std::vector<NodeSpec>& spec,
+                        const runtime::InferenceSession& llama4,
+                        const runtime::InferenceSession& llama2,
+                        const runtime::InferenceSession& bert4,
+                        std::map<SoloKey, runtime::GenerationResult>& memo) {
+  PolicyResult out;
+  out.policy = fleet::route_policy_name(which);
+
+  // Fresh engines per policy so every policy sees a cold fleet. The
+  // counters-only tracers are the simulator fast path under test: no
+  // span buffering, per-node totals still exact.
+  std::vector<sim::Tracer> tracers;
+  tracers.reserve(spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    tracers.push_back(sim::Tracer::counters_only());
+  }
+  std::vector<runtime::ModelRegistry> regs(spec.size());
+  std::vector<std::unique_ptr<runtime::BatchedEngine>> engines;
+  fleet::Router router(fleet::make_routing_policy(which));
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const NodeSpec& n = spec[i];
+    const auto& llama = n.chips == 4 ? llama4 : llama2;
+    (void)regs[i].add(llama, "tinyllama", /*prefill_chunk_tokens=*/4,
+                      /*kv_quota=*/n.has_bert ? n.kv_pages * 3 / 4
+                                              : n.kv_pages);
+    if (n.has_bert) {
+      (void)regs[i].add(bert4, "tinybert", /*prefill_chunk_tokens=*/4,
+                        /*kv_quota=*/n.kv_pages / 4);
+    }
+    engines.push_back(std::make_unique<runtime::BatchedEngine>(
+        regs[i],
+        runtime::BatchedEngine::MultiOptions{
+            .total_kv_slots = n.kv_pages,
+            .max_pending = 24,
+            .kv_page_tokens = n.page_tokens,
+            .prefix_sharing = true},
+        &tracers[i]));
+    (void)router.add_node(*engines.back(), n.link, n.name);
+  }
+
+  // Identical offered load: replay the workload verbatim.
+  for (const FleetRequest& r : workload) {
+    (void)router.submit(r.model, group_prompt(r.group), r.new_tokens, r.slo,
+                        r.at);
+  }
+  const auto& finished = router.run_to_completion();
+
+  // Every routed stream must match a dedicated single-request engine on
+  // the same session — routing decides placement, never content.
+  for (const fleet::FleetResult& f : finished) {
+    const NodeSpec& n = spec[static_cast<std::size_t>(f.node)];
+    const bool bert = f.result.model == 1;  // registry order: llama, bert
+    const auto& session = bert ? bert4 : (n.chips == 4 ? llama4 : llama2);
+    // Recover the request's shape from its stream (prompt + generated).
+    const int new_tokens = f.result.gen.generated;
+    int group = -1;
+    for (int g = 0; g < kGroups; ++g) {
+      const auto p = group_prompt(g);
+      if (std::equal(p.begin(), p.end(), f.result.gen.tokens.begin())) {
+        group = g;
+        break;
+      }
+    }
+    if (group < 0 ||
+        f.result.gen.tokens !=
+            solo_tokens(memo, session, bert, group, new_tokens)) {
+      out.bit_exact = false;
+    }
+  }
+
+  out.stats = router.stats();
+  const fleet::FleetStats& s = out.stats;
+  bool ok = s.offered == s.placed + s.rejected &&
+            s.routed == static_cast<std::uint64_t>(s.placed) + s.misrouted &&
+            s.placed == s.completed + s.shed &&
+            static_cast<int>(finished.size()) == s.completed;
+  std::uint64_t node_attempt_sum = 0;
+  for (const auto& pn : s.per_node) {
+    node_attempt_sum += pn.attempts;
+    if (pn.attempts != static_cast<std::uint64_t>(pn.placed) +
+                           static_cast<std::uint64_t>(pn.link_rejected) +
+                           static_cast<std::uint64_t>(pn.serving.rejected)) {
+      ok = false;
+    }
+  }
+  if (node_attempt_sum != s.routed) ok = false;
+  out.conservation_ok = ok;
+  for (const auto& pn : s.per_node) {
+    out.prefix_hits += pn.serving.prefix_hits;
+    out.prefix_shared_tokens += pn.serving.prefix_shared_tokens;
+  }
+
+  for (const sim::Tracer& t : tracers) {
+    util::check(t.spans().empty() && !t.buffering_spans(),
+                "counters-only tracer buffered spans");
+    out.node_sched_spans.push_back(t.recorded_spans());
+  }
+  return out;
+}
+
+void write_json(const std::string& path, double freq_hz,
+                const std::vector<NodeSpec>& spec,
+                const std::vector<PolicyResult>& results) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open --json path " << path << "\n";
+    std::exit(2);
+  }
+  os.precision(17);
+  os << "{\n  \"schema\": \"distmcu.fleet.v1\",\n"
+     << "  \"freq_hz\": " << freq_hz << ",\n  \"nodes\": [";
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const NodeSpec& n = spec[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+       << bench::json_escape(n.name) << "\", \"chips\": " << n.chips
+       << ", \"models\": [\"tinyllama\""
+       << (n.has_bert ? ", \"tinybert\"" : "") << "]"
+       << ", \"page_tokens\": " << n.page_tokens
+       << ", \"link_latency_cycles\": " << n.link.latency_cycles
+       << ", \"link_cycles_per_byte\": " << n.link.cycles_per_byte << "}";
+  }
+  os << "\n  ],\n  \"requests\": " << kRequests << ",\n  \"policies\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PolicyResult& r = results[i];
+    const fleet::FleetStats& s = r.stats;
+    os << (i == 0 ? "" : ",") << "\n    {\"policy\": \""
+       << bench::json_escape(r.policy) << "\""
+       << ", \"offered\": " << s.offered << ", \"placed\": " << s.placed
+       << ", \"rejected\": " << s.rejected << ", \"routed\": " << s.routed
+       << ", \"misrouted\": " << s.misrouted
+       << ", \"completed\": " << s.completed << ", \"shed\": " << s.shed
+       << ",\n     \"slo_requests\": " << s.slo_requests
+       << ", \"deadline_misses\": " << s.deadline_misses
+       << ", \"miss_rate\": " << s.deadline_miss_rate()
+       << ",\n     \"request_transfer_cycles\": " << s.request_transfer_cycles
+       << ", \"response_transfer_cycles\": " << s.response_transfer_cycles
+       << ", \"transfer_bytes\": " << s.transfer_bytes
+       << ", \"makespan_cycles\": " << s.makespan
+       << ",\n     \"prefix_hits\": " << r.prefix_hits
+       << ", \"prefix_shared_tokens\": " << r.prefix_shared_tokens
+       << ",\n     \"bit_exact\": " << (r.bit_exact ? "true" : "false")
+       << ", \"conservation_ok\": "
+       << (r.conservation_ok ? "true" : "false") << ",\n     \"per_node\": [";
+    for (std::size_t j = 0; j < s.per_node.size(); ++j) {
+      const auto& pn = s.per_node[j];
+      os << (j == 0 ? "" : ",") << "\n      {\"name\": \""
+         << bench::json_escape(pn.name) << "\", \"attempts\": " << pn.attempts
+         << ", \"placed\": " << pn.placed
+         << ", \"completed\": " << pn.completed
+         << ", \"rejected\": " << pn.serving.rejected
+         << ", \"link_rejected\": " << pn.link_rejected
+         << ", \"total_cycles\": " << pn.serving.total_cycles
+         << ", \"sched_spans\": " << r.node_sched_spans[j] << "}";
+    }
+    os << "\n     ]}";
+  }
+  os << "\n  ]";
+  for (const PolicyResult& r : results) {
+    os << ",\n  \"" << r.policy
+       << "_misses\": " << r.stats.deadline_misses;
+  }
+  os << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  const double freq_hz = 500e6;
+
+  const auto workload = make_workload();
+  const auto spec = fleet_spec();
+
+  // Sessions are shared across nodes and policies (engines borrow them)
+  // — fleet construction stays cheap at any node count.
+  const runtime::InferenceSession llama4(llama_cfg(), 4);
+  const runtime::InferenceSession llama2(llama_cfg(), 2);
+  const runtime::InferenceSession bert4(bert_cfg(), 4);
+
+  std::cout << "Fleet serving — " << kRequests
+            << " requests across 8 heterogeneous nodes (4x 4-chip near, "
+               "4x 2-chip far), identical offered load per policy\n\n";
+
+  std::map<SoloKey, runtime::GenerationResult> memo;
+  std::vector<PolicyResult> results;
+  for (const auto which :
+       {fleet::RoutePolicy::round_robin,
+        fleet::RoutePolicy::join_shortest_queue,
+        fleet::RoutePolicy::cost_aware, fleet::RoutePolicy::prefix_affinity}) {
+    results.push_back(
+        run_policy(which, workload, spec, llama4, llama2, bert4, memo));
+  }
+
+  util::Table table({"policy", "placed", "rejected", "misrouted", "completed",
+                     "misses", "miss_rate", "prefix_hits", "makespan_mcyc",
+                     "transfer_mcyc"});
+  for (const PolicyResult& r : results) {
+    const fleet::FleetStats& s = r.stats;
+    table.row()
+        .add(r.policy)
+        .add(s.placed)
+        .add(s.rejected)
+        .add(static_cast<std::uint64_t>(s.misrouted))
+        .add(s.completed)
+        .add(s.deadline_misses)
+        .add(s.deadline_miss_rate(), 3)
+        .add(r.prefix_hits)
+        .add(static_cast<double>(s.makespan) / 1e6, 2)
+        .add(static_cast<double>(util::sat_add(s.request_transfer_cycles,
+                                               s.response_transfer_cycles)) /
+                 1e6,
+             2);
+  }
+  table.print(std::cout);
+
+  const PolicyResult& rr = results[0];
+  const PolicyResult& cost = results[2];
+  const PolicyResult& prefix = results[3];
+  std::cout << "\nround_robin misses " << rr.stats.deadline_misses
+            << "; cost_aware " << cost.stats.deadline_misses
+            << "; prefix_affinity " << prefix.stats.deadline_misses
+            << " at identical offered load.\n";
+
+  // --- self-gate ---------------------------------------------------------
+  bool ok = true;
+  for (const PolicyResult& r : results) {
+    if (!r.bit_exact) {
+      std::cout << "FAIL: " << r.policy
+                << " streams diverged from the dedicated engine\n";
+      ok = false;
+    }
+    if (!r.conservation_ok) {
+      std::cout << "FAIL: " << r.policy
+                << " routing conservation counters broke\n";
+      ok = false;
+    }
+    if (r.stats.completed == 0) {
+      std::cout << "FAIL: " << r.policy << " completed nothing\n";
+      ok = false;
+    }
+  }
+  if (prefix.prefix_hits <= rr.prefix_hits) {
+    std::cout << "FAIL: prefix_affinity prefix hits " << prefix.prefix_hits
+              << " not above round_robin's " << rr.prefix_hits
+              << " — locality routing is not concentrating groups\n";
+    ok = false;
+  }
+  const bool informed_beats_rr =
+      cost.stats.deadline_misses < rr.stats.deadline_misses ||
+      prefix.stats.deadline_misses < rr.stats.deadline_misses;
+  if (!informed_beats_rr) {
+    std::cout << "FAIL: neither cost_aware (" << cost.stats.deadline_misses
+              << ") nor prefix_affinity (" << prefix.stats.deadline_misses
+              << ") beat round_robin (" << rr.stats.deadline_misses
+              << ") on deadline misses\n";
+    ok = false;
+  }
+
+  std::cout << "\nCSV:\n";
+  table.write_csv(std::cout);
+
+  if (!json_path.empty()) {
+    write_json(json_path, freq_hz, spec, results);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return ok ? 0 : 1;
+}

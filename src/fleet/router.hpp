@@ -1,0 +1,222 @@
+#ifndef DISTMCU_FLEET_ROUTER_HPP
+#define DISTMCU_FLEET_ROUTER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/routing_policy.hpp"
+#include "runtime/batched_engine.hpp"
+#include "util/units.hpp"
+
+namespace distmcu::fleet {
+
+using FleetRequestId = std::int64_t;
+
+/// Inter-node network cost model, per PAPERS.md's networked-MCU
+/// treatment: each message pays a fixed per-hop latency plus a
+/// serialization charge per byte on the node's uplink. Requests carry
+/// their prompt token ids in, responses carry the generated tokens back;
+/// both directions add framing overhead.
+struct LinkModel {
+  /// Fixed per-message cycles (propagation + protocol turnaround).
+  Cycles latency_cycles = 0;
+  /// Serialization cycles per payload byte (0 models an ideal link).
+  double cycles_per_byte = 0.0;
+  /// Wire size of one token id.
+  Bytes bytes_per_token = 4;
+  /// Per-message framing: headers, SLO metadata, completion status.
+  Bytes header_bytes = 64;
+
+  /// Cycles one message of `payload` bytes occupies the link.
+  [[nodiscard]] Cycles transfer_cycles(Bytes payload) const;
+  [[nodiscard]] Bytes request_bytes(int prompt_tokens) const;
+  [[nodiscard]] Bytes response_bytes(int generated_tokens) const;
+};
+
+/// Final outcome of one fleet-routed request: the node-local
+/// RequestResult plus the global-timeline accounting (submit at the
+/// router, absolute fleet deadline, completion once the response has
+/// crossed the link back). The node-local token stream in `result.gen`
+/// stays bit-exact with a dedicated single-node engine — routing decides
+/// placement, never content.
+struct FleetResult {
+  FleetRequestId id = -1;
+  int node = -1;                        ///< fleet node index it ran on
+  runtime::RequestId node_request = -1; ///< its id on that node's engine
+  runtime::RequestResult result;        ///< node-local view
+  Cycles submitted_at = 0;   ///< global clock at Router::submit
+  Cycles deadline_at = runtime::kNoDeadline;  ///< absolute, global clock
+  /// Global clock when the response landed back at the router: node
+  /// finish plus the response transfer on the node's link.
+  Cycles finished_at = 0;
+
+  [[nodiscard]] bool missed_deadline() const {
+    return deadline_at != runtime::kNoDeadline && finished_at > deadline_at;
+  }
+};
+
+/// Fleet-wide serving metrics. Conservation (pinned by the CI gate and
+/// the randomized suite): offered == placed + rejected;
+/// routed == placed + misrouted; per node,
+/// attempts == placed + link_rejected + serving.rejected; and after a
+/// drain placed == completed + shed.
+struct FleetStats {
+  struct Node {
+    std::string name;
+    std::uint64_t attempts = 0;  ///< dispatches the router sent this node
+    int placed = 0;              ///< accepted submits
+    int link_rejected = 0;  ///< dispatches refused for link infeasibility
+    int completed = 0;
+    Cycles transfer_cycles = 0;  ///< both directions on its link
+    runtime::ServingStats serving;  ///< engine snapshot
+  };
+
+  int offered = 0;   ///< Router::submit calls
+  int placed = 0;    ///< offered requests some node accepted
+  int rejected = 0;  ///< offered requests nobody accepted
+  /// Split of `rejected`: no node deploys the target model / every
+  /// eligible node refused (engine rejection or link infeasibility).
+  int rejected_no_model = 0;
+  int rejected_all_nodes = 0;
+  std::uint64_t routed = 0;     ///< dispatch attempts across all nodes
+  std::uint64_t misrouted = 0;  ///< attempts the target node refused
+  int completed = 0;
+  int shed = 0;  ///< placed, then dropped by a node's fair shedding
+  int slo_requests = 0;     ///< completed requests that carried a deadline
+  int deadline_misses = 0;  ///< fleet-level: response landed past deadline
+  Cycles request_transfer_cycles = 0;
+  Cycles response_transfer_cycles = 0;
+  Bytes transfer_bytes = 0;
+  /// Global clock when the last response landed (0 before any).
+  Cycles makespan = 0;
+  std::vector<Node> per_node;
+
+  [[nodiscard]] double deadline_miss_rate() const {
+    return slo_requests == 0 ? 0.0
+                             : static_cast<double>(deadline_misses) /
+                                   static_cast<double>(slo_requests);
+  }
+};
+
+/// Load-balances a global request stream across many BatchedEngine
+/// nodes with heterogeneous deployments (different models, chip counts,
+/// KV page configs) in one simulated timeline, charging each node's
+/// LinkModel on dispatch and completion.
+///
+/// Time: the router keeps one global clock (the non-decreasing `at` of
+/// submit()). Each node's engine clock only advances while it has work,
+/// so the router tracks a per-node offset — node global time = offset +
+/// engine clock — and bumps the offset across idle gaps. Before every
+/// routing decision all nodes are advanced to the arrival time, so the
+/// policy's queue/backlog views are a coherent snapshot.
+///
+/// Engines are borrowed and must outlive the router; attach per-node
+/// tracers (sim::Tracer::counters_only() keeps big fleets cheap) at
+/// engine construction for per-node trace lanes.
+class Router {
+ public:
+  explicit Router(std::shared_ptr<const RoutingPolicy> policy = nullptr);
+
+  /// Register a node. `name` defaults to "node<i>". Returns the node
+  /// index used in FleetResult/FleetStats.
+  int add_node(runtime::BatchedEngine& engine, LinkModel link,
+               std::string name = {});
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const std::string& node_name(int node) const;
+  [[nodiscard]] const RoutingPolicy& policy() const { return *policy_; }
+
+  /// Route one request for deployment `model` (a registry deployment
+  /// name; nodes not deploying it are ineligible) arriving at global
+  /// time `at` (must be >= every earlier submit's `at`). The SloSpec
+  /// deadline is relative to `at` on the global clock; the node sees it
+  /// shrunk by both link transfers, so a node-side attainment equals
+  /// fleet-side attainment. Returns nullopt when no node accepts.
+  std::optional<FleetRequestId> submit(const std::string& model,
+                                       const std::vector<int>& prompt,
+                                       int new_tokens, runtime::SloSpec slo,
+                                       Cycles at);
+
+  /// Drain every node and return all completions (fleet completion
+  /// order). Like BatchedEngine::run_to_completion, returns the
+  /// router-lifetime list — results accumulate across calls.
+  [[nodiscard]] const std::vector<FleetResult>& run_to_completion();
+
+  [[nodiscard]] const std::vector<FleetResult>& finished() const {
+    return finished_;
+  }
+
+  /// Snapshot of the fleet counters plus each engine's live stats.
+  [[nodiscard]] FleetStats stats() const;
+
+ private:
+  struct InFlight {
+    FleetRequestId id = -1;
+    Cycles submitted_at = 0;
+    Cycles deadline_at = runtime::kNoDeadline;  // global clock
+    Cycles est_cost = 0;
+    Cycles response_link_cycles = 0;
+    Bytes response_bytes = 0;
+  };
+
+  struct Node {
+    runtime::BatchedEngine* engine = nullptr;
+    LinkModel link;
+    std::string name;
+    /// Registry deployment name -> node-local ModelId.
+    std::unordered_map<std::string, runtime::ModelId> models;
+    /// Global time = offset + engine clock; grows across idle gaps.
+    Cycles offset = 0;
+    /// Sum of est_cost over in-flight placements (the policy's backlog).
+    Cycles outstanding_est = 0;
+    std::unordered_map<runtime::RequestId, InFlight> in_flight;
+    std::size_t consumed_finished = 0;  ///< drained prefix of finished()
+    std::size_t consumed_shed = 0;      ///< drained prefix of shed_ids()
+    std::uint64_t attempts = 0;
+    int placed = 0;
+    int link_rejected = 0;
+    int completed = 0;
+    Cycles transfer_cycles = 0;
+  };
+
+  [[nodiscard]] Cycles node_now(const Node& n) const;
+  /// Step `n` until its global clock reaches `target`, draining
+  /// completions after every step; bumps the offset over idle gaps.
+  void advance(Node& n, Cycles target);
+  void drain_completions(Node& n);
+  void drain_shed(Node& n);
+  [[nodiscard]] RoutingPolicy::NodeView view_for(
+      const Node& n, int index, const std::string& model,
+      const std::vector<int>& prompt, int new_tokens) const;
+
+  std::shared_ptr<const RoutingPolicy> policy_;
+  std::vector<Node> nodes_;
+  std::vector<FleetResult> finished_;
+  FleetRequestId next_id_ = 0;
+  Cycles last_submit_at_ = 0;
+
+  // Fleet counters (per-node ones live on Node).
+  int offered_ = 0;
+  int placed_ = 0;
+  int rejected_ = 0;
+  int rejected_no_model_ = 0;
+  int rejected_all_nodes_ = 0;
+  std::uint64_t routed_ = 0;
+  std::uint64_t misrouted_ = 0;
+  int completed_ = 0;
+  int shed_ = 0;
+  int slo_requests_ = 0;
+  int deadline_misses_ = 0;
+  Cycles request_transfer_cycles_ = 0;
+  Cycles response_transfer_cycles_ = 0;
+  Bytes transfer_bytes_ = 0;
+  Cycles makespan_ = 0;
+};
+
+}  // namespace distmcu::fleet
+
+#endif  // DISTMCU_FLEET_ROUTER_HPP

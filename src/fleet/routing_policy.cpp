@@ -1,0 +1,139 @@
+#include "fleet/routing_policy.hpp"
+
+#include "util/check.hpp"
+
+namespace distmcu::fleet {
+
+namespace {
+
+/// The request's estimated fleet-level finish charge on one node: what
+/// is already queued ahead of it, its own service demand there, and the
+/// round-trip link. Saturating — backlogs are sums of estimates and must
+/// never wrap into "cheap".
+[[nodiscard]] Cycles total_charge(const RoutingPolicy::NodeView& v) {
+  return util::sat_add(v.backlog_cycles, util::sat_add(v.est_cost,
+                                                       v.link_cycles));
+}
+
+/// Index of the eligible node minimizing the cost-aware charge
+/// (tie-break: queue depth, then node id). Requires >= 1 eligible node.
+[[nodiscard]] std::size_t cost_aware_pick(
+    const std::vector<RoutingPolicy::NodeView>& nodes) {
+  std::size_t best = nodes.size();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].eligible) continue;
+    if (best == nodes.size()) { best = i; continue; }
+    const Cycles ci = total_charge(nodes[i]);
+    const Cycles cb = total_charge(nodes[best]);
+    if (ci < cb ||
+        (ci == cb && nodes[i].queue_depth < nodes[best].queue_depth)) {
+      best = i;
+    }
+  }
+  DISTMCU_CHECK(best < nodes.size(),
+                "RoutingPolicy: no eligible node in the snapshot");
+  return best;
+}
+
+}  // namespace
+
+std::size_t RoundRobinRouting::pick(const std::vector<NodeView>& nodes,
+                                    std::uint64_t submit_seq) const {
+  std::uint64_t eligible = 0;
+  for (const NodeView& v : nodes) eligible += v.eligible ? 1 : 0;
+  DISTMCU_CHECK(eligible > 0,
+                "RoutingPolicy: no eligible node in the snapshot");
+  std::uint64_t k = submit_seq % eligible;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].eligible) continue;
+    if (k == 0) return i;
+    --k;
+  }
+  return nodes.size();  // unreachable: eligible > 0
+}
+
+std::size_t JoinShortestQueueRouting::pick(const std::vector<NodeView>& nodes,
+                                           std::uint64_t /*submit_seq*/) const {
+  std::size_t best = nodes.size();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].eligible) continue;
+    if (best == nodes.size()) { best = i; continue; }
+    if (nodes[i].queue_depth < nodes[best].queue_depth ||
+        (nodes[i].queue_depth == nodes[best].queue_depth &&
+         nodes[i].backlog_cycles < nodes[best].backlog_cycles)) {
+      best = i;
+    }
+  }
+  DISTMCU_CHECK(best < nodes.size(),
+                "RoutingPolicy: no eligible node in the snapshot");
+  return best;
+}
+
+std::size_t CostEstimateAwareRouting::pick(
+    const std::vector<NodeView>& nodes, std::uint64_t /*submit_seq*/) const {
+  return cost_aware_pick(nodes);
+}
+
+std::size_t PrefixAffinityRouting::pick(const std::vector<NodeView>& nodes,
+                                        std::uint64_t /*submit_seq*/) const {
+  const std::size_t fallback = cost_aware_pick(nodes);
+  int best_match = 0;
+  for (const NodeView& v : nodes) {
+    if (v.eligible && v.prefix_match_tokens > best_match) {
+      best_match = v.prefix_match_tokens;
+    }
+  }
+  if (best_match == 0) return fallback;
+
+  // Cheapest node among those holding the deepest match.
+  std::size_t affine = nodes.size();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].eligible || nodes[i].prefix_match_tokens != best_match) {
+      continue;
+    }
+    if (affine == nodes.size() ||
+        total_charge(nodes[i]) < total_charge(nodes[affine])) {
+      affine = i;
+    }
+  }
+  if (affine == fallback) return affine;
+
+  // Honor the affinity only while the detour stays cheaper than what the
+  // shared prefill saves (scaled by spill_factor); past that, locality
+  // would just pile load onto a hot node.
+  const Cycles detour = total_charge(nodes[affine]) >
+                                total_charge(nodes[fallback])
+                            ? total_charge(nodes[affine]) -
+                                  total_charge(nodes[fallback])
+                            : 0;
+  const double allowance = opts_.spill_factor *
+                           static_cast<double>(nodes[affine].prefix_saved_cycles);
+  return static_cast<double>(detour) <= allowance ? affine : fallback;
+}
+
+const char* route_policy_name(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::round_robin: return "round_robin";
+    case RoutePolicy::join_shortest_queue: return "join_shortest_queue";
+    case RoutePolicy::cost_aware: return "cost_aware";
+    case RoutePolicy::prefix_affinity: return "prefix_affinity";
+  }
+  return "?";
+}
+
+std::shared_ptr<const RoutingPolicy> make_routing_policy(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::round_robin:
+      return std::make_shared<RoundRobinRouting>();
+    case RoutePolicy::join_shortest_queue:
+      return std::make_shared<JoinShortestQueueRouting>();
+    case RoutePolicy::cost_aware:
+      return std::make_shared<CostEstimateAwareRouting>();
+    case RoutePolicy::prefix_affinity:
+      return std::make_shared<PrefixAffinityRouting>();
+  }
+  DISTMCU_CHECK(false, "make_routing_policy: unknown policy");
+  return nullptr;
+}
+
+}  // namespace distmcu::fleet

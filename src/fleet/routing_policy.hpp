@@ -1,0 +1,137 @@
+#ifndef DISTMCU_FLEET_ROUTING_POLICY_HPP
+#define DISTMCU_FLEET_ROUTING_POLICY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace distmcu::fleet {
+
+/// Placement policy of the fleet router. Mirrors the engine's
+/// runtime::Scheduler contract: policies are stateless rankers — a pure
+/// function of the per-node snapshot the router hands them — so one
+/// instance can be shared across routers and replay is deterministic by
+/// construction. The router builds one NodeView per fleet node for each
+/// request, asks the policy for the node to try first, and on a node
+/// rejection masks that node out and asks again (each retry counts as a
+/// misroute in FleetStats).
+class RoutingPolicy {
+ public:
+  /// Router-built snapshot of one node, specialized to the request being
+  /// placed (est_cost / prefix_match_tokens / link_cycles are per-request
+  /// quantities).
+  struct NodeView {
+    int node = 0;  ///< index into the fleet, stable across requests
+    /// Whether the node may serve this request: it deploys the target
+    /// model and has not already rejected this request. Policies must
+    /// only pick eligible nodes; the router rejects anything else.
+    bool eligible = false;
+    int queue_depth = 0;  ///< pending + active requests on the node
+    int active = 0;       ///< requests currently holding KV in the batch
+    /// Router-tracked service demand of the node's outstanding placed
+    /// requests (estimates added at placement, removed at completion) —
+    /// the fleet-level analogue of queue depth in cycles, comparable
+    /// across heterogeneous nodes where a count is not.
+    Cycles backlog_cycles = 0;
+    /// Idle-node service estimate for THIS request on THIS node's
+    /// deployment (the engine cost model, so a 4-chip node shows a
+    /// larger number than an 8-chip node for the same prompt).
+    Cycles est_cost = 0;
+    /// Deepest CoW prompt-prefix match (tokens) the node's prefix cache
+    /// holds for THIS prompt; 0 without prefix sharing.
+    int prefix_match_tokens = 0;
+    /// Prefill cycles that match would skip on this node (the engine's
+    /// estimate for prefilling just the matched tokens); 0 when no match.
+    Cycles prefix_saved_cycles = 0;
+    /// Round-trip link charge for THIS request on the node's link:
+    /// request bytes in plus response bytes back, latency both ways.
+    Cycles link_cycles = 0;
+  };
+
+  virtual ~RoutingPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Index into `nodes` of the node to try; at least one entry is
+  /// eligible. `submit_seq` is the request's monotone fleet submit
+  /// order — stateless round-robin derives its rotation from it. The
+  /// router rejects out-of-range or ineligible picks.
+  [[nodiscard]] virtual std::size_t pick(const std::vector<NodeView>& nodes,
+                                         std::uint64_t submit_seq) const = 0;
+};
+
+/// Rotate over the eligible nodes by fleet submit order, blind to load,
+/// cost, and locality — the baseline every other policy is benched
+/// against.
+class RoundRobinRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "round_robin"; }
+  [[nodiscard]] std::size_t pick(const std::vector<NodeView>& nodes,
+                                 std::uint64_t submit_seq) const override;
+};
+
+/// Join-shortest-queue on queue_depth (pending + active), tie-broken by
+/// backlog cycles then node id. Counts requests, so it equalizes
+/// occupancy but not service time across heterogeneous nodes.
+class JoinShortestQueueRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "join_shortest_queue";
+  }
+  [[nodiscard]] std::size_t pick(const std::vector<NodeView>& nodes,
+                                 std::uint64_t submit_seq) const override;
+};
+
+/// Minimize the request's estimated fleet-level finish charge:
+/// backlog_cycles + est_cost + link_cycles per node. Reuses the engine's
+/// block-program cost estimator (via est_cost/backlog), so a fast node
+/// with a deep queue and a slow idle node are compared in the same
+/// currency. Ties resolve by queue depth then node id.
+class CostEstimateAwareRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "cost_aware"; }
+  [[nodiscard]] std::size_t pick(const std::vector<NodeView>& nodes,
+                                 std::uint64_t submit_seq) const override;
+};
+
+/// Steer shared-prompt requests to the node whose CoW prefix cache
+/// already holds the deepest match for this prompt (the prefill it can
+/// skip), provided that node is not overloaded relative to the
+/// cost-aware choice; requests with no match anywhere fall back to the
+/// cost-aware ranking.
+class PrefixAffinityRouting final : public RoutingPolicy {
+ public:
+  struct Options {
+    /// A match is only honored while the affine node's excess total
+    /// charge (backlog + cost + link, vs the cost-aware minimum) stays
+    /// under `spill_factor` times the cycles the match saves; beyond
+    /// that the router spills to the cost-aware pick rather than pile
+    /// onto a hot node for locality's sake.
+    double spill_factor = 4.0;
+  };
+
+  PrefixAffinityRouting() : opts_{} {}
+  explicit PrefixAffinityRouting(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] const char* name() const override { return "prefix_affinity"; }
+  [[nodiscard]] std::size_t pick(const std::vector<NodeView>& nodes,
+                                 std::uint64_t submit_seq) const override;
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+/// Built-in policy set, for benches and CLI surfaces.
+enum class RoutePolicy { round_robin, join_shortest_queue, cost_aware,
+                         prefix_affinity };
+
+[[nodiscard]] const char* route_policy_name(RoutePolicy policy);
+[[nodiscard]] std::shared_ptr<const RoutingPolicy> make_routing_policy(
+    RoutePolicy policy);
+
+}  // namespace distmcu::fleet
+
+#endif  // DISTMCU_FLEET_ROUTING_POLICY_HPP

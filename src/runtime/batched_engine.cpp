@@ -424,6 +424,32 @@ int BatchedEngine::prefix_cache_entries() const {
   return n;
 }
 
+Cycles BatchedEngine::estimate_cost(ModelId m, int prompt_tokens,
+                                    int new_tokens) const {
+  const Tenant& t = tenant(m);
+  DISTMCU_CHECK(prompt_tokens >= 1 &&
+                    prompt_tokens <= t.session->config().prompt_len,
+                "estimate_cost: prompt_tokens outside the deployment's "
+                "prefill shape");
+  DISTMCU_CHECK(new_tokens >= 0, "estimate_cost: new_tokens must be >= 0");
+  return estimate_request_cost(t, prompt_tokens, new_tokens);
+}
+
+const model::TransformerConfig& BatchedEngine::model_config(ModelId m) const {
+  return tenant(m).session->config();
+}
+
+int BatchedEngine::prefix_match_tokens(ModelId m,
+                                       const std::vector<int>& prompt) const {
+  // Empty (prefix sharing off, or nothing donated yet) naturally reports
+  // no affinity.
+  int best = 0;
+  for (const Tenant::PrefixEntry& e : tenant(m).prefix_cache) {
+    best = std::max(best, common_prefix(e.tokens, prompt));
+  }
+  return best;
+}
+
 int BatchedEngine::kv_free() const {
   return paged() ? kv_pages_->free() : kv_slots_->free();
 }
@@ -1119,6 +1145,13 @@ model::Tensor BatchedEngine::forward_tokens(const Request& r,
 
 void BatchedEngine::admit_pending(int step_idx, double& step_energy,
                                   std::vector<char>& serial_admitted) {
+  // A prefix registry pinning EVERY page would stall admission forever on
+  // an otherwise idle engine: the loop below never runs at kv_free() == 0,
+  // so its deadlock guard never fires. Small pools (few pages, long
+  // whole-page prompts) reach this; evict pins until a page frees up.
+  while (paged() && active_.empty() && !pending_.empty() && kv_free() == 0 &&
+         drop_lru_prefix_entry()) {
+  }
   while (!pending_.empty() && kv_free() > 0) {
     const int pi = pick_admissible_pending();
     if (pi < 0) {

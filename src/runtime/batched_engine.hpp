@@ -485,6 +485,27 @@ class BatchedEngine {
   [[nodiscard]] int chunk_tokens(ModelId m) const;
   [[nodiscard]] int chunk_tokens() const { return chunk_tokens(0); }
 
+  /// Idle-engine service-demand estimate for one request shape on a
+  /// deployed model — the same block-program estimate EDF admission,
+  /// fail-fast and preemption already rank on, exposed so a fleet
+  /// router can compare placement cost across heterogeneous nodes
+  /// without submitting. Same shape contract as submit(): 1 <=
+  /// prompt_tokens <= the deployment's prefill length, new_tokens >= 0.
+  [[nodiscard]] Cycles estimate_cost(ModelId m, int prompt_tokens,
+                                     int new_tokens) const;
+
+  /// Longest prompt prefix (in tokens) this engine's CoW prefix cache
+  /// already holds for `prompt` on model `m` — 0 when prefix sharing is
+  /// off or nothing matches. Fleet prefix-affinity routing steers a
+  /// request to the node with the deepest match so its prefill rides
+  /// the shared pages instead of recomputing.
+  [[nodiscard]] int prefix_match_tokens(ModelId m,
+                                        const std::vector<int>& prompt) const;
+
+  /// Static model shape of one deployment (prompt_len / ar_context
+  /// bound what submit() accepts; fleet routing pre-filters on them).
+  [[nodiscard]] const model::TransformerConfig& model_config(ModelId m) const;
+
  private:
   struct Request {
     RequestId id = -1;

@@ -17,69 +17,83 @@ const char* category_name(Category c) {
   return "?";
 }
 
-void Tracer::record(const Span& span) {
-  DISTMCU_CHECK(span.end >= span.begin, "Tracer span ends before it begins");
-  spans_.push_back(span);
-  if (spans_.back().request == kNoRequest) spans_.back().request = request_;
-  if (spans_.back().model == kNoModel) spans_.back().model = model_;
+void Tracer::accumulate(int chip, Category cat, Cycles duration, Bytes bytes,
+                        Cycles end, int request, int model) {
+  DISTMCU_CHECK(chip >= 0, "Tracer span on negative chip id " +
+                               std::to_string(chip));
+  const auto c = static_cast<std::size_t>(cat);
+  if (static_cast<std::size_t>(chip) >= chip_totals_.size()) {
+    chip_totals_.resize(static_cast<std::size_t>(chip) + 1);
+  }
+  chip_totals_[static_cast<std::size_t>(chip)][c] += duration;
+  cat_totals_[c] += duration;
+  cat_bytes_[c] += bytes;
+  makespan_ = std::max(makespan_, end);
+  request_totals_[request] += duration;
+  model_totals_[model] += duration;
+  ++recorded_;
 }
 
-void Tracer::record(int chip, Category cat, Cycles begin, Cycles end, Bytes bytes,
-                    std::string label) {
-  record(Span{chip, cat, begin, end, bytes, std::move(label), kNoRequest,
-              kNoModel});
+void Tracer::record(const Span& span) {
+  DISTMCU_CHECK(span.end >= span.begin, "Tracer span ends before it begins");
+  const int request = span.request == kNoRequest ? request_ : span.request;
+  const int model = span.model == kNoModel ? model_ : span.model;
+  accumulate(span.chip, span.category, span.duration(), span.bytes, span.end,
+             request, model);
+  if (keep_spans_) {
+    spans_.push_back(span);
+    spans_.back().request = request;
+    spans_.back().model = model;
+  }
+}
+
+void Tracer::record(int chip, Category cat, Cycles begin, Cycles end,
+                    Bytes bytes, std::string_view label) {
+  DISTMCU_CHECK(end >= begin, "Tracer span ends before it begins");
+  accumulate(chip, cat, end - begin, bytes, end, request_, model_);
+  if (keep_spans_) {
+    spans_.push_back(Span{chip, cat, begin, end, bytes, std::string(label),
+                          request_, model_});
+  }
 }
 
 Cycles Tracer::total(int chip, Category cat) const {
-  Cycles sum = 0;
-  for (const auto& s : spans_) {
-    if (s.chip == chip && s.category == cat) sum += s.duration();
+  if (chip < 0 || static_cast<std::size_t>(chip) >= chip_totals_.size()) {
+    return 0;
   }
-  return sum;
+  return chip_totals_[static_cast<std::size_t>(chip)]
+                     [static_cast<std::size_t>(cat)];
 }
 
 Cycles Tracer::total(Category cat) const {
-  Cycles sum = 0;
-  for (const auto& s : spans_) {
-    if (s.category == cat) sum += s.duration();
-  }
-  return sum;
+  return cat_totals_[static_cast<std::size_t>(cat)];
 }
 
 Bytes Tracer::total_bytes(Category cat) const {
-  Bytes sum = 0;
-  for (const auto& s : spans_) {
-    if (s.category == cat) sum += s.bytes;
-  }
-  return sum;
-}
-
-Cycles Tracer::makespan() const {
-  Cycles m = 0;
-  for (const auto& s : spans_) m = std::max(m, s.end);
-  return m;
+  return cat_bytes_[static_cast<std::size_t>(cat)];
 }
 
 Cycles Tracer::total_for_request(int request) const {
-  Cycles sum = 0;
-  for (const auto& s : spans_) {
-    if (s.request == request) sum += s.duration();
-  }
-  return sum;
+  const auto it = request_totals_.find(request);
+  return it == request_totals_.end() ? 0 : it->second;
 }
 
 Cycles Tracer::total_for_model(int model) const {
-  Cycles sum = 0;
-  for (const auto& s : spans_) {
-    if (s.model == model) sum += s.duration();
-  }
-  return sum;
+  const auto it = model_totals_.find(model);
+  return it == model_totals_.end() ? 0 : it->second;
 }
 
 void Tracer::clear() {
   spans_.clear();
+  recorded_ = 0;
   request_ = kNoRequest;
   model_ = kNoModel;
+  chip_totals_.clear();
+  cat_totals_.fill(0);
+  cat_bytes_.fill(0);
+  makespan_ = 0;
+  request_totals_.clear();
+  model_totals_.clear();
 }
 
 }  // namespace distmcu::sim

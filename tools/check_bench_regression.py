@@ -38,6 +38,17 @@ the same schema:
   requests than the slot engine at equal KV bytes, every config's
   streams stay bit-exact with zero pages leaked, and prefix sharing
   registers hits and strictly cuts cycles versus cold paging.
+* ``distmcu.fleet.v1`` (fleet_serving): policies rows (matched by
+  routing policy) pin every conservation counter exactly (offered ==
+  placed + rejected, routed == placed + misrouted, placed == completed
+  + shed, all re-derived by the gate itself) along with deadline_misses,
+  prefix counters, bit_exact and conservation_ok; cycle/transfer fields
+  are drift-bounded; per-node rows (matched by node name) pin
+  attempts/placed/completed/rejected/link_rejected; and the
+  cross-policy invariants hold that a cost- or prefix-aware router
+  strictly beats round-robin on deadline misses at identical offered
+  load and that prefix affinity lands more prefix-cache hits than
+  round-robin.
 * ``distmcu.analysis.v1`` (analyze): configs rows (matched by config
   name) pin errors/warnings/ok and the sorted diagnostic-code list
   exactly (the analyzer is deterministic — any new code on a shipped
@@ -59,6 +70,7 @@ Regenerate a baseline with, e.g.:
     ./build/headline_abstract --json bench/baselines/headline_baseline.json
     ./build/multimodel_serving --json bench/baselines/multimodel_baseline.json
     ./build/paged_serving --json bench/baselines/paging_baseline.json
+    ./build/fleet_serving --json bench/baselines/fleet_baseline.json
 
 Uses only the Python standard library.
 """
@@ -73,6 +85,7 @@ HEADLINE_SCHEMA = "distmcu.headline.v1"
 MULTIMODEL_SCHEMA = "distmcu.multimodel.v1"
 ANALYSIS_SCHEMA = "distmcu.analysis.v1"
 PAGING_SCHEMA = "distmcu.paging.v1"
+FLEET_SCHEMA = "distmcu.fleet.v1"
 
 
 def fail(errors, msg):
@@ -417,6 +430,91 @@ def check_paging(errors, current, baseline, tol):
             f"{vals[('shared', 'prefix_hits')]} prefix hits")
 
 
+def check_fleet(errors, current, baseline, tol):
+    """Fleet-router gate: request-conservation counters are deterministic
+    and pinned (and re-derived here, so a tampered baseline cannot hide a
+    leak); cycle/transfer fields drift-bounded; plus the cross-policy
+    invariants that routing intelligence pays for itself."""
+    policies = require(errors, current, "policies", "current")
+    check_rows(errors, "policies", policies, baseline["policies"], "policy",
+               lower_is_better=("makespan_cycles", "request_transfer_cycles",
+                               "response_transfer_cycles"),
+               higher_is_better=(), tol=tol,
+               pinned=("offered", "placed", "rejected", "routed", "misrouted",
+                       "completed", "shed", "slo_requests", "deadline_misses",
+                       "transfer_bytes", "prefix_hits", "prefix_shared_tokens",
+                       "bit_exact", "conservation_ok"))
+    if policies is None:
+        return ""
+    rows = index_rows(errors, "current.policies", policies, "policy")
+    base_rows = index_rows(errors, "baseline.policies", baseline["policies"],
+                           "policy")
+    for name, row in rows.items():
+        ctx = f"policies[{name}]"
+        vals = {f: require(errors, row, f, ctx)
+                for f in ("offered", "placed", "rejected", "routed",
+                          "misrouted", "completed", "shed", "bit_exact",
+                          "conservation_ok", "per_node")}
+        if None in vals.values():
+            continue
+        if vals["offered"] != vals["placed"] + vals["rejected"]:
+            fail(errors, f"{ctx}: offered ({vals['offered']}) != placed "
+                         f"({vals['placed']}) + rejected ({vals['rejected']})")
+        if vals["routed"] != vals["placed"] + vals["misrouted"]:
+            fail(errors, f"{ctx}: routed ({vals['routed']}) != placed "
+                         f"({vals['placed']}) + misrouted "
+                         f"({vals['misrouted']})")
+        if vals["placed"] != vals["completed"] + vals["shed"]:
+            fail(errors, f"{ctx}: placed ({vals['placed']}) != completed "
+                         f"({vals['completed']}) + shed ({vals['shed']})")
+        if vals["bit_exact"] is not True:
+            fail(errors, f"{ctx}: routed streams diverged from the "
+                         f"dedicated single-node engine")
+        if vals["conservation_ok"] is not True:
+            fail(errors, f"{ctx}: in-bench conservation audit failed")
+        brow = base_rows.get(name)
+        if brow is not None:
+            check_rows(errors, f"{ctx}.per_node", vals["per_node"],
+                       brow["per_node"], "name",
+                       lower_is_better=("total_cycles",),
+                       higher_is_better=(), tol=tol,
+                       pinned=("attempts", "placed", "completed", "rejected",
+                               "link_rejected"))
+    rr = rows.get("round_robin")
+    cost = rows.get("cost_aware")
+    prefix = rows.get("prefix_affinity")
+    if rr is None or cost is None or prefix is None:
+        fail(errors, "policies: expected round_robin / cost_aware / "
+                     "prefix_affinity rows")
+        return ""
+    vals = {}
+    for name, row in (("rr", rr), ("cost", cost), ("prefix", prefix)):
+        for field in ("deadline_misses", "prefix_hits", "offered"):
+            vals[(name, field)] = require(errors, row, field,
+                                          f"policies[{name}]")
+    if None in vals.values():
+        return ""
+    if len({vals[(n, "offered")] for n in ("rr", "cost", "prefix")}) != 1:
+        fail(errors, "invariant: policies compared at different offered load")
+    best = min(vals[("cost", "deadline_misses")],
+               vals[("prefix", "deadline_misses")])
+    if best >= vals[("rr", "deadline_misses")]:
+        fail(errors,
+             f"invariant: neither cost-aware "
+             f"({vals[('cost', 'deadline_misses')]}) nor prefix-affinity "
+             f"({vals[('prefix', 'deadline_misses')]}) routing beats "
+             f"round-robin ({vals[('rr', 'deadline_misses')]}) on deadline "
+             f"misses at identical offered load")
+    if vals[("prefix", "prefix_hits")] <= vals[("rr", "prefix_hits")]:
+        fail(errors,
+             f"invariant: prefix-affinity hits "
+             f"({vals[('prefix', 'prefix_hits')]}) not above round-robin "
+             f"({vals[('rr', 'prefix_hits')]})")
+    return (f"misses rr {vals[('rr', 'deadline_misses')]} vs cost "
+            f"{vals[('cost', 'deadline_misses')]} vs prefix "
+            f"{vals[('prefix', 'deadline_misses')]}")
+
+
 HANDLERS = {
     SERVING_SCHEMA: check_serving,
     SERVING_V2_SCHEMA: check_serving_v2,
@@ -424,6 +522,7 @@ HANDLERS = {
     MULTIMODEL_SCHEMA: check_multimodel,
     ANALYSIS_SCHEMA: check_analysis,
     PAGING_SCHEMA: check_paging,
+    FLEET_SCHEMA: check_fleet,
 }
 
 

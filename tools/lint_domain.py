@@ -24,6 +24,19 @@ Rules (suppress a single line with a trailing ``// lint-domain: allow``):
   more request/model scopes than it closes leaks the tag onto unrelated
   spans. Checked as a per-file begin/end balance.
 
+With ``--docs <dir>`` two documentation rules run as well:
+
+* ``docs-coverage`` — every stable diagnostic code (``DMCU-XXX-NNN``)
+  and every bench JSON schema id (``distmcu.<name>.vN``) found in
+  src/bench/tools must appear somewhere in the docs tree: the codes and
+  schemas are public contract, so an undocumented one is a doc bug, not
+  an oversight CI should tolerate.
+* ``docs-snippet-sync`` — every ```` ```cpp ```` fence in
+  ``docs/extending.md`` must appear verbatim (modulo one uniform
+  indent) in ``tests/test_doc_snippets.cpp``, which compiles and runs
+  the examples; a fence with no compiled twin is documentation that can
+  rot.
+
 Exit status: 0 when clean, 1 with one line per finding otherwise.
 Uses only the Python standard library.
 """
@@ -155,10 +168,110 @@ def lint_file(path, findings):
             f"{model_close} time(s)")
 
 
+DIAG_CODE = re.compile(r"\bDMCU-[A-Z]+-\d{3}\b")
+SCHEMA_ID = re.compile(r"\bdistmcu\.[a-z_]+\.v\d+\b")
+CPP_FENCE = re.compile(r"```cpp\n(.*?)```", re.S)
+
+# Directories scanned for public identifiers (codes / schema ids); the
+# docs tree must mention every one of them.
+ID_ROOTS = ("src", "bench", "tools")
+ID_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".py")
+
+SNIPPET_DOC_NAME = "extending.md"
+SNIPPET_TEST = os.path.join("tests", "test_doc_snippets.cpp")
+
+
+def fence_in_lines(snippet_lines, file_lines):
+    """Whether `snippet_lines` appears as a contiguous run in
+    `file_lines`, allowing one uniform whitespace prefix on every
+    non-blank line (doc fences sit at column 0; the compiled twin may
+    live inside a function body)."""
+    n = len(snippet_lines)
+    for start in range(len(file_lines) - n + 1):
+        prefix = None
+        for s, w in zip(snippet_lines, file_lines[start:start + n]):
+            if not s.strip():
+                if w.strip():
+                    break
+                continue
+            if prefix is None:
+                if w.endswith(s) and not w[:len(w) - len(s)].strip():
+                    prefix = w[:len(w) - len(s)]
+                    continue
+                break
+            if w != prefix + s:
+                break
+        else:
+            return True
+    return False
+
+
+def lint_docs(docs_dir, findings):
+    """docs-coverage + docs-snippet-sync (see the module docstring)."""
+    docs_text = []
+    for dirpath, _, names in os.walk(docs_dir):
+        for name in sorted(names):
+            if name.endswith(".md"):
+                with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                    docs_text.append(f.read())
+    docs_text = "\n".join(docs_text)
+    if not docs_text:
+        findings.append(f"{docs_dir}: [docs-coverage] no markdown files found")
+        return
+
+    codes, schemas = set(), set()
+    for root in ID_ROOTS:
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if not name.endswith(ID_SUFFIXES):
+                    continue
+                with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                    text = f.read()
+                codes.update(DIAG_CODE.findall(text))
+                schemas.update(SCHEMA_ID.findall(text))
+    for code in sorted(codes):
+        if code not in docs_text:
+            findings.append(
+                f"{docs_dir}: [docs-coverage] diagnostic code {code} is "
+                f"undocumented in the docs tree")
+    for schema in sorted(schemas):
+        if schema not in docs_text:
+            findings.append(
+                f"{docs_dir}: [docs-coverage] bench schema {schema} is "
+                f"undocumented in the docs tree")
+
+    snippet_doc = os.path.join(docs_dir, SNIPPET_DOC_NAME)
+    if not os.path.exists(snippet_doc):
+        return
+    with open(snippet_doc, encoding="utf-8") as f:
+        doc = f.read()
+    fences = [m.group(1).rstrip("\n").splitlines()
+              for m in CPP_FENCE.finditer(doc)]
+    fences = [fc for fc in fences if any(line.strip() for line in fc)]
+    if fences and not os.path.exists(SNIPPET_TEST):
+        findings.append(
+            f"{snippet_doc}: [docs-snippet-sync] has cpp fences but "
+            f"{SNIPPET_TEST} does not exist")
+        return
+    if fences:
+        with open(SNIPPET_TEST, encoding="utf-8") as f:
+            test_lines = f.read().splitlines()
+        for idx, fence in enumerate(fences, 1):
+            if not fence_in_lines(fence, test_lines):
+                first = next(line.strip() for line in fence if line.strip())
+                findings.append(
+                    f"{snippet_doc}: [docs-snippet-sync] cpp fence #{idx} "
+                    f"(starting {first!r}) has no verbatim twin in "
+                    f"{SNIPPET_TEST}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("roots", nargs="*", default=["src"],
                     help="directories to lint (default: src)")
+    ap.add_argument("--docs", default=None, metavar="DIR",
+                    help="docs tree; enables docs-coverage and "
+                         "docs-snippet-sync")
     args = ap.parse_args()
 
     files = []
@@ -175,15 +288,19 @@ def main():
     findings = []
     for path in files:
         lint_file(path, findings)
+    if args.docs:
+        lint_docs(args.docs, findings)
 
     if findings:
         print("DOMAIN LINT FAILED:")
         for f in findings:
             print(f"  - {f}")
         return 1
-    print(f"domain lint OK: {len(files)} files clean "
-          f"(no-raw-assert, unsaturated-deadline, "
-          f"unsaturated-bytes-roundup, tracer-pairing)")
+    rules = ("no-raw-assert, unsaturated-deadline, "
+             "unsaturated-bytes-roundup, tracer-pairing")
+    if args.docs:
+        rules += ", docs-coverage, docs-snippet-sync"
+    print(f"domain lint OK: {len(files)} files clean ({rules})")
     return 0
 
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/batched_engine.hpp"
+#include "runtime/deployment_spec.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/kv_budget.hpp"
 #include "runtime/model_registry.hpp"
@@ -58,17 +59,26 @@ model::TransformerConfig cls_model() {
 
 int main() {
   const double freq_hz = 500e6;
-  const runtime::InferenceSession llama(gen_model(), 4);
-  const runtime::InferenceSession bert(cls_model(), 2);
 
-  // Two deployments, one engine: 3 shared KV slots, quotas 2 + 1, the
-  // watermark policy lending idle capacity across models, EDF admission
-  // ranking deadlines across models.
+  // Two deployments declared through the DeploymentSpec surface, one
+  // engine: 3 shared KV slots, quotas 2 + 1, the watermark policy
+  // lending idle capacity across models, EDF admission ranking
+  // deadlines across models. The registry owns the sessions it builds.
+  runtime::DeploymentSpec llama_spec;
+  llama_spec.model = gen_model();
+  llama_spec.chips = 4;
+  llama_spec.prefill_chunk_tokens = 2;
+  llama_spec.kv_quota = 2;
+  runtime::DeploymentSpec bert_spec;
+  bert_spec.model = cls_model();
+  bert_spec.chips = 2;
+  bert_spec.prefill_chunk_tokens = 4;
+  bert_spec.kv_quota = 1;
+
+  const runtime::InferenceSession llama(llama_spec);
   runtime::ModelRegistry registry;
-  const auto gen = registry.add(llama, "tinyllama",
-                                /*prefill_chunk_tokens=*/2, /*kv_quota=*/2);
-  const auto cls = registry.add(bert, "mobilebert",
-                                /*prefill_chunk_tokens=*/4, /*kv_quota=*/1);
+  const auto gen = registry.add(llama_spec);
+  const auto cls = registry.add(bert_spec);
   runtime::BatchedEngine engine(
       registry,
       {.total_kv_slots = 3,
@@ -85,11 +95,15 @@ int main() {
   std::vector<Gen> gens;
   for (int i = 0; i < 3; ++i) {
     const std::vector<int> prompt{1 + i, 7, 3 + i};
-    gens.push_back({*engine.submit(gen, prompt, 6), prompt, 6});
+    gens.push_back(
+        {*engine.submit({.model = gen, .prompt = prompt, .new_tokens = 6}),
+         prompt, 6});
   }
-  const auto cls_id =
-      *engine.submit(cls, {5, 9, 2, 8, 4, 6, 1, 3}, 0,
-                     {.priority = 0, .deadline_cycles = 40'000'000});
+  const auto cls_id = *engine.submit(
+      {.model = cls,
+       .prompt = {5, 9, 2, 8, 4, 6, 1, 3},
+       .new_tokens = 0,
+       .slo = {.priority = 0, .deadline_cycles = 40'000'000}});
 
   const auto results = engine.run_to_completion();
   const auto& stats = engine.stats();

@@ -69,6 +69,11 @@ struct TenantModel {
   Cycles ar_shared_cycles = 0;   // per-step weight stream (port occupancy)
   Cycles ar_per_req_cycles = 0;  // per-request decode compute
   Bytes chip_kv_bytes = 0;
+  /// Per-precision KV widths, mirroring BatchedEngine::build_tenant:
+  /// every KV byte count is scaled from the planner's native entry width
+  /// to the deployment's packed layout before any fit is judged.
+  int kv_elem_bits = 0;
+  int native_kv_bits = 0;
   struct FitPlan {
     const char* mode = "";
     partition::MemoryPlan plan;
@@ -139,7 +144,12 @@ void measure_tenant(const ModelDeployment& dep, TenantModel& t,
       t.fit_plans.push_back({"chunked-prompt", chunk_blocks.front().memory});
     }
     t.fit_plans.push_back({"autoregressive", ar_block.memory});
-    t.chip_kv_bytes = ar_block.memory.kv_cache_bytes;
+    t.kv_elem_bits = session.kv_elem_bits();
+    t.native_kv_bits =
+        static_cast<int>(session.system().precision.kv_bytes) *
+        runtime::kBitsPerByte;
+    t.chip_kv_bytes = runtime::scale_kv_bytes(
+        ar_block.memory.kv_cache_bytes, t.kv_elem_bits, t.native_kv_bits);
 
     const auto layers = static_cast<Cycles>(session.config().num_layers);
     if (prompt_block.has_value()) {
@@ -415,13 +425,18 @@ AnalysisReport DeploymentAnalyzer::analyze(
         }
         continue;
       }
-      const Bytes extra_kv =
-          fp.plan.kv_cache_bytes * static_cast<Bytes>(t.cap - 1);
-      if (fp.plan.need() + extra_kv > fp.plan.l2_usable) {
+      // Unified per-precision form, exactly like check_pool_fits: swap
+      // the plan's native single-set KV term for cap sets at the packed
+      // width (identity for native layouts).
+      const Bytes set_kv = runtime::scale_kv_bytes(
+          fp.plan.kv_cache_bytes, t.kv_elem_bits, t.native_kv_bits);
+      const Bytes resident = fp.plan.need() - fp.plan.kv_cache_bytes +
+                             set_kv * static_cast<Bytes>(t.cap);
+      if (resident > fp.plan.l2_usable) {
         emit(report, kMemOverflow, Severity::error,
              deployment_entity(entries[m]),
              std::to_string(t.cap) + " pooled KV-cache sets need " +
-                 util::format_bytes(fp.plan.need() + extra_kv) + " of L2 in " +
+                 util::format_bytes(resident) + " of L2 in " +
                  fp.mode + " mode but only " +
                  util::format_bytes(fp.plan.l2_usable) + " is usable",
              "lower max_resident/total_kv_slots or ar_context");

@@ -165,6 +165,8 @@ RoutingPolicy::NodeView Router::view_for(const Node& n, int index,
   }
 
   v.eligible = true;
+  v.precision = n.engine->model_precision(m);
+  v.kv_elem_bits = n.engine->model_kv_elem_bits(m);
   v.est_cost = n.engine->estimate_cost(m, prompt_tokens, new_tokens);
   v.prefix_match_tokens = n.engine->prefix_match_tokens(m, prompt);
   if (v.prefix_match_tokens > 0) {
@@ -261,7 +263,10 @@ std::optional<FleetRequestId> Router::submit(const std::string& model,
 
     std::optional<runtime::RequestId> placed;
     if (!link_infeasible) {
-      placed = n.engine->submit(m, prompt, new_tokens, node_slo);
+      placed = n.engine->submit({.model = m,
+                                 .prompt = prompt,
+                                 .new_tokens = new_tokens,
+                                 .slo = node_slo});
     }
     if (!placed.has_value()) {
       ++misrouted_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/precision.hpp"
 #include "util/units.hpp"
 
 namespace distmcu::fleet {
@@ -48,6 +49,14 @@ class RoutingPolicy {
     /// Round-trip link charge for THIS request on the node's link:
     /// request bytes in plus response bytes back, latency both ways.
     Cycles link_cycles = 0;
+    /// Precision capability of the node's deployment of this model:
+    /// declared arithmetic precision and the packed bits one stored KV
+    /// entry costs its arena. Policies can steer precision-sensitive
+    /// traffic (e.g. prefer int8 nodes for throughput, fp16 for
+    /// fidelity) without reaching into the engine. Defaults describe the
+    /// float path; only meaningful when `eligible`.
+    runtime::Precision precision = runtime::Precision::fp16;
+    int kv_elem_bits = 0;
   };
 
   virtual ~RoutingPolicy() = default;

@@ -123,6 +123,16 @@ Bytes KvCachePool::set_filled_bytes(int i, Bytes elem_bytes) {
   return sum;
 }
 
+Bytes KvCachePool::set_filled_packed_bytes(int i, int elem_bits) {
+  Bytes sum = 0;
+  for (const auto& per_chip : slot(i)) {
+    for (const auto& cache : per_chip) {
+      sum += cache.filled_packed_bytes(elem_bits);
+    }
+  }
+  return sum;
+}
+
 std::optional<int> KvCachePool::acquire_set() {
   for (std::size_t i = 0; i < set_in_use_.size(); ++i) {
     if (!set_in_use_[i]) {
@@ -147,6 +157,16 @@ Bytes KvCachePool::set_capacity_bytes(Bytes elem_bytes) const {
   Bytes sum = 0;
   for (const auto& per_chip : slots_.front()) {
     for (const auto& cache : per_chip) sum += cache.capacity_bytes(elem_bytes);
+  }
+  return sum;
+}
+
+Bytes KvCachePool::set_capacity_packed_bytes(int elem_bits) const {
+  Bytes sum = 0;
+  for (const auto& per_chip : slots_.front()) {
+    for (const auto& cache : per_chip) {
+      sum += cache.capacity_packed_bytes(elem_bits);
+    }
   }
   return sum;
 }

@@ -1,6 +1,7 @@
 #ifndef DISTMCU_MODEL_KV_CACHE_HPP
 #define DISTMCU_MODEL_KV_CACHE_HPP
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
@@ -9,6 +10,18 @@
 #include "model/tensor.hpp"
 
 namespace distmcu::model {
+
+/// Bytes `elems` KV entries occupy packed at `elem_bits` bits each,
+/// rounded up to whole bytes (int4 packs two entries per byte).
+/// `elem_bits == 8 * elem_bytes` reproduces the byte-width accounting
+/// exactly, which is what keeps native-layout deployments bit-identical.
+[[nodiscard]] constexpr Bytes packed_kv_bytes(std::uint64_t elems,
+                                              int elem_bits) {
+  constexpr std::uint64_t kBitsPerByte = 8;  // lint-domain: allow
+  return static_cast<Bytes>(
+      (elems * static_cast<std::uint64_t>(elem_bits) + kBitsPerByte - 1) /
+      kBitsPerByte);
+}
 
 /// Key/Value cache for one layer (paper Sec. II-A): stores the projected
 /// K and V rows of all past positions so autoregressive decoding avoids
@@ -64,6 +77,20 @@ class KvCache {
            elem_bytes;
   }
 
+  /// Packed-layout variants: bytes at `elem_bits` bits per entry. These
+  /// are what quantized-KV deployments charge the shared arena (and the
+  /// checkpoint DMA) instead of the byte-width forms above.
+  [[nodiscard]] Bytes capacity_packed_bytes(int elem_bits) const {
+    return packed_kv_bytes(2ull * static_cast<std::uint64_t>(max_positions_) *
+                               static_cast<std::uint64_t>(dim_),
+                           elem_bits);
+  }
+  [[nodiscard]] Bytes filled_packed_bytes(int elem_bits) const {
+    return packed_kv_bytes(2ull * static_cast<std::uint64_t>(length_) *
+                               static_cast<std::uint64_t>(dim_),
+                           elem_bits);
+  }
+
  private:
   int max_positions_;
   int dim_;
@@ -113,6 +140,10 @@ class KvCachePool {
   /// request currently holding the set.
   [[nodiscard]] Bytes set_filled_bytes(int i, Bytes elem_bytes);
 
+  /// Packed-layout variant of set_filled_bytes: the checkpoint traffic
+  /// when the tenant stores KV entries at `elem_bits` bits each.
+  [[nodiscard]] Bytes set_filled_packed_bytes(int i, int elem_bits);
+
   /// Lowest free set index, or nullopt when every set is handed out.
   [[nodiscard]] std::optional<int> acquire_set();
 
@@ -124,6 +155,10 @@ class KvCachePool {
   /// Bytes one set reserves at full capacity (all chips, all layers) —
   /// what the serving engine's arena charges per slot.
   [[nodiscard]] Bytes set_capacity_bytes(Bytes elem_bytes) const;
+
+  /// Packed-layout variant of set_capacity_bytes: what one set costs the
+  /// arena when KV entries are stored at `elem_bits` bits each.
+  [[nodiscard]] Bytes set_capacity_packed_bytes(int elem_bits) const;
 
  private:
   std::vector<CacheSet> slots_;

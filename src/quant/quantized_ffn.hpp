@@ -52,9 +52,14 @@ class QuantizedDistributedFfn {
     int fw = 0;
   };
 
-  const model::TransformerConfig& cfg_;
-  const partition::PartitionPlan& plan_;
-  const noc::Topology& topo_;
+  // Owned by value: a deployment may outlive the construction scope
+  // that held the config/plan/topology lvalues (the registry's owned
+  // sessions do), so holding const& here was a dangling-reference trap.
+  // All three are small value types; the heavy state (the quantized
+  // shards) already lives in chips_.
+  model::TransformerConfig cfg_;
+  partition::PartitionPlan plan_;
+  noc::Topology topo_;
   QuantParams w2_shared_params_;  // shared so partials share one scale
   std::vector<ChipShard> chips_;
 };

@@ -13,16 +13,22 @@ namespace {
 
 /// Re-check one deployment's memory plan with `cap` KV sets resident:
 /// the memory planner validated a single request's KV against the
-/// worst-case chip's L2, so scale its KV term by the cap.
-void check_pool_fits(const partition::MemoryPlan& mp, int cap,
-                     const char* mode, const std::string& model) {
-  const Bytes extra_kv = mp.kv_cache_bytes * static_cast<Bytes>(cap - 1);
+/// worst-case chip's L2 at the platform-native entry width, so swap the
+/// plan's single-set KV term for `cap` sets at the deployment's packed
+/// width. Native layouts reduce to the historical
+/// need() + kv * (cap - 1) check exactly.
+void check_pool_fits(const partition::MemoryPlan& mp, int cap, int elem_bits,
+                     int native_bits, const char* mode,
+                     const std::string& model) {
+  const Bytes set_kv = scale_kv_bytes(mp.kv_cache_bytes, elem_bits, native_bits);
+  const Bytes resident = mp.need() - mp.kv_cache_bytes +
+                         set_kv * static_cast<Bytes>(cap);
   DISTMCU_CHECK_PLAN(
-      mp.need() + extra_kv <= mp.l2_usable,
+      resident <= mp.l2_usable,
       "BatchedEngine['" + model + "']: " + std::to_string(cap) +
-          " pooled KV-cache sets need " +
-          util::format_bytes(mp.need() + extra_kv) + " of L2 in " + mode +
-          " mode but only " + util::format_bytes(mp.l2_usable) +
+          " pooled KV-cache sets need " + util::format_bytes(resident) +
+          " of L2 in " + mode + " mode but only " +
+          util::format_bytes(mp.l2_usable) +
           " is usable; lower max_batch or ar_context");
 }
 
@@ -98,9 +104,16 @@ BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
   const InferenceSession& session = *dep.session;
   Tenant t;
   t.session = dep.session;
+  t.owned_session = dep.owned_session;
   t.name = dep.name;
   t.quota = quota;
   t.cap = cap;
+  // Per-precision byte accounting: every KV byte count below (sets,
+  // pages, fit checks) is scaled from the planner's native width to the
+  // deployment's packed entry width.
+  t.kv_elem_bits = session.kv_elem_bits();
+  const int native_kv_bits =
+      static_cast<int>(session.system().precision.kv_bytes) * kBitsPerByte;
   t.chunk_tokens =
       effective_chunk_tokens(dep.prefill_chunk_tokens,
                              session.config().prompt_len);
@@ -116,7 +129,8 @@ BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
     prompt_block = session.run_block(model::Mode::prompt);
   }
   const BlockResult ar_block = session.run_block(model::Mode::autoregressive);
-  t.chip_kv_bytes = ar_block.memory.kv_cache_bytes;
+  t.chip_kv_bytes = scale_kv_bytes(ar_block.memory.kv_cache_bytes,
+                                   t.kv_elem_bits, native_kv_bits);
 
   const int ctx = session.config().ar_context;
   if (page_tokens > 0) {
@@ -139,7 +153,7 @@ BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
     if (page_tokens > 0) {
       check_paged_pool_fits(mp, cap, t.chip_page_bytes, mode, t.name);
     } else {
-      check_pool_fits(mp, cap, mode, t.name);
+      check_pool_fits(mp, cap, t.kv_elem_bits, native_kv_bits, mode, t.name);
     }
   };
   if (chunk_blocks.empty()) {
@@ -194,11 +208,9 @@ BatchedEngine::Tenant BatchedEngine::build_tenant(const ModelDeployment& dep,
   // Physical cache sets, one pool per model (functional isolation); the
   // shared byte budget is charged by the engine's tenant-tagged arena.
   t.pool.emplace(cap, [&session] {
-    return session.block_executor().make_chip_caches(
-        session.config().ar_context);
+    return session.make_chip_caches(session.config().ar_context);
   });
-  t.kv_set_bytes =
-      t.pool->set_capacity_bytes(session.system().precision.kv_bytes);
+  t.kv_set_bytes = t.pool->set_capacity_packed_bytes(t.kv_elem_bits);
   if (t.page_tokens > 0) {
     // Exact: a set's capacity is 2 * ctx * dim * elem summed over caches,
     // so the per-context division has no remainder.
@@ -482,7 +494,7 @@ int BatchedEngine::common_prefix(const std::vector<int>& a,
   return static_cast<int>(i);
 }
 
-int BatchedEngine::tokens_after_step(const Request& r) const {
+int BatchedEngine::tokens_after_step(const Inflight& r) const {
   const Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
   const int len = static_cast<int>(r.prompt.size());
   // The same-step first decode appends a KV row only when another
@@ -499,7 +511,7 @@ int BatchedEngine::tokens_after_step(const Request& r) const {
 }
 
 BatchedEngine::PagedAdmitPlan BatchedEngine::plan_paged_admission(
-    const Request& p) const {
+    const Inflight& p) const {
   const Tenant& t = tenants_[static_cast<std::size_t>(p.model)];
   const int pt = t.page_tokens;
   PagedAdmitPlan plan;
@@ -609,6 +621,16 @@ int BatchedEngine::chunk_tokens(ModelId m) const {
   return tenant(m).chunk_tokens;
 }
 
+Precision BatchedEngine::model_precision(ModelId m) const {
+  return tenant(m).session->precision();
+}
+KvLayout BatchedEngine::model_kv_layout(ModelId m) const {
+  return tenant(m).session->kv_layout();
+}
+int BatchedEngine::model_kv_elem_bits(ModelId m) const {
+  return tenant(m).kv_elem_bits;
+}
+
 Cycles BatchedEngine::estimate_request_cost(const Tenant& t, int prompt_tokens,
                                             int new_tokens) const {
   // Prefill charge from the same block-program decomposition the steps
@@ -633,51 +655,49 @@ Cycles BatchedEngine::estimate_request_cost(const Tenant& t, int prompt_tokens,
   return est;
 }
 
-std::optional<RequestId> BatchedEngine::submit(ModelId model,
-                                               std::vector<int> prompt,
-                                               int new_tokens, SloSpec slo) {
+std::optional<RequestId> BatchedEngine::submit(Request req) {
   // The model guard must stay ahead of every per_model[...] index below:
   // an unknown id must throw, not corrupt another deployment's counters.
-  DISTMCU_CHECK(model >= 0 && model < model_count(),
-              "submit: unknown model id " + std::to_string(model));
-  const Tenant& t = tenants_[static_cast<std::size_t>(model)];
-  DISTMCU_CHECK(!prompt.empty(), "submit: prompt must not be empty");
-  DISTMCU_CHECK(new_tokens >= 0, "submit: new_tokens must be >= 0");
-  DISTMCU_CHECK(static_cast<int>(prompt.size()) + new_tokens <=
+  DISTMCU_CHECK(req.model >= 0 && req.model < model_count(),
+              "submit: unknown model id " + std::to_string(req.model));
+  const Tenant& t = tenants_[static_cast<std::size_t>(req.model)];
+  DISTMCU_CHECK(!req.prompt.empty(), "submit: prompt must not be empty");
+  DISTMCU_CHECK(req.new_tokens >= 0, "submit: new_tokens must be >= 0");
+  DISTMCU_CHECK(static_cast<int>(req.prompt.size()) + req.new_tokens <=
                   t.session->config().ar_context,
               "submit: sequence exceeds the model's context length");
   // Prefill cost and the construction-time L2 fit were both derived from
   // the deployment's static prompt shape, so longer prompts would be
   // silently under-charged and under-validated.
   DISTMCU_CHECK(
-      static_cast<int>(prompt.size()) <= t.session->config().prompt_len,
+      static_cast<int>(req.prompt.size()) <= t.session->config().prompt_len,
       "submit: prompt exceeds the deployment's prefill length (" +
           std::to_string(t.session->config().prompt_len) + ")");
   if (paged()) {
     // Livelock guard: a sequence whose full KV can never fit the
     // tenant's page cap would be admitted, grown until the cap, and
     // evicted forever. Refuse it up front like the context checks above.
-    const int max_rows = static_cast<int>(prompt.size()) +
-                         std::max(0, new_tokens - 1);
-    DISTMCU_CHECK(pages_for_tokens(model, max_rows) <= t.cap,
+    const int max_rows = static_cast<int>(req.prompt.size()) +
+                         std::max(0, req.new_tokens - 1);
+    DISTMCU_CHECK(pages_for_tokens(req.model, max_rows) <= t.cap,
                 "submit: sequence needs " +
-                    std::to_string(pages_for_tokens(model, max_rows)) +
+                    std::to_string(pages_for_tokens(req.model, max_rows)) +
                     " KV pages but model '" + t.name + "' is capped at " +
                     std::to_string(t.cap));
   }
 
   last_rejection_ = Rejection::none;
-  auto& pm = stats_.per_model[static_cast<std::size_t>(model)];
+  auto& pm = stats_.per_model[static_cast<std::size_t>(req.model)];
   const Cycles submitted_at = pipeline_.now();
   // Saturating resolve: a near-max relative deadline must pin to the
   // timeline's end (never missed), not wrap into the past (always
   // "missed" and, under fail-fast, always refused).
   const Cycles deadline_at =
-      slo.deadline_cycles != kNoDeadline
-          ? util::sat_add(submitted_at, slo.deadline_cycles)
+      req.slo.deadline_cycles != kNoDeadline
+          ? util::sat_add(submitted_at, req.slo.deadline_cycles)
           : kNoDeadline;
-  const Cycles est =
-      estimate_request_cost(t, static_cast<int>(prompt.size()), new_tokens);
+  const Cycles est = estimate_request_cost(
+      t, static_cast<int>(req.prompt.size()), req.new_tokens);
 
   // Fail-fast: refuse a deadline the request's own service demand
   // already blows on an idle engine — queueing and batching only add to
@@ -698,19 +718,19 @@ std::optional<RequestId> BatchedEngine::submit(ModelId model,
   // drop a heavier tenant's newest queued request to make room.
   const int backlog = static_cast<int>(pending_.size()) - kv_free();
   if (backlog >= opts_.max_pending &&
-      !(opts_.fair_shedding && shed_for_model(model))) {
+      !(opts_.fair_shedding && shed_for_model(req.model))) {
     last_rejection_ = Rejection::queue_full;
     ++stats_.rejected;
     ++stats_.rejected_queue_full;
     ++pm.rejected;
     return std::nullopt;
   }
-  Request r;
+  Inflight r;
   r.id = next_id_++;
-  r.model = model;
-  r.prompt = std::move(prompt);
-  r.new_tokens = new_tokens;
-  r.slo = slo;
+  r.model = req.model;
+  r.prompt = std::move(req.prompt);
+  r.new_tokens = req.new_tokens;
+  r.slo = req.slo;
   r.submitted_at = submitted_at;
   r.deadline_at = deadline_at;
   r.estimated_cost = est;
@@ -730,14 +750,14 @@ std::vector<KvBudgetPolicy::TenantView> BatchedEngine::budget_views() const {
     views[m].quota = tenants_[m].quota;
     views[m].cap = tenants_[m].cap;
   }
-  for (const Request& p : pending_) {
+  for (const Inflight& p : pending_) {
     ++views[static_cast<std::size_t>(p.model)].pending;
   }
   return views;
 }
 
 bool BatchedEngine::admissible_now(
-    const Request& p, const std::vector<KvBudgetPolicy::TenantView>& views,
+    const Inflight& p, const std::vector<KvBudgetPolicy::TenantView>& views,
     int free_slots) const {
   if (free_slots <= 0) return false;
   const auto m = static_cast<std::size_t>(p.model);
@@ -759,8 +779,8 @@ bool BatchedEngine::admissible_now(
                          plan.need_pages - plan.shared_pages);
 }
 
-bool BatchedEngine::admits_after_evicting(const Request& starved,
-                                          const Request& victim) const {
+bool BatchedEngine::admits_after_evicting(const Inflight& starved,
+                                          const Inflight& victim) const {
   // Post-eviction snapshot: the victim's budget units free and it
   // rejoins the queue; then ask whether the budget would grant the
   // starved request admission (a watermark-borrowed victim unit repays
@@ -782,7 +802,7 @@ bool BatchedEngine::admits_after_evicting(const Request& starved,
   return admissible_now(starved, views, kv_free() + freed);
 }
 
-Cycles BatchedEngine::remaining_cost(const Request& r) const {
+Cycles BatchedEngine::remaining_cost(const Inflight& r) const {
   const Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
   Cycles est = 0;
   if (!r.prefill_done()) {
@@ -827,7 +847,7 @@ bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
   // Earliest such deadline first (lowest id on ties).
   int starved_idx = -1;
   for (std::size_t i = 0; i < pending_.size(); ++i) {
-    const Request& p = pending_[i];
+    const Inflight& p = pending_[i];
     if (p.deadline_at == kNoDeadline) continue;
     if (util::sat_add(now, p.estimated_cost) > p.deadline_at) continue;
     if (admissible_now(p, views, free_slots)) continue;
@@ -839,7 +859,7 @@ bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
     }
   }
   if (starved_idx < 0) return false;
-  const Request& s = pending_[static_cast<std::size_t>(starved_idx)];
+  const Inflight& s = pending_[static_cast<std::size_t>(starved_idx)];
 
   // Victims: mid-decode running requests whose eviction actually
   // unblocks the starved request under the budget.
@@ -847,7 +867,7 @@ bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
   std::vector<PreemptionPolicy::Victim> victims;
   Cycles min_rem = std::numeric_limits<Cycles>::max();
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    const Request& v = active_[i];
+    const Inflight& v = active_[i];
     if (!v.prefill_done() || v.new_tokens == 0 || v.generated >= v.new_tokens) {
       continue;
     }
@@ -898,11 +918,10 @@ bool BatchedEngine::attempt_preemption(int step_idx, double& step_energy) {
 
 void BatchedEngine::evict_active(std::size_t idx, int /*step_idx*/,
                                  double& step_energy) {
-  Request r = std::move(active_[idx]);
+  Inflight r = std::move(active_[idx]);
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
   Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
-  const Bytes elem = t.session->system().precision.kv_bytes;
-  r.checkpoint_bytes = t.pool->set_filled_bytes(r.set, elem);
+  r.checkpoint_bytes = t.pool->set_filled_packed_bytes(r.set, t.kv_elem_bits);
   if (paged()) {
     // Rows resident in shared pages are not checkpoint traffic: the
     // pages stay mapped under the prefix registry (or other sharers)
@@ -974,14 +993,14 @@ bool BatchedEngine::shed_for_model(ModelId incoming) {
   // the caller reject queue_full. Checkpointed (evicted) requests are
   // never shed: their already-charged service would be orphaned.
   std::vector<int> depth(tenants_.size(), 0);
-  for (const Request& p : pending_) ++depth[static_cast<std::size_t>(p.model)];
+  for (const Inflight& p : pending_) ++depth[static_cast<std::size_t>(p.model)];
   ++depth[static_cast<std::size_t>(incoming)];
   int max_depth = 0;
   for (const int d : depth) max_depth = std::max(max_depth, d);
   if (depth[static_cast<std::size_t>(incoming)] == max_depth) return false;
   int victim = -1;
   for (std::size_t i = 0; i < pending_.size(); ++i) {
-    const Request& p = pending_[i];
+    const Inflight& p = pending_[i];
     if (depth[static_cast<std::size_t>(p.model)] != max_depth) continue;
     if (p.checkpoint.has_value()) continue;
     if (victim < 0 || p.id > pending_[static_cast<std::size_t>(victim)].id) {
@@ -989,7 +1008,7 @@ bool BatchedEngine::shed_for_model(ModelId incoming) {
     }
   }
   if (victim < 0) return false;
-  const Request shed = std::move(pending_[static_cast<std::size_t>(victim)]);
+  const Inflight shed = std::move(pending_[static_cast<std::size_t>(victim)]);
   pending_.erase(pending_.begin() + victim);
   ++stats_.shed;
   ++stats_.per_model[static_cast<std::size_t>(shed.model)].shed;
@@ -1011,7 +1030,7 @@ int BatchedEngine::pick_admissible_pending() const {
   std::vector<int> pending_index;
   queue.reserve(pending_.size());
   for (std::size_t i = 0; i < pending_.size(); ++i) {
-    const Request& p = pending_[i];
+    const Inflight& p = pending_[i];
     if (!admissible_now(p, views, free_units)) continue;
     Scheduler::Candidate c;
     c.id = p.id;
@@ -1034,7 +1053,7 @@ int BatchedEngine::pick_admissible_pending() const {
   return pending_index[idx];
 }
 
-void BatchedEngine::trace_admission(const Request& r) {
+void BatchedEngine::trace_admission(const Inflight& r) {
   if (tracer_ == nullptr || r.admitted_at <= r.submitted_at) return;
   tracer_->set_request(r.id);
   if (trace_models_) tracer_->set_model(r.model);
@@ -1044,7 +1063,7 @@ void BatchedEngine::trace_admission(const Request& r) {
   if (trace_models_) tracer_->set_model(sim::kNoModel);
 }
 
-void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
+void BatchedEngine::charge(Inflight& r, Cycles cycles, double energy_mj,
                            sim::Category cat, const char* label, Cycles begin,
                            int chip) {
   r.cycles += cycles;
@@ -1061,7 +1080,7 @@ void BatchedEngine::charge(Request& r, Cycles cycles, double energy_mj,
   }
 }
 
-void BatchedEngine::finish(Request& r, int step_idx) {
+void BatchedEngine::finish(Inflight& r, int step_idx) {
   if (paged()) {
     // Owner-checked page release; shared prefix pages just drop one
     // reference and stay resident for the registry / other sharers.
@@ -1131,14 +1150,13 @@ void BatchedEngine::finish(Request& r, int step_idx) {
   ++pm.completed;
 }
 
-model::Tensor BatchedEngine::forward_tokens(const Request& r,
+model::Tensor BatchedEngine::forward_tokens(const Inflight& r,
                                             const std::vector<int>& toks,
                                             int pos_offset) {
   Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
-  const auto& block = t.session->block_executor();
   model::Tensor h = t.session->embedding().lookup(toks);
   for (int l = 0; l < t.session->config().num_layers; ++l) {
-    h = block.forward(h, l, &t.pool->slot(r.set), pos_offset);
+    h = t.session->forward(h, l, &t.pool->slot(r.set), pos_offset);
   }
   return h;
 }
@@ -1173,7 +1191,7 @@ void BatchedEngine::admit_pending(int step_idx, double& step_energy,
       }
       break;
     }
-    Request r = std::move(pending_[static_cast<std::size_t>(pi)]);
+    Inflight r = std::move(pending_[static_cast<std::size_t>(pi)]);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pi));
     Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
     // Re-plan after the pick: nothing changed since admissible_now saw
@@ -1385,7 +1403,7 @@ void BatchedEngine::grow_active_paged(int step_idx, double& step_energy) {
   // out of budget.
   std::size_t i = 0;
   while (i < active_.size()) {
-    Request& r = active_[i];
+    Inflight& r = active_[i];
     const int need = pages_for_tokens(r.model, tokens_after_step(r));
     bool grown = true;
     while (static_cast<int>(r.pages.size()) < need) {
@@ -1406,7 +1424,7 @@ void BatchedEngine::grow_active_paged(int step_idx, double& step_energy) {
   }
 }
 
-void BatchedEngine::donate_prefix(const Request& r) {
+void BatchedEngine::donate_prefix(const Inflight& r) {
   Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
   const int len = static_cast<int>(r.prompt.size());
   const int k = len / t.page_tokens;  // whole pages only
@@ -1449,7 +1467,7 @@ void BatchedEngine::subphase_serial(ModelId m, int step_idx,
   // Emit one token per active request of this model; a request that
   // emits its final token leaves without running another forward,
   // mirroring InferenceSession::generate exactly.
-  std::vector<Request> still_active;
+  std::vector<Inflight> still_active;
   still_active.reserve(active_.size());
   std::vector<std::size_t> decoders;  // indices into the rebuilt active_
   for (auto& r : active_) {
@@ -1486,14 +1504,14 @@ void BatchedEngine::subphase_serial(ModelId m, int step_idx,
   // Skip the speculative fetch when this is provably the model's last
   // decode step.
   bool work_remains = false;
-  for (const Request& p : pending_) {
+  for (const Inflight& p : pending_) {
     if (p.model == m) {
       work_remains = true;
       break;
     }
   }
   for (std::size_t j = 0; j < decoders.size() && !work_remains; ++j) {
-    const Request& r = active_[decoders[j]];
+    const Inflight& r = active_[decoders[j]];
     work_remains = r.generated + 1 < r.new_tokens;
   }
   const Bytes next_stream =
@@ -1540,7 +1558,7 @@ void BatchedEngine::charge_decode_phase(
       t.ar_shared_energy_mj / static_cast<double>(decoders.size());
   const Cycles decode_end = sp.decode_start + d * t.ar_per_req_cycles;
   for (std::size_t j = 0; j < decoders.size(); ++j) {
-    Request& r = active_[decoders[j]];
+    Inflight& r = active_[decoders[j]];
     charge(r, t.ar_per_req_cycles, t.ar_per_req_energy_mj,
            sim::Category::compute, "decode",
            sp.decode_start + static_cast<Cycles>(j) * t.ar_per_req_cycles);
@@ -1576,7 +1594,7 @@ void BatchedEngine::charge_decode_phase(
 // step, co-scheduled with its decodes in heterogeneous steps).
 // --------------------------------------------------------------------------
 
-int BatchedEngine::run_prefill_chunk(Request& r) {
+int BatchedEngine::run_prefill_chunk(Inflight& r) {
   Tenant& t = tenants_[static_cast<std::size_t>(r.model)];
   const int len = static_cast<int>(r.prompt.size());
   const int begin = r.prefill_pos;
@@ -1613,7 +1631,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
   };
   std::vector<ChunkRun> chunk_runs;
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    Request& r = active_[i];
+    Inflight& r = active_[i];
     if (r.model != m || r.prefill_done()) continue;
     // First own work, not first chunk position: an adopted prefix starts
     // the request past prefill_pos 0, but its admission stamp still
@@ -1630,7 +1648,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
   std::vector<std::size_t> decode_runs;  // ran a decode forward this step
   std::vector<std::size_t> finishers;    // leave at this boundary
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    Request& r = active_[i];
+    Inflight& r = active_[i];
     if (r.model != m || !r.prefill_done()) continue;
     if (r.new_tokens == 0) {
       // Prefill-only request (encoder classification): done at its own
@@ -1672,7 +1690,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
     // anything of this model in the queue or the batch will still run a
     // decode forward.
     bool decode_work_remains = false;
-    for (const Request& p : pending_) {
+    for (const Inflight& p : pending_) {
       if (p.model == m) {
         decode_work_remains = true;
         break;
@@ -1684,7 +1702,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
           finishers.end()) {
         continue;
       }
-      const Request& r = active_[i];
+      const Inflight& r = active_[i];
       decode_work_remains = r.prefill_done() ? r.generated + 1 < r.new_tokens
                                              : r.new_tokens > 1;
     }
@@ -1725,7 +1743,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
     // Prompt chunks at their serialized slots from the sub-phase start.
     Cycles cum = sp.begin;
     for (const auto& cr : chunk_runs) {
-      Request& r = active_[cr.req];
+      Inflight& r = active_[cr.req];
       const ChunkCost& cc = t.chunk_costs[static_cast<std::size_t>(cr.chunk)];
       if (cr.first) {
         r.admitted_at = cum;
@@ -1746,7 +1764,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
       const Cycles rem = sp.prefill_tail % pn;
       const Cycles tail_begin = sp.end - sp.prefill_tail;
       for (std::size_t j = 0; j < chunk_runs.size(); ++j) {
-        Request& r = active_[chunk_runs[j].req];
+        Inflight& r = active_[chunk_runs[j].req];
         const Cycles c = share + (static_cast<Cycles>(j) < rem ? 1 : 0);
         charge(r, c, 0.0, sim::Category::dma_l3_l2, "prompt.stall",
                tail_begin);
@@ -1772,7 +1790,7 @@ void BatchedEngine::subphase_chunked(ModelId m, int step_idx,
 
   // ---- retire finished requests at the boundary ------------------------
   if (!finishers.empty()) {
-    std::vector<Request> still_active;
+    std::vector<Inflight> still_active;
     still_active.reserve(active_.size() - finishers.size());
     std::size_t f = 0;
     for (std::size_t i = 0; i < active_.size(); ++i) {

@@ -402,27 +402,53 @@ class BatchedEngine {
   explicit BatchedEngine(const InferenceSession& session)
       : BatchedEngine(session, Options{}) {}
 
-  /// Queue a generation request against deployed model `model`. Throws
-  /// distmcu::Error on contract violations (empty prompt, context
-  /// overflow, prompt longer than that deployment's static prefill shape
-  /// `prompt_len`) exactly like InferenceSession::generate; returns
-  /// nullopt when the queue backlog beyond the free KV slots reaches
-  /// max_pending (graceful backpressure — rejects are not SLO misses).
-  /// `slo` attaches a priority class and a completion deadline relative
-  /// to the submit-time engine timeline; the configured Scheduler orders
-  /// admission on it across models, and ServingStats tracks attainment
-  /// under every policy. `new_tokens == 0` serves encoder-style
-  /// prefill-only work (e.g. MobileBERT classification).
+  /// One queued generation request — THE submit surface. Designated
+  /// initializers name every field at the call site, so routers, benches
+  /// and docs stop hand-assembling positional argument lists:
+  ///
+  ///   engine.submit({.model = m, .prompt = {1, 2, 3}, .new_tokens = 8,
+  ///                  .slo = {.priority = 1}});
+  struct Request {
+    ModelId model = 0;
+    std::vector<int> prompt;
+    /// 0 serves encoder-style prefill-only work (e.g. MobileBERT
+    /// classification).
+    int new_tokens = 0;
+    /// Priority class and completion deadline relative to the
+    /// submit-time engine timeline; the configured Scheduler orders
+    /// admission on it across models, and ServingStats tracks
+    /// attainment under every policy.
+    SloSpec slo{};
+  };
+
+  /// Queue `req` against its deployed model. Throws distmcu::Error on
+  /// contract violations (unknown model, empty prompt, context
+  /// overflow, prompt longer than that deployment's static prefill
+  /// shape `prompt_len`) exactly like InferenceSession::generate;
+  /// returns nullopt when the queue backlog beyond the free KV slots
+  /// reaches max_pending (graceful backpressure — rejects are not SLO
+  /// misses; see last_rejection()).
+  [[nodiscard]] std::optional<RequestId> submit(Request req);
+
+  /// Positional compatibility shim over submit(Request).
   [[nodiscard]] std::optional<RequestId> submit(ModelId model,
                                                 std::vector<int> prompt,
                                                 int new_tokens,
-                                                SloSpec slo = {});
+                                                SloSpec slo = {}) {
+    return submit(Request{.model = model,
+                          .prompt = std::move(prompt),
+                          .new_tokens = new_tokens,
+                          .slo = slo});
+  }
 
-  /// Single-model convenience: submit against model 0.
+  /// Single-model positional shim: submit against model 0.
   [[nodiscard]] std::optional<RequestId> submit(std::vector<int> prompt,
                                                 int new_tokens,
                                                 SloSpec slo = {}) {
-    return submit(0, std::move(prompt), new_tokens, slo);
+    return submit(Request{.model = 0,
+                          .prompt = std::move(prompt),
+                          .new_tokens = new_tokens,
+                          .slo = slo});
   }
 
   /// The admission policy in effect (the built-in FIFO instance when the
@@ -506,8 +532,20 @@ class BatchedEngine {
   /// bound what submit() accepts; fleet routing pre-filters on them).
   [[nodiscard]] const model::TransformerConfig& model_config(ModelId m) const;
 
+  /// Declared arithmetic precision / KV storage layout of one deployed
+  /// model (fleet routing filters nodes on precision capability).
+  [[nodiscard]] Precision model_precision(ModelId m) const;
+  [[nodiscard]] KvLayout model_kv_layout(ModelId m) const;
+  /// Bits one stored KV entry of model `m` costs in the shared arena —
+  /// the per-precision scale factor of every KV byte count (pages,
+  /// slots, checkpoint DMA).
+  [[nodiscard]] int model_kv_elem_bits(ModelId m) const;
+
  private:
-  struct Request {
+  /// One request in flight (queued, active, or checkpointed): the
+  /// public Request payload plus the engine's scheduling, attribution,
+  /// KV-residency, and preemption state.
+  struct Inflight {
     RequestId id = -1;
     ModelId model = 0;
     std::vector<int> prompt;
@@ -583,7 +621,14 @@ class BatchedEngine {
   /// tag == pipeline channel.
   struct Tenant {
     const InferenceSession* session = nullptr;
+    /// Keeps a registry-owned session alive for the engine's lifetime
+    /// (registries are routinely temporaries once add(DeploymentSpec)
+    /// owns the sessions); null for legacy caller-owned sessions.
+    std::shared_ptr<const InferenceSession> owned_session;
     std::string name;
+    /// Bits one stored KV entry costs in the arena (the session's packed
+    /// layout; equals the platform-native width for KvLayout::native).
+    int kv_elem_bits = 0;
     int chunk_tokens = 0;
     std::vector<ChunkCost> chunk_costs;
 
@@ -682,13 +727,13 @@ class BatchedEngine {
   /// Whether the budget would grant `p` a slot right now, given the
   /// snapshot (false when no slot is free or p's model is at cap).
   [[nodiscard]] bool admissible_now(
-      const Request& p, const std::vector<KvBudgetPolicy::TenantView>& views,
+      const Inflight& p, const std::vector<KvBudgetPolicy::TenantView>& views,
       int free_slots) const;
   /// Whether evicting `victim` would let the budget admit `starved`
   /// (simulates the post-eviction snapshot; cross-model reclaim of a
   /// watermark-borrowed slot included).
-  [[nodiscard]] bool admits_after_evicting(const Request& starved,
-                                           const Request& victim) const;
+  [[nodiscard]] bool admits_after_evicting(const Inflight& starved,
+                                           const Inflight& victim) const;
 
   // ---- mode dispatch over the two budget arenas -----------------------
   /// Free budget units (slots or pages) in whichever arena is live.
@@ -707,7 +752,7 @@ class BatchedEngine {
   /// being planned — the page requirement admission and growth must
   /// cover before running it. Counts the same-step first-decode row
   /// exactly when the engine's commit loop appends it (new_tokens >= 2).
-  [[nodiscard]] int tokens_after_step(const Request& r) const;
+  [[nodiscard]] int tokens_after_step(const Inflight& r) const;
   /// Admission plan of one pending request under paging: total pages its
   /// first step needs, how many of them an adoptable registered prefix
   /// (or, on resume, still-resident shared pages) provides, which
@@ -719,7 +764,7 @@ class BatchedEngine {
     int entry = -1;
     int shared_tokens = 0;
   };
-  [[nodiscard]] PagedAdmitPlan plan_paged_admission(const Request& p) const;
+  [[nodiscard]] PagedAdmitPlan plan_paged_admission(const Inflight& p) const;
   /// Whether the budget policy would grant tenant `m` `n` more pages in
   /// sequence from the snapshot (each grant re-asks the policy with the
   /// occupancy advanced, mirroring how admission actually acquires).
@@ -742,13 +787,13 @@ class BatchedEngine {
   /// Register a just-prefilled prompt as a shareable prefix (chunked
   /// paged tenants with prefix_sharing): add_ref its full pages and deep-
   /// copy its KV rows into the tenant's registry.
-  void donate_prefix(const Request& r);
+  void donate_prefix(const Inflight& r);
   /// Longest-common-prefix length of two token strings.
   [[nodiscard]] static int common_prefix(const std::vector<int>& a,
                                          const std::vector<int>& b);
   /// Cost-model estimate of a request's service demand still ahead of
   /// it (remaining prefill chunks plus remaining decode forwards).
-  [[nodiscard]] Cycles remaining_cost(const Request& r) const;
+  [[nodiscard]] Cycles remaining_cost(const Inflight& r) const;
   /// Preemption driver, run at the top of each step: while a pending
   /// feasible deadline would be starved past its deadline by waiting
   /// for the earliest natural slot release, offer the policy the
@@ -801,27 +846,27 @@ class BatchedEngine {
                                              int new_tokens) const;
   /// Trace the admission decision on the request's lane: its queue wait
   /// as a sched-category span ending at the (final) admitted_at stamp.
-  void trace_admission(const Request& r);
-  void finish(Request& r, int step_idx);
+  void trace_admission(const Inflight& r);
+  void finish(Inflight& r, int step_idx);
   /// Charge `cycles`/`energy` to a request (and its model's attribution
   /// counters) and, when tracing, lay a tagged span at
   /// [begin, begin + cycles] on the engine timeline — spans of different
   /// requests get their own trace lanes and may overlap within a step.
   /// `chip` is the trace pid (sched-category spans route through
   /// sched_chip; everything else stays on chip 0).
-  void charge(Request& r, Cycles cycles, double energy_mj, sim::Category cat,
+  void charge(Inflight& r, Cycles cycles, double energy_mj, sim::Category cat,
               const char* label, Cycles begin, int chip = 0);
   /// Embed `toks` and run them through every layer of the request's
   /// model against the request's KV set, `pos_offset` being the absolute
   /// position of the first row — the one functional forward path shared
   /// by prefills (whole prompts and chunks) and decode steps.
-  [[nodiscard]] model::Tensor forward_tokens(const Request& r,
+  [[nodiscard]] model::Tensor forward_tokens(const Inflight& r,
                                              const std::vector<int>& toks,
                                              int pos_offset);
   /// Run one prompt chunk functionally (embeds, all layers, KV append);
   /// returns the chunk index it advanced through and sets `next` when
   /// the prompt completes.
-  int run_prefill_chunk(Request& r);
+  int run_prefill_chunk(Inflight& r);
 
   [[nodiscard]] const Tenant& tenant(ModelId m) const;
 
@@ -850,8 +895,8 @@ class BatchedEngine {
   const Scheduler* scheduler_ = nullptr;
   const KvBudgetPolicy* budget_ = nullptr;
 
-  std::deque<Request> pending_;
-  std::vector<Request> active_;
+  std::deque<Inflight> pending_;
+  std::vector<Inflight> active_;
   std::vector<RequestResult> finished_;
   ServingStats stats_;
   /// Queueing delays of finished requests: a bounded reservoir (exact

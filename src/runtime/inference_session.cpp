@@ -20,6 +20,25 @@ InferenceSession::InferenceSession(model::TransformerConfig cfg, int n_chips,
                                                          topo_);
 }
 
+namespace {
+SystemConfig spec_system(const DeploymentSpec& spec) {
+  spec.validate();
+  SystemConfig sys = spec.system;
+  sys.precision = precision_numerics(spec.precision, sys.precision);
+  return sys;
+}
+}  // namespace
+
+InferenceSession::InferenceSession(const DeploymentSpec& spec)
+    : InferenceSession(spec.model, spec.chips, spec_system(spec), spec.seed) {
+  precision_ = spec.precision;
+  kv_layout_ = spec.kv_layout;
+  if (precision_ == Precision::int8) {
+    qblock_ = std::make_unique<quant::QuantizedBlock>(cfg_, weights_, shards_, plan_,
+                                                      topo_, kv_elem_bits());
+  }
+}
+
 BlockResult InferenceSession::run_block(model::Mode mode) const {
   BlockResult out;
   out.report = sim_.run(plan_, mode);
@@ -84,12 +103,12 @@ GenerationResult InferenceSession::generate(const std::vector<int>& prompt,
   const BlockResult ar_cost = run_block(model::Mode::autoregressive);
   const auto layers = static_cast<Cycles>(cfg_.num_layers);
 
-  auto caches = block_->make_chip_caches(cfg_.ar_context);
+  auto caches = make_chip_caches(cfg_.ar_context);
 
   // --- prefill: run the prompt through all layers (prompt mode) -------
   model::Tensor h = embedding_.lookup(prompt);
   for (int l = 0; l < cfg_.num_layers; ++l) {
-    h = block_->forward(h, l, &caches, 0);
+    h = forward(h, l, &caches, 0);
   }
   out.total_cycles += prompt_cost.report.block_cycles * layers;
   out.total_energy_mj += prompt_cost.energy_mj() * static_cast<double>(layers);
@@ -103,7 +122,7 @@ GenerationResult InferenceSession::generate(const std::vector<int>& prompt,
     if (t + 1 == new_tokens) break;
     model::Tensor x = embedding_.lookup({next});
     for (int l = 0; l < cfg_.num_layers; ++l) {
-      x = block_->forward(x, l, &caches, pos);
+      x = forward(x, l, &caches, pos);
     }
     out.total_cycles += ar_cost.report.block_cycles * layers;
     out.total_energy_mj += ar_cost.energy_mj() * static_cast<double>(layers);
@@ -119,7 +138,7 @@ model::Tensor InferenceSession::encode(const std::vector<int>& tokens) const {
                   std::to_string(cfg_.prompt_len) + ")");
   model::Tensor h = embedding_.lookup(tokens);
   for (int l = 0; l < cfg_.num_layers; ++l) {
-    h = block_->forward(h, l, nullptr, 0);
+    h = forward(h, l, nullptr, 0);
   }
   return h;
 }

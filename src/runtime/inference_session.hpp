@@ -14,6 +14,9 @@
 #include "partition/memory_planner.hpp"
 #include "partition/plan.hpp"
 #include "partition/sharder.hpp"
+#include "quant/quantized_block.hpp"
+#include "runtime/deployment_spec.hpp"
+#include "runtime/precision.hpp"
 #include "runtime/timed_simulation.hpp"
 
 namespace distmcu::runtime {
@@ -69,6 +72,13 @@ class InferenceSession {
                    SystemConfig sys = SystemConfig::siracusa_system(),
                    std::uint64_t seed = 42);
 
+  /// Build from a DeploymentSpec: validates the spec, applies its
+  /// declared Precision to the platform numerics (an int8 spec prices
+  /// the cost model at 1-byte-weight / int8-MAC rates), and — for int8
+  /// specs — instantiates the quantized block executor the forward
+  /// dispatch below routes through.
+  explicit InferenceSession(const DeploymentSpec& spec);
+
   /// The paper's measurement: one Transformer block in `mode`.
   [[nodiscard]] BlockResult run_block(model::Mode mode) const;
 
@@ -107,6 +117,35 @@ class InferenceSession {
   }
   [[nodiscard]] const model::Embedding& embedding() const { return embedding_; }
 
+  [[nodiscard]] Precision precision() const { return precision_; }
+  [[nodiscard]] KvLayout kv_layout() const { return kv_layout_; }
+  /// Bits one stored KV entry costs under this deployment's layout —
+  /// THE number every byte-accounting site (engine, analyzer, pool)
+  /// scales by.
+  [[nodiscard]] int kv_elem_bits() const {
+    return kv_layout_bits(kv_layout_,
+                          static_cast<int>(sys_.precision.kv_bytes) * kBitsPerByte);
+  }
+
+  /// Precision-dispatched block execution: int8 deployments route
+  /// through the quantized block, everything else through the float
+  /// block. All serving-path forwards (engine, generate, encode) go
+  /// through here so precision cannot be bypassed per call site.
+  [[nodiscard]] model::Tensor forward(
+      const model::Tensor& x, int layer,
+      std::vector<std::vector<model::KvCache>>* chip_caches, int pos_offset) const {
+    return qblock_ != nullptr ? qblock_->forward(x, layer, chip_caches, pos_offset)
+                              : block_->forward(x, layer, chip_caches, pos_offset);
+  }
+
+  /// Cache layout is precision-independent (the quantized block stores
+  /// fake-quantized rows in the same float caches), so both executors
+  /// share the float block's geometry.
+  [[nodiscard]] std::vector<std::vector<model::KvCache>> make_chip_caches(
+      int capacity) const {
+    return block_->make_chip_caches(capacity);
+  }
+
  private:
   model::TransformerConfig cfg_;
   SystemConfig sys_;
@@ -116,6 +155,9 @@ class InferenceSession {
   partition::ShardedWeights shards_;
   noc::Topology topo_;
   std::unique_ptr<partition::DistributedBlock> block_;
+  std::unique_ptr<quant::QuantizedBlock> qblock_;  // int8 deployments only
+  Precision precision_ = Precision::fp16;
+  KvLayout kv_layout_ = KvLayout::native;
   TimedBlockSimulation sim_;
   energy::EnergyModel energy_;
 };

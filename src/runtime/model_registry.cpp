@@ -4,6 +4,15 @@
 
 namespace distmcu::runtime {
 
+ModelId ModelRegistry::add(const DeploymentSpec& spec) {
+  spec.validate();
+  auto session = std::make_shared<const InferenceSession>(spec);
+  const ModelId id = add(*session, spec.deployment_name(), spec.prefill_chunk_tokens,
+                         spec.kv_quota, spec.max_resident);
+  entries_.back().owned_session = std::move(session);
+  return id;
+}
+
 ModelId ModelRegistry::add(const InferenceSession& session, std::string name,
                            int prefill_chunk_tokens, int kv_quota,
                            int max_resident) {

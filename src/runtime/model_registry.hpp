@@ -1,9 +1,11 @@
 #ifndef DISTMCU_RUNTIME_MODEL_REGISTRY_HPP
 #define DISTMCU_RUNTIME_MODEL_REGISTRY_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "runtime/deployment_spec.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/kv_budget.hpp"
 
@@ -15,6 +17,10 @@ namespace distmcu::runtime {
 /// serving knobs the multi-model engine needs.
 struct ModelDeployment {
   const InferenceSession* session = nullptr;
+  /// Set when the registry built the session from a DeploymentSpec;
+  /// shared so engines copying the entries keep the session alive even
+  /// if the registry goes away first.
+  std::shared_ptr<const InferenceSession> owned_session;
   std::string name;
   /// Prompt-chunk size of the chunked-prefill step model for this
   /// tenant; 0 = serial-prefill compatibility mode (per-model, so a
@@ -31,13 +37,24 @@ struct ModelDeployment {
 };
 
 /// The deployments one multi-model engine multiplexes: N sessions keyed
-/// by a dense ModelId (the add() order). Sessions are borrowed, not
-/// owned — they must outlive every engine built from the registry. The
-/// registry itself is a cheap value type; engines copy the entries at
-/// construction.
+/// by a dense ModelId (the add() order).
+///
+/// `add(DeploymentSpec)` is the intended registration surface: the
+/// registry builds and owns the InferenceSession the spec describes
+/// (shared_ptr, copied into every engine), so there is no session
+/// lifetime for callers to get wrong. The legacy borrowed-session
+/// `add()` remains as a shim for callers that pre-built a session —
+/// those sessions must outlive every engine built from the registry.
 class ModelRegistry {
  public:
-  /// Register a deployment; returns its ModelId (dense, starting at 0).
+  /// Register a deployment described by `spec`; the registry builds and
+  /// owns its session. Returns its ModelId (dense, starting at 0).
+  ModelId add(const DeploymentSpec& spec);
+
+  /// DEPRECATED shim over the spec form: registers a caller-owned
+  /// session with the legacy positional knobs. Prefer
+  /// add(DeploymentSpec) — this survives only for callers that need to
+  /// share one pre-built session across registries.
   ModelId add(const InferenceSession& session, std::string name,
               int prefill_chunk_tokens = 0, int kv_quota = 0,
               int max_resident = 0);

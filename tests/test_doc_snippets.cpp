@@ -15,9 +15,11 @@
 #include "fleet/routing_policy.hpp"
 #include "model/config.hpp"
 #include "runtime/batched_engine.hpp"
+#include "runtime/deployment_spec.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/kv_budget.hpp"
 #include "runtime/model_registry.hpp"
+#include "runtime/precision.hpp"
 #include "runtime/scheduler.hpp"
 
 using namespace distmcu;
@@ -28,6 +30,21 @@ namespace {
 /// under test never see the model size.
 model::TransformerConfig doc_cfg() {
   auto cfg = model::TransformerConfig::tiny_llama_42m();
+  cfg.embed_dim = 32;
+  cfg.ffn_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 8;
+  cfg.num_layers = 2;
+  cfg.vocab_size = 100;
+  cfg.ar_context = 32;
+  cfg.prompt_len = 8;
+  cfg.validate();
+  return cfg;
+}
+
+/// Cut-down bidirectional encoder for the DeploymentSpec example.
+model::TransformerConfig doc_bert_cfg() {
+  auto cfg = model::TransformerConfig::mobile_bert();
   cfg.embed_dim = 32;
   cfg.ffn_dim = 64;
   cfg.num_heads = 4;
@@ -121,6 +138,58 @@ class LeastBacklogRouting final : public fleet::RoutingPolicy {
 };
 
 }  // namespace
+
+// --- docs/extending.md: "Declaring a deployment: DeploymentSpec" ---
+
+TEST(DocSnippets, DeploymentSpecDeclaresPrecisionPerTenant) {
+  const model::TransformerConfig llama_cfg = doc_cfg();
+  const model::TransformerConfig bert_cfg = doc_bert_cfg();
+
+  runtime::DeploymentSpec llama;
+  llama.model = llama_cfg;  // any validated TransformerConfig
+  llama.chips = 4;
+  llama.kv_layout = runtime::KvLayout::fp16;  // 16-bit KV entries
+
+  runtime::DeploymentSpec bert;
+  bert.model = bert_cfg;
+  bert.chips = 2;
+  bert.precision = runtime::Precision::int8;  // A8W8 compute + cost model
+  bert.kv_layout = runtime::KvLayout::int8;   // packed 8-bit KV entries
+
+  runtime::ModelRegistry registry;
+  const runtime::ModelId lm = registry.add(llama);
+  const runtime::ModelId bm = registry.add(bert);
+  runtime::BatchedEngine engine(registry, {.total_kv_slots = 2});
+
+  // The declared widths are visible per tenant through the engine.
+  EXPECT_EQ(engine.model_precision(lm), runtime::Precision::fp16);
+  EXPECT_EQ(engine.model_precision(bm), runtime::Precision::int8);
+  EXPECT_EQ(engine.model_kv_elem_bits(lm),
+            runtime::kv_layout_bits(runtime::KvLayout::fp16, 8));
+  EXPECT_EQ(engine.model_kv_elem_bits(bm),
+            runtime::kv_layout_bits(runtime::KvLayout::int8, 8));
+
+  const auto gen = engine.submit(
+      {.model = lm, .prompt = {1, 17, 42}, .new_tokens = 4});
+  const auto enc = engine.submit(
+      {.model = bm, .prompt = {7, 9, 11}, .new_tokens = 0});
+  const auto results = engine.run_to_completion();
+
+  ASSERT_TRUE(gen && enc);
+  ASSERT_EQ(results.size(), 2u);
+  // Precision never changes the content contract: each tenant's stream
+  // is bit-exact with a dedicated session built from the same spec.
+  const runtime::InferenceSession llama_solo(llama);
+  const runtime::InferenceSession bert_solo(bert);
+  for (const auto& r : results) {
+    if (r.id == *gen) {
+      EXPECT_EQ(r.gen.tokens, llama_solo.generate({1, 17, 42}, 4).tokens);
+    }
+    if (r.id == *enc) {
+      EXPECT_EQ(r.gen.tokens, bert_solo.generate({7, 9, 11}, 0).tokens);
+    }
+  }
+}
 
 TEST(DocSnippets, ShortestJobFirstAdmitsCheapestFirst) {
   const runtime::InferenceSession session(doc_cfg(), 4);

@@ -31,6 +31,7 @@
 #include "analysis/deployment_analyzer.hpp"
 #include "model/config.hpp"
 #include "runtime/batched_engine.hpp"
+#include "runtime/deployment_spec.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/kv_budget.hpp"
 #include "runtime/model_registry.hpp"
@@ -205,6 +206,43 @@ std::vector<NamedConfig> shipped_configs() {
                                 .count = 4});
          return analysis::DeploymentAnalyzer::analyze(
              reg, {.total_kv_slots = 2, .max_pending = 8}, &wl);
+       }});
+
+  // bench/quant_serving.cpp mixed registry: an fp16 TinyLlama decoder
+  // next to an int8 MobileBERT encoder in one arena, registered through
+  // DeploymentSpec so the analyzer prices each tenant's KV bytes at its
+  // declared packed width.
+  configs.push_back(
+      {"quant_mixed", [] {
+         runtime::DeploymentSpec llama;
+         llama.model = serving_model();
+         llama.model.name = "tinyllama";
+         llama.chips = 2;
+         llama.kv_layout = runtime::KvLayout::fp16;
+         llama.prefill_chunk_tokens = 4;
+         runtime::DeploymentSpec bert;
+         bert.model = encoder_model();
+         bert.model.name = "mobilebert";
+         bert.model.num_layers = 2;
+         bert.chips = 2;
+         bert.precision = runtime::Precision::int8;
+         bert.kv_layout = runtime::KvLayout::int8;
+         runtime::ModelRegistry reg;
+         (void)reg.add(llama);
+         (void)reg.add(bert);
+         analysis::Workload wl;
+         wl.requests.push_back({.model = 0,
+                                .prompt_tokens = 8,
+                                .new_tokens = 8,
+                                .deadline_cycles = runtime::kNoDeadline,
+                                .count = 4});
+         wl.requests.push_back({.model = 1,
+                                .prompt_tokens = 16,
+                                .new_tokens = 0,
+                                .deadline_cycles = runtime::kNoDeadline,
+                                .count = 4});
+         return analysis::DeploymentAnalyzer::analyze(
+             reg, {.total_kv_slots = 2, .max_pending = 16}, &wl);
        }});
 
   return configs;

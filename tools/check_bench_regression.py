@@ -49,6 +49,18 @@ the same schema:
   strictly beats round-robin on deadline misses at identical offered
   load and that prefix affinity lands more prefix-cache hits than
   round-robin.
+* ``distmcu.quant.v1`` (quant_serving): configs rows (matched by
+  precision config) bound tokens_per_s below and total_cycles /
+  mj_per_token above baseline, with precision / kv_layout /
+  kv_elem_bits / kv_units / peak_batch / completed / bit_exact /
+  units_leaked pinned exactly, plus the cross-config invariants —
+  re-derived by the gate itself — that at equal KV pool bytes the int8
+  layout admits >= 2x and the int4 layout >= 4x the fp16 engine's
+  concurrent requests, int8 costs strictly less energy per token than
+  fp16, every config's streams stay bit-exact with zero KV units
+  leaked, the int8 streams are invariant across chip counts and
+  reduction tree shapes, and the mixed fp16+int8 registry conserves
+  per-model attribution without leaks.
 * ``distmcu.analysis.v1`` (analyze): configs rows (matched by config
   name) pin errors/warnings/ok and the sorted diagnostic-code list
   exactly (the analyzer is deterministic — any new code on a shipped
@@ -71,6 +83,7 @@ Regenerate a baseline with, e.g.:
     ./build/multimodel_serving --json bench/baselines/multimodel_baseline.json
     ./build/paged_serving --json bench/baselines/paging_baseline.json
     ./build/fleet_serving --json bench/baselines/fleet_baseline.json
+    ./build/quant_serving --json bench/baselines/quant_baseline.json
 
 Uses only the Python standard library.
 """
@@ -86,6 +99,7 @@ MULTIMODEL_SCHEMA = "distmcu.multimodel.v1"
 ANALYSIS_SCHEMA = "distmcu.analysis.v1"
 PAGING_SCHEMA = "distmcu.paging.v1"
 FLEET_SCHEMA = "distmcu.fleet.v1"
+QUANT_SCHEMA = "distmcu.quant.v1"
 
 
 def fail(errors, msg):
@@ -515,6 +529,81 @@ def check_fleet(errors, current, baseline, tol):
             f"{vals[('prefix', 'deadline_misses')]}")
 
 
+def check_quant(errors, current, baseline, tol):
+    """Quantized-serving gate: capacity/correctness counters are
+    deterministic and pinned; cycle/throughput fields drift-bounded; plus
+    the cross-config invariants the precision envelope promises."""
+    configs = require(errors, current, "configs", "current")
+    check_rows(errors, "configs", configs, baseline["configs"], "config",
+               lower_is_better=("total_cycles", "mj_per_token"),
+               higher_is_better=("tokens_per_s",), tol=tol,
+               pinned=("precision", "kv_layout", "kv_elem_bits", "kv_units",
+                       "peak_batch", "completed", "bit_exact",
+                       "units_leaked"))
+    if configs is None:
+        return ""
+    rows = index_rows(errors, "current.configs", configs, "config")
+    fp16 = rows.get("fp16")
+    int8 = rows.get("int8")
+    int4 = rows.get("int8+kv4")
+    if fp16 is None or int8 is None or int4 is None:
+        fail(errors, "configs: expected configs fp16 / int8 / int8+kv4")
+        return ""
+    vals = {}
+    for name, row in (("fp16", fp16), ("int8", int8), ("int4", int4)):
+        for field in ("peak_batch", "bit_exact", "units_leaked",
+                      "mj_per_token"):
+            vals[(name, field)] = require(errors, row, field,
+                                          f"configs[{name}]")
+    for field in ("chip_invariant", "reduction_invariant"):
+        vals[(field,)] = require(errors, current, field, "current")
+    mixed = require(errors, current, "mixed", "current")
+    if mixed is not None:
+        for field in ("conserved", "units_leaked", "completed"):
+            vals[("mixed", field)] = require(errors, mixed, field, "mixed")
+    if None in vals.values() or mixed is None:
+        return ""
+    for name in ("fp16", "int8", "int4"):
+        if vals[(name, "bit_exact")] is not True:
+            fail(errors, f"invariant: configs[{name}] streams diverged from "
+                         f"the dedicated single-request engine")
+        if vals[(name, "units_leaked")] != 0:
+            fail(errors, f"invariant: configs[{name}] leaked "
+                         f"{vals[(name, 'units_leaked')]} KV unit(s)")
+    # Re-derive the capacity gains instead of trusting the reported
+    # ratios; a tampered baseline cannot hide a shrunken envelope.
+    if vals[("int8", "peak_batch")] < 2 * vals[("fp16", "peak_batch")]:
+        fail(errors,
+             f"invariant: int8 peak batch ({vals[('int8', 'peak_batch')]}) "
+             f"below 2x the fp16 engine ({vals[('fp16', 'peak_batch')]}) "
+             f"at equal KV bytes")
+    if vals[("int4", "peak_batch")] < 4 * vals[("fp16", "peak_batch")]:
+        fail(errors,
+             f"invariant: int4 peak batch ({vals[('int4', 'peak_batch')]}) "
+             f"below 4x the fp16 engine ({vals[('fp16', 'peak_batch')]}) "
+             f"at equal KV bytes")
+    if vals[("int8", "mj_per_token")] >= vals[("fp16", "mj_per_token")]:
+        fail(errors,
+             f"invariant: int8 energy/token "
+             f"({vals[('int8', 'mj_per_token')]}) not below fp16 "
+             f"({vals[('fp16', 'mj_per_token')]})")
+    if vals[("chip_invariant",)] is not True:
+        fail(errors, "invariant: int8 token streams changed with the chip "
+                     "count (int32 all-reduce no longer exact)")
+    if vals[("reduction_invariant",)] is not True:
+        fail(errors, "invariant: int8 token streams changed with the "
+                     "reduction tree shape")
+    if vals[("mixed", "conserved")] is not True:
+        fail(errors, "invariant: mixed fp16+int8 registry broke per-model "
+                     "attribution conservation")
+    if vals[("mixed", "units_leaked")] != 0:
+        fail(errors, f"invariant: mixed registry leaked "
+                     f"{vals[('mixed', 'units_leaked')]} KV unit(s)")
+    return (f"int8 admits {vals[('int8', 'peak_batch')]} and int4 "
+            f"{vals[('int4', 'peak_batch')]} vs fp16 "
+            f"{vals[('fp16', 'peak_batch')]} at equal KV bytes")
+
+
 HANDLERS = {
     SERVING_SCHEMA: check_serving,
     SERVING_V2_SCHEMA: check_serving_v2,
@@ -523,6 +612,7 @@ HANDLERS = {
     ANALYSIS_SCHEMA: check_analysis,
     PAGING_SCHEMA: check_paging,
     FLEET_SCHEMA: check_fleet,
+    QUANT_SCHEMA: check_quant,
 }
 
 

@@ -18,6 +18,13 @@ Rules (suppress a single line with a trailing ``// lint-domain: allow``):
   ``alignment - 1`` of the max rounds to a tiny value that then "fits"
   any arena. Route alignment through the saturating
   ``Arena::align_up`` instead.
+* ``raw-precision-int`` — a ``...bits`` variable or member initialized
+  or assigned from a bare nonzero integer literal hardcodes a precision
+  width the type system cannot check; widths must come from the
+  ``runtime::Precision`` / ``runtime::KvLayout`` vocabulary
+  (``kv_layout_bits`` and friends in ``src/runtime/precision.hpp``,
+  which is the one file allowed to spell the literals). Zero stays
+  legal as the "unset" sentinel.
 * ``tracer-pairing`` — every ``Tracer::set_request(id)`` /
   ``set_model(m)`` tag must be cleared with ``set_request(kNoRequest)``
   / ``set_model(kNoModel)`` in the same source file: a file that opens
@@ -69,6 +76,17 @@ BYTES_ROUNDUP = re.compile(
     r"|"
     r"&\s*~[^;]*(?<!\+)\+(?!\+)"    # ... & ~... + ...
     r")")
+
+# `kv_bits = 4`, `int elem_bits{8}`, `kv_bits_(16)`: a bare nonzero
+# literal where a Precision/KvLayout-derived width belongs. `= 0` is the
+# unset sentinel and stays legal; comparisons (==, <=, ...) and compound
+# ops do not match.
+RAW_PRECISION = re.compile(
+    r"\b[A-Za-z_]\w*[Bb]its\w*\s*"
+    r"(?:(?<![<>!=+\-*/&|^%])=(?!=)|\{|\()\s*[1-9]")
+
+# The precision vocabulary itself must spell the widths once.
+PRECISION_HOME = os.path.join("runtime", "precision.hpp")
 
 SET_REQ_DEF = re.compile(r"^\s*(?:void\s+)?set_request\s*\(\s*int\b")
 SET_MODEL_DEF = re.compile(r"^\s*(?:void\s+)?set_model\s*\(\s*int\b")
@@ -142,6 +160,14 @@ def lint_file(path, findings):
                 f"{path}:{lineno}: [unsaturated-bytes-roundup] manual "
                 f"round-up-and-mask wraps near the Bytes max; use the "
                 f"saturating Arena::align_up")
+
+        if (not path.endswith(PRECISION_HOME)
+                and RAW_PRECISION.search(code)):
+            findings.append(
+                f"{path}:{lineno}: [raw-precision-int] bare integer "
+                f"literal assigned to a ...bits variable; derive the "
+                f"width from runtime::Precision / runtime::KvLayout "
+                f"(kv_layout_bits) instead")
 
         if not SET_REQ_DEF.search(code):
             for m in SET_REQ.finditer(code):
@@ -297,7 +323,8 @@ def main():
             print(f"  - {f}")
         return 1
     rules = ("no-raw-assert, unsaturated-deadline, "
-             "unsaturated-bytes-roundup, tracer-pairing")
+             "unsaturated-bytes-roundup, raw-precision-int, "
+             "tracer-pairing")
     if args.docs:
         rules += ", docs-coverage, docs-snippet-sync"
     print(f"domain lint OK: {len(files)} files clean ({rules})")
